@@ -1,0 +1,226 @@
+(* Command-line driver for the HALO compiler.
+
+   halo_cli compile prog.halo --strategy halo --bind K=40
+   halo_cli run     prog.halo --strategy halo --bind K=40 [--seed 7]
+   halo_cli inspect prog.halo
+   halo_cli bench   linear --strategy halo --iters 40 *)
+
+open Halo
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let strategy_conv =
+  let parse s =
+    match Strategy.of_string s with
+    | Some st -> Ok st
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown strategy %S (expected %s)" s
+              (String.concat ", " (List.map Strategy.to_string Strategy.all))))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Strategy.to_string s))
+
+let binding_conv =
+  let parse s =
+    match String.split_on_char '=' s with
+    | [ name; v ] -> (
+      match int_of_string_opt v with
+      | Some k -> Ok (name, k)
+      | None -> Error (`Msg (Printf.sprintf "binding %S: not an integer" s)))
+    | _ -> Error (`Msg (Printf.sprintf "binding %S: expected NAME=INT" s))
+  in
+  Arg.conv
+    (parse, fun fmt (n, v) -> Format.fprintf fmt "%s=%d" n v)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Textual IR file.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Strategy.Halo
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Compilation strategy: dacapo, type-matched, packing, \
+              packing+unrolling or halo.")
+
+let bindings_arg =
+  Arg.(
+    value
+    & opt_all binding_conv []
+    & info [ "b"; "bind" ] ~docv:"NAME=INT"
+        ~doc:"Bind a dynamic iteration count (repeatable).")
+
+let load path = Parser.parse_program (read_file path)
+
+let handle f =
+  match f () with
+  | () -> 0
+  | exception Typecheck.Type_error m ->
+    Printf.eprintf "type error: %s\n" m;
+    1
+  | exception Parser.Parse_error m ->
+    Printf.eprintf "parse error: %s\n" m;
+    1
+  | exception Lexer.Lex_error { pos; msg } ->
+    Printf.eprintf "lex error at offset %d: %s\n" pos msg;
+    1
+  | exception Sys_error m ->
+    Printf.eprintf "%s\n" m;
+    1
+
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let run file strategy bindings output =
+    handle (fun () ->
+        let p = load file in
+        let compiled = Strategy.compile ~bindings ~strategy p in
+        let text = Printer.program_to_string compiled in
+        match output with
+        | None -> print_string text
+        | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Printf.printf "wrote %s (%d bytes, %d bootstraps)\n" path
+            (String.length text)
+            (Ir.count_static_bootstraps compiled.body))
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a textual IR program.")
+    Term.(const run $ file_arg $ strategy_arg $ bindings_arg $ output_arg)
+
+let inspect_cmd =
+  let run file =
+    handle (fun () ->
+        let p = load file in
+        Printf.printf "program %S: slots=%d max_level=%d\n" p.prog_name p.slots
+          p.max_level;
+        Printf.printf "  inputs: %s\n"
+          (String.concat ", "
+             (List.map
+                (fun (i : Ir.input) ->
+                  Printf.sprintf "%s (%s, size %d)" i.in_name
+                    (match i.in_status with Ir.Plain -> "plain" | Ir.Cipher -> "cipher")
+                    i.in_size)
+                p.inputs));
+        Printf.printf "  operations: %d (of which %d bootstraps)\n"
+          (Ir.count_ops p.body)
+          (Ir.count_static_bootstraps p.body);
+        let loops = ref 0 in
+        Ir.iter_blocks
+          (fun b ->
+            List.iter
+              (fun (i : Ir.instr) ->
+                match i.op with
+                | Ir.For fo ->
+                  incr loops;
+                  Printf.printf "  loop: count=%s carried=%d boundary=%s\n"
+                    (Ir.count_to_string fo.count)
+                    (List.length fo.inits)
+                    (match fo.boundary with
+                     | None -> "unset"
+                     | Some m -> string_of_int m)
+                | _ -> ())
+              b.instrs)
+          p.body;
+        Printf.printf "  loops: %d\n" !loops;
+        Printf.printf "  multiplicative depth: %d\n" (Depth.program_depth p);
+        let rots = Rotations.required p in
+        Printf.printf "  rotation keys required: %d%s\n" (List.length rots)
+          (if rots = [] then ""
+           else
+             Printf.sprintf " (offsets %s)"
+               (String.concat ", " (List.map string_of_int rots)));
+        (match Typecheck.verify p with
+         | Ok () ->
+           print_endline "  verification: OK";
+           let nb = Noise_budget.analyze p in
+           Printf.printf "  static noise bound: %s\n"
+             (if nb.bounded then Printf.sprintf "%.2e" nb.worst else "unbounded")
+         | Error m -> Printf.printf "  verification: FAILED (%s)\n" m))
+  in
+  Cmd.v (Cmd.info "inspect" ~doc:"Print program statistics.") Term.(const run $ file_arg)
+
+let run_cmd =
+  let run file strategy bindings seed =
+    handle (fun () ->
+        let p = load file in
+        let compiled = Strategy.compile ~bindings ~strategy p in
+        let rng = Random.State.make [| seed |] in
+        let inputs =
+          List.map
+            (fun (i : Ir.input) ->
+              ( i.in_name,
+                Array.init i.in_size (fun _ -> Random.State.float rng 2.0 -. 1.0) ))
+            p.inputs
+        in
+        let module Ref = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend) in
+        let st =
+          Halo_ckks.Ref_backend.create ~slots:p.slots ~max_level:p.max_level
+            ~scale_bits:51 ()
+        in
+        let outs, stats = Ref.run st ~bindings ~inputs compiled in
+        Printf.printf "ran %S with seeded random inputs (seed %d)\n" p.prog_name seed;
+        List.iteri
+          (fun k out ->
+            let show = min 8 (Array.length out) in
+            Printf.printf "  output %d: [" k;
+            for j = 0 to show - 1 do
+              Printf.printf "%s%.5f" (if j > 0 then "; " else "") out.(j)
+            done;
+            Printf.printf "%s]\n" (if Array.length out > show then "; ..." else ""))
+          outs;
+        Printf.printf "  %s\n" (Halo_runtime.Stats.to_string stats))
+  in
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute with random inputs on the reference backend.")
+    Term.(const run $ file_arg $ strategy_arg $ bindings_arg $ seed_arg)
+
+let bench_cmd =
+  let run name strategy iters size =
+    handle (fun () ->
+        let b =
+          try Halo_ml.Workloads.find name
+          with Not_found ->
+            failwith
+              (Printf.sprintf "unknown benchmark %S (expected %s)" name
+                 (String.concat ", "
+                    (List.map (fun (b : Halo_ml.Bench_def.t) -> b.name)
+                       Halo_ml.Workloads.all)))
+        in
+        let slots = 16 * size in
+        let rmse, stats =
+          Halo_ml.Workloads.run_rmse b ~slots ~size ~seed:0 ~iters ~strategy
+        in
+        Printf.printf "%s under %s (%d iterations, %d samples):\n" b.name
+          (Strategy.to_string strategy) iters size;
+        Printf.printf "  rmse vs cleartext reference: %.3e\n" rmse;
+        Printf.printf "  %s\n" (Halo_runtime.Stats.to_string stats))
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+  in
+  let iters_arg = Arg.(value & opt int 20 & info [ "iters" ] ~docv:"N") in
+  let size_arg = Arg.(value & opt int 256 & info [ "size" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run one of the paper's seven benchmarks.")
+    Term.(const run $ name_arg $ strategy_arg $ iters_arg $ size_arg)
+
+let () =
+  let info =
+    Cmd.info "halo_cli" ~version:"1.0.0"
+      ~doc:"Loop-aware bootstrapping management for RNS-CKKS programs."
+  in
+  exit (Cmd.eval' (Cmd.group info [ compile_cmd; inspect_cmd; run_cmd; bench_cmd ]))

@@ -1,0 +1,1 @@
+examples/kmeans_clustering.ml: Array Halo Halo_ckks Halo_ml Halo_runtime List Printf Strategy

@@ -1,0 +1,1 @@
+examples/kmeans_clustering.mli:

@@ -1,0 +1,1 @@
+examples/logistic_training.ml: Array Halo Halo_ckks Halo_ml Halo_runtime Ir List Printf Strategy

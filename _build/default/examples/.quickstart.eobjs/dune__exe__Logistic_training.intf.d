@@ -1,0 +1,1 @@
+examples/logistic_training.mli:

@@ -1,0 +1,1 @@
+examples/pca_power_iteration.ml: Array Halo Halo_ckks Halo_ml Halo_runtime Ir List Printf Strategy

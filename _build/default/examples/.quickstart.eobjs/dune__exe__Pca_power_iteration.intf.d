@@ -1,0 +1,1 @@
+examples/pca_power_iteration.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dsl Halo Halo_ckks Halo_runtime Ir List Printer Printf Strategy

@@ -1,0 +1,59 @@
+(* Privacy-preserving logistic regression.
+
+   A client encrypts labeled clinical-style data; the server trains a
+   classifier without ever seeing it.  The sigmoid is a 96th-order
+   polynomial evaluated in log depth, and the training loop has a dynamic
+   iteration count: the server can keep training without recompiling —
+   exactly the scenario (regression with no predetermined iteration count)
+   that motivates HALO's loop support.
+
+   Run with:  dune exec examples/logistic_training.exe *)
+
+open Halo
+module Ref = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend)
+
+let slots = 1024
+let size = 256
+
+let () =
+  let bench = Halo_ml.Workloads.find "Logistic" in
+  let program = bench.build ~slots ~size in
+  Printf.printf "traced program: %d operations, loop count symbolic\n"
+    (Ir.count_ops program.body);
+
+  let compiled = Strategy.compile ~strategy:Strategy.Halo program in
+  Printf.printf "compiled with HALO: %d operations, %d static bootstraps\n\n"
+    (Ir.count_ops compiled.body)
+    (Ir.count_static_bootstraps compiled.body);
+
+  let inputs = bench.gen_inputs ~seed:42 ~size in
+  let x = List.assoc "x" inputs and y = List.assoc "y" inputs in
+  let accuracy pred =
+    let correct = ref 0 in
+    Array.iteri
+      (fun i p -> if (p > 0.5) = (y.(i) > 0.5) then incr correct)
+      (Array.sub pred 0 size);
+    100.0 *. float_of_int !correct /. float_of_int size
+  in
+  ignore x;
+
+  (* One compiled artifact, many iteration counts. *)
+  List.iter
+    (fun iters ->
+      let st = Halo_ckks.Ref_backend.create ~slots ~max_level:16 ~scale_bits:51 () in
+      let outs, stats = Ref.run st ~bindings:[ ("iters", iters) ] ~inputs compiled in
+      let w = (List.nth outs 0).(0) in
+      let pred = List.nth outs 1 in
+      Printf.printf
+        "iters=%2d: w=%+.4f, training accuracy %.1f%%, %3d bootstraps, \
+         modeled latency %.1fs\n"
+        iters w (accuracy pred) stats.Halo_runtime.Stats.bootstrap
+        (stats.Halo_runtime.Stats.total_latency_us /. 1e6))
+    [ 1; 5; 10; 20; 40 ];
+
+  (* Compare against the cleartext reference (exact sigmoid). *)
+  let expected =
+    bench.reference ~size ~bindings:[ ("iters", 40) ] ~inputs
+  in
+  Printf.printf "\ncleartext reference after 40 iterations: w=%+.4f\n"
+    (List.hd expected).(0)

@@ -1,0 +1,1 @@
+lib/approx/chebyshev.ml: Array Dsl Float Halo Hashtbl

@@ -1,0 +1,1 @@
+lib/approx/chebyshev.mli: Halo

@@ -1,0 +1,1 @@
+lib/approx/sigmoid_approx.ml: Chebyshev Lazy

@@ -1,0 +1,1 @@
+lib/approx/sign_approx.ml: Array Dsl Float Halo List

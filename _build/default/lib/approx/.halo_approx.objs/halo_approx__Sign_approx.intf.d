@@ -1,0 +1,1 @@
+lib/approx/sign_approx.mli: Halo

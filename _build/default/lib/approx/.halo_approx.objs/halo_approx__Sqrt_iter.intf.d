@@ -1,0 +1,1 @@
+lib/approx/sqrt_iter.mli: Halo

@@ -1,0 +1,86 @@
+open Halo
+
+let fit ~f ~a ~b ~degree =
+  let n = degree + 1 in
+  (* Values at the Chebyshev nodes of the first kind. *)
+  let node k = cos (Float.pi *. (float_of_int k +. 0.5) /. float_of_int n) in
+  let values =
+    Array.init n (fun k ->
+        let t = node k in
+        f (a +. ((b -. a) *. (t +. 1.0) /. 2.0)))
+  in
+  Array.init n (fun j ->
+      let sum = ref 0.0 in
+      for k = 0 to n - 1 do
+        sum :=
+          !sum
+          +. (values.(k)
+             *. cos (Float.pi *. float_of_int j *. (float_of_int k +. 0.5)
+                     /. float_of_int n))
+      done;
+      (if j = 0 then 1.0 else 2.0) *. !sum /. float_of_int n)
+
+let eval_clear ~coeffs ~a ~b x =
+  let t = ((2.0 *. x) -. a -. b) /. (b -. a) in
+  (* Clenshaw recurrence. *)
+  let n = Array.length coeffs in
+  let b1 = ref 0.0 and b2 = ref 0.0 in
+  for j = n - 1 downto 1 do
+    let next = (2.0 *. t *. !b1) -. !b2 +. coeffs.(j) in
+    b2 := !b1;
+    b1 := next
+  done;
+  (t *. !b1) -. !b2 +. coeffs.(0)
+
+let depth ~degree =
+  let rec log2_ceil n acc = if n <= 1 then acc else log2_ceil ((n + 1) / 2) (acc + 1) in
+  1 + log2_ceil degree 0 + 1
+(* argument scaling + product tree + the final coefficient multiplication *)
+
+let eval_dsl bld ~coeffs ~a ~b x =
+  (* t = (2x - a - b) / (b - a), one multcp and one addcp. *)
+  let t =
+    Dsl.add bld
+      (Dsl.scale_by bld x (2.0 /. (b -. a)))
+      (Dsl.const bld ((-.a -. b) /. (b -. a)))
+  in
+  (* T_j via the product recurrences, memoized so each polynomial is built
+     once; depth of T_j is ceil(log2 j) products. *)
+  let memo = Hashtbl.create 32 in
+  Hashtbl.replace memo 1 t;
+  let two = 2.0 in
+  let rec cheb j =
+    match Hashtbl.find_opt memo j with
+    | Some v -> v
+    | None ->
+      let v =
+        if j mod 2 = 0 then begin
+          let h = cheb (j / 2) in
+          (* 2 T_m^2 - 1 *)
+          Dsl.add bld
+            (Dsl.scale_by bld (Dsl.mul bld h h) two)
+            (Dsl.const bld (-1.0))
+        end
+        else begin
+          let m = j / 2 in
+          let p = Dsl.mul bld (cheb (m + 1)) (cheb m) in
+          (* 2 T_{m+1} T_m - T_1 *)
+          Dsl.sub bld (Dsl.scale_by bld p two) t
+        end
+      in
+      Hashtbl.replace memo j v;
+      v
+  in
+  let acc = ref None in
+  Array.iteri
+    (fun j c ->
+      if j > 0 && Float.abs c > 1e-13 then begin
+        let term = Dsl.scale_by bld (cheb j) c in
+        acc := Some (match !acc with None -> term | Some s -> Dsl.add bld s term)
+      end)
+    coeffs;
+  let base =
+    match !acc with None -> Dsl.const bld 0.0 | Some s -> s
+  in
+  if Float.abs coeffs.(0) > 1e-13 then Dsl.add bld base (Dsl.const bld coeffs.(0))
+  else base

@@ -1,0 +1,27 @@
+(** Chebyshev approximation of real functions, with a homomorphic evaluator.
+
+    High-degree polynomials (the paper's 96th-order sigmoid) cannot be
+    evaluated in the monomial basis with double coefficients; the Chebyshev
+    basis is numerically stable, and the recurrences
+    [T_2m = 2 T_m^2 - 1] and [T_{2m+1} = 2 T_{m+1} T_m - T_1] give a
+    memoized evaluation of multiplicative depth [ceil(log2 degree) + 1] —
+    the log-depth structure FHE libraries use for EvalChebyshev. *)
+
+val fit : f:(float -> float) -> a:float -> b:float -> degree:int -> float array
+(** Chebyshev interpolation coefficients of [f] on [[a, b]] at the
+    Chebyshev nodes; index [j] weights [T_j] of the affinely mapped
+    argument. *)
+
+val eval_clear : coeffs:float array -> a:float -> b:float -> float -> float
+(** Clenshaw evaluation (cleartext reference). *)
+
+val eval_dsl :
+  Halo.Dsl.t -> coeffs:float array -> a:float -> b:float -> Halo.Dsl.value ->
+  Halo.Dsl.value
+(** Homomorphic evaluation: maps the input into [[-1, 1]] (one plaintext
+    multiplication) and combines the [T_j] built by the product
+    recurrences. *)
+
+val depth : degree:int -> int
+(** Multiplicative depth of {!eval_dsl}: argument scaling plus the
+    Chebyshev product tree. *)

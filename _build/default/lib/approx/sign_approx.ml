@@ -1,0 +1,48 @@
+open Halo
+
+(* Binomial coefficients as floats (exact for the small arguments used). *)
+let binom n k =
+  let rec go acc i =
+    if i > k then acc
+    else go (acc *. float_of_int (n - k + i) /. float_of_int i) (i + 1)
+  in
+  go 1.0 1
+
+let f_poly n =
+  (* f_n(x) = sum_i (1/4^i) C(2i,i) x (1-x^2)^i, expanded to monomials.
+     (1-x^2)^i = sum_j C(i,j) (-1)^j x^(2j). *)
+  let degree = (2 * n) + 1 in
+  let coeffs = Array.make (degree + 1) 0.0 in
+  for i = 0 to n do
+    let w = binom (2 * i) i /. Float.pow 4.0 (float_of_int i) in
+    for j = 0 to i do
+      let c = w *. binom i j *. (if j mod 2 = 0 then 1.0 else -1.0) in
+      coeffs.((2 * j) + 1) <- coeffs.((2 * j) + 1) +. c
+    done
+  done;
+  coeffs
+
+let stages = [ f_poly 13; f_poly 7; f_poly 7 ]
+
+let eval_poly_clear coeffs x =
+  let acc = ref 0.0 in
+  for j = Array.length coeffs - 1 downto 0 do
+    acc := (!acc *. x) +. coeffs.(j)
+  done;
+  !acc
+
+let sign_clear x = List.fold_left (fun v p -> eval_poly_clear p v) x stages
+
+let sign_dsl b x = List.fold_left (fun v p -> Dsl.poly_eval b v p) x stages
+
+let depth =
+  (* Power-tree depths 5 + 4 + 4 for the three stages (the paper's 13),
+     plus one coefficient multiplication per stage in our monomial
+     evaluator: 16.  A Paterson-Stockmeyer evaluator would fold the
+     coefficient level away; the difference only shifts where in-body
+     bootstraps land. *)
+  16
+
+let compare_dsl b x y =
+  let s = sign_dsl b (Dsl.sub b x y) in
+  Dsl.add b (Dsl.scale_by b s 0.5) (Dsl.const b 0.5)

@@ -1,0 +1,28 @@
+(** Homomorphic sign function by composite minimax-style polynomials
+    (Cheon et al.'s [f_n] family; the paper evaluates K-means and SVM with a
+    composite of degrees {15, 15, 27} and multiplicative depth 13, which
+    this module matches: [f_13] is degree 27 and costs 5 levels, each [f_7]
+    is degree 15 and costs 4).
+
+    [f_n(x) = sum_{i<=n} (1/4^i) C(2i,i) x (1 - x^2)^i] maps [[-1,1]] to
+    [[-1,1]] and converges to sign(x); composing a wide polynomial with two
+    sharpening ones gives a steep approximation away from a small dead zone
+    around zero. *)
+
+val f_poly : int -> float array
+(** Monomial coefficients of [f_n] (degree [2n + 1], odd polynomial). *)
+
+val sign_dsl : Halo.Dsl.t -> Halo.Dsl.value -> Halo.Dsl.value
+(** [f_7 (f_7 (f_13 x))] for inputs in [[-1, 1]]. *)
+
+val sign_clear : float -> float
+(** The same composite evaluated in cleartext (reference). *)
+
+val depth : int
+(** Multiplicative depth of {!sign_dsl} (16: the composite's 13 plus one
+    coefficient-multiplication level per stage in the monomial
+    evaluator). *)
+
+val compare_dsl : Halo.Dsl.t -> Halo.Dsl.value -> Halo.Dsl.value -> Halo.Dsl.value
+(** [compare a b ~= (sign (a - b) + 1) / 2]: approximately 1 where [a > b],
+    0 where [a < b].  Operands must keep [a - b] within [[-1, 1]]. *)

@@ -1,0 +1,50 @@
+open Halo
+
+let sqrt_dsl b ~count x =
+  let a0 = x in
+  let b0 = Dsl.sub b x (Dsl.const b 1.0) in
+  match
+    Dsl.for_ b ~count ~init:[ a0; b0 ] (fun b -> function
+      | [ a; bb ] ->
+        let a' = Dsl.mul b a (Dsl.sub b (Dsl.const b 1.0) (Dsl.scale_by b bb 0.5)) in
+        let b2 = Dsl.mul b bb bb in
+        let b' = Dsl.scale_by b (Dsl.mul b b2 (Dsl.sub b bb (Dsl.const b 3.0))) 0.25 in
+        [ a'; b' ]
+      | _ -> assert false)
+  with
+  | [ a; _ ] -> a
+  | _ -> assert false
+
+let sqrt_clear ~iterations x =
+  let a = ref x and b = ref (x -. 1.0) in
+  for _ = 1 to iterations do
+    let a' = !a *. (1.0 -. (!b /. 2.0)) in
+    let b' = !b *. !b *. (!b -. 3.0) /. 4.0 in
+    a := a';
+    b := b'
+  done;
+  !a
+
+let inv_sqrt_dsl b ~count ~y0 x =
+  (* The initial guess is a plaintext constant; the first loop iteration
+     turns the carried value into a ciphertext, which is exactly the
+     encryption-status mismatch that Solution A-1 peels away. *)
+  let y_init = Dsl.const b y0 in
+  match
+    Dsl.for_ b ~count ~init:[ y_init ] (fun b -> function
+      | [ y ] ->
+        let y2 = Dsl.mul b y y in
+        let xy2 = Dsl.mul b x y2 in
+        let three_minus = Dsl.sub b (Dsl.const b 3.0) xy2 in
+        [ Dsl.scale_by b (Dsl.mul b y three_minus) 0.5 ]
+      | _ -> assert false)
+  with
+  | [ y ] -> y
+  | _ -> assert false
+
+let inv_sqrt_clear ~iterations ~y0 x =
+  let y = ref y0 in
+  for _ = 1 to iterations do
+    y := !y *. (3.0 -. (x *. !y *. !y)) /. 2.0
+  done;
+  !y

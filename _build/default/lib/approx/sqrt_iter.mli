@@ -1,0 +1,26 @@
+(** Iterative square-root and inverse-square-root approximations.
+
+    Unlike sign and sigmoid, the paper approximates sqrt with an {e
+    iterative} method, which is what introduces the inner loop in the PCA
+    benchmark (Section 7, Table 4).  We use Wilkes' coupled iteration
+    (standard in FHE, cf. HEAAN's sqrt): for [x] in [[0, 1]],
+
+    {v a0 = x, b0 = x - 1
+       a(n+1) = a_n (1 - b_n / 2)
+       b(n+1) = b_n^2 (b_n - 3) / 4        -> a_n -> sqrt x v}
+
+    Each iteration consumes 2 levels on the [a] chain and 2 on the [b]
+    chain.  The inverse square root uses Newton's method on [1/y^2 - x]. *)
+
+val sqrt_dsl :
+  Halo.Dsl.t -> count:Halo.Ir.count -> Halo.Dsl.value -> Halo.Dsl.value
+(** Emits a structured loop with two loop-carried ciphertexts. *)
+
+val sqrt_clear : iterations:int -> float -> float
+
+val inv_sqrt_dsl :
+  Halo.Dsl.t -> count:Halo.Ir.count -> y0:float -> Halo.Dsl.value -> Halo.Dsl.value
+(** Newton iteration [y <- y (3 - x y^2) / 2] from the plaintext initial
+    guess [y0]; converges for [x y0^2 < 3].  One loop-carried ciphertext. *)
+
+val inv_sqrt_clear : iterations:int -> y0:float -> float -> float

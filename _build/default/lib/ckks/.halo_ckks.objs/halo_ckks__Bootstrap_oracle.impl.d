@@ -1,0 +1,1 @@
+lib/ckks/bootstrap_oracle.ml: Array Eval Float Keys Random

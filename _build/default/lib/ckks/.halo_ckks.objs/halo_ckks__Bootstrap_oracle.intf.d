@@ -1,0 +1,1 @@
+lib/ckks/bootstrap_oracle.mli: Eval Keys

@@ -1,0 +1,1 @@
+lib/ckks/bootstrap_real.ml: Array Complex Encoding Eval Float Hashtbl Keys List Option Params Rns_poly

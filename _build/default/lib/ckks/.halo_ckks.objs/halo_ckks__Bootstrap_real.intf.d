@@ -1,0 +1,1 @@
+lib/ckks/bootstrap_real.mli: Eval Keys Params

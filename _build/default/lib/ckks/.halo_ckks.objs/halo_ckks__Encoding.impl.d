@@ -1,0 +1,1 @@
+lib/ckks/encoding.ml: Array Complex Fft Float Hashtbl Params Rns_poly

@@ -1,0 +1,1 @@
+lib/ckks/encoding.mli: Complex Params Rns_poly

@@ -1,0 +1,1 @@
+lib/ckks/eval.ml: Array Encoding Float Keys Params Printf Rns_poly Sampler

@@ -1,0 +1,1 @@
+lib/ckks/eval.mli: Complex Keys Rns_poly

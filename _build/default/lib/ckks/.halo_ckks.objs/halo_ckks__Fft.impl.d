@@ -1,0 +1,1 @@
+lib/ckks/fft.ml: Array Complex Float

@@ -1,0 +1,1 @@
+lib/ckks/fft.mli: Complex

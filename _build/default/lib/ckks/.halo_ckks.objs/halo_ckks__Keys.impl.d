@@ -1,0 +1,1 @@
+lib/ckks/keys.ml: Array Hashtbl Modarith Ntt Params Random Rns_poly Sampler

@@ -1,0 +1,1 @@
+lib/ckks/keys.mli: Hashtbl Params Random Rns_poly

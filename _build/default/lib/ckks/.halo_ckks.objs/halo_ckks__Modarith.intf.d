@@ -1,0 +1,1 @@
+lib/ckks/modarith.mli:

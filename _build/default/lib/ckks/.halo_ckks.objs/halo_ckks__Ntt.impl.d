@@ -1,0 +1,1 @@
+lib/ckks/ntt.ml: Array Modarith Primes

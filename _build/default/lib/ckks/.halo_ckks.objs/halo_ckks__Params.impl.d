@@ -1,0 +1,1 @@
+lib/ckks/params.ml: Array Float Ntt Primes

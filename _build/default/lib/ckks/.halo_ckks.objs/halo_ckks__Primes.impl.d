@@ -1,0 +1,1 @@
+lib/ckks/primes.ml: List Modarith

@@ -1,0 +1,1 @@
+lib/ckks/ref_backend.ml: Array Float Printf Random

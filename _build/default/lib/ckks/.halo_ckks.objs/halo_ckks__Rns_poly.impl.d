@@ -1,0 +1,1 @@
+lib/ckks/rns_poly.ml: Array Modarith Ntt Params

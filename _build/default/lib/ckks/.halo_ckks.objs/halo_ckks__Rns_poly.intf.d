@@ -1,0 +1,1 @@
+lib/ckks/rns_poly.mli: Params

@@ -1,0 +1,1 @@
+lib/ckks/sampler.ml: Array Float Random

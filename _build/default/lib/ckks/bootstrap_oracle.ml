@@ -1,0 +1,17 @@
+let bootstrap ?(noise_sigma = 1e-5) (keys : Keys.t) ct ~target =
+  let params = keys.params in
+  if target < 1 || target > params.max_level then
+    invalid_arg "Bootstrap_oracle.bootstrap: target out of range";
+  let values = Eval.decrypt keys ct in
+  let noisy =
+    if noise_sigma <= 0.0 then values
+    else begin
+      let gauss () =
+        let u1 = Random.State.float keys.rng 1.0 +. 1e-12 in
+        let u2 = Random.State.float keys.rng 1.0 in
+        sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) *. noise_sigma
+      in
+      Array.map (fun v -> v +. gauss ()) values
+    end
+  in
+  Eval.encrypt_sym keys ~level:target noisy

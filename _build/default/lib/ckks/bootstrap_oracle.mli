@@ -1,0 +1,17 @@
+(** Bootstrapping oracle.
+
+    Real CKKS bootstrapping (CoeffToSlot, EvalMod, SlotToCoeff) is a large
+    cryptographic pipeline whose only properties visible to the HALO compiler
+    are (a) the type signature — any level in, chosen [target] level out —
+    and (b) its latency and error profile.  Per the substitution table in
+    DESIGN.md we implement it as a decrypt–re-encrypt oracle that reproduces
+    (a) exactly and models (b): latency is charged from the paper's Table 3
+    by the runtime cost model, and a configurable slot-domain Gaussian error
+    emulates the approximation error of EvalMod. *)
+
+val bootstrap :
+  ?noise_sigma:float -> Keys.t -> Eval.ct -> target:int -> Eval.ct
+(** [bootstrap keys ct ~target] returns a ciphertext holding the same slot
+    values at level [target] and the default scale.  [noise_sigma] (default
+    [1e-5]) is the standard deviation of the injected bootstrap error, in
+    slot-value units. *)

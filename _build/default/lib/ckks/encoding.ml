@@ -1,0 +1,76 @@
+(* Slot j holds the polynomial's value at zeta^{r_j} with r_j = 5^j mod 2n.
+   Evaluating a real polynomial p at ALL odd 2n-th roots can be done with one
+   size-n FFT after twisting: p(zeta^{2t+1}) = sum_k (a_k zeta^k) omega^{tk}
+   with omega = zeta^2 the primitive n-th root.  The slot with root index
+   r_j sits at FFT bin t_j = (r_j - 1) / 2, and its complex conjugate (needed
+   to make the coefficients real) at bin n - 1 - t_j. *)
+
+let rot_group_cache : (int, int array) Hashtbl.t = Hashtbl.create 4
+
+let rot_group (params : Params.t) =
+  match Hashtbl.find_opt rot_group_cache params.n with
+  | Some g -> g
+  | None ->
+    let two_n = 2 * params.n in
+    let g = Array.make params.slots 1 in
+    for j = 1 to params.slots - 1 do
+      g.(j) <- g.(j - 1) * 5 mod two_n
+    done;
+    Hashtbl.add rot_group_cache params.n g;
+    g
+
+let zeta_pow (params : Params.t) k =
+  let ang = Float.pi *. float_of_int k /. float_of_int params.n in
+  { Complex.re = cos ang; im = sin ang }
+
+let encode (params : Params.t) ~level ~scale values =
+  let n = params.n and slots = params.slots in
+  if Array.length values > slots then invalid_arg "Encoding.encode: too many values";
+  let group = rot_group params in
+  (* Fill the odd-root evaluation vector (indexed by FFT bin t). *)
+  let evals = Array.make n Complex.zero in
+  for j = 0 to slots - 1 do
+    let v = if j < Array.length values then values.(j) else Complex.zero in
+    let scaled = { Complex.re = v.re *. scale; im = v.im *. scale } in
+    let t = (group.(j) - 1) / 2 in
+    evals.(t) <- scaled;
+    evals.(n - 1 - t) <- Complex.conj scaled
+  done;
+  (* b_k = (1/n) * FFT(evals)[k]; coefficients a_k = Re(b_k * zeta^{-k}). *)
+  Fft.fft evals;
+  let coeffs =
+    Array.init n (fun k ->
+        let b =
+          { Complex.re = evals.(k).re /. float_of_int n;
+            im = evals.(k).im /. float_of_int n }
+        in
+        let untwisted = Complex.mul b (zeta_pow params (-k)) in
+        int_of_float (Float.round untwisted.re))
+  in
+  Rns_poly.of_centered_coeffs params ~level coeffs
+
+let decode (params : Params.t) ~scale poly =
+  let n = params.n and slots = params.slots in
+  let coeffs = Rns_poly.centered_coeffs params poly in
+  let twisted =
+    Array.init n (fun k ->
+        Complex.mul
+          { Complex.re = float_of_int coeffs.(k); im = 0.0 }
+          (zeta_pow params k))
+  in
+  Fft.ifft twisted;
+  let group = rot_group params in
+  Array.init slots (fun j ->
+      let t = (group.(j) - 1) / 2 in
+      let v = twisted.(t) in
+      {
+        Complex.re = v.re *. float_of_int n /. scale;
+        im = v.im *. float_of_int n /. scale;
+      })
+
+let encode_real params ~level ~scale values =
+  encode params ~level ~scale
+    (Array.map (fun re -> { Complex.re; im = 0.0 }) values)
+
+let decode_real params ~scale poly =
+  Array.map (fun (c : Complex.t) -> c.re) (decode params ~scale poly)

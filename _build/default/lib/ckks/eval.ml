@@ -1,0 +1,191 @@
+type ct = { c0 : Rns_poly.t; c1 : Rns_poly.t; scale : float }
+
+let level ct = Rns_poly.level ct.c0
+let scale ct = ct.scale
+let of_parts ~c0 ~c1 ~scale = { c0; c1; scale }
+
+let pad_slots (params : Params.t) values =
+  if Array.length values = params.slots then values
+  else begin
+    let out = Array.make params.slots 0.0 in
+    Array.blit values 0 out 0 (min (Array.length values) params.slots);
+    out
+  end
+
+let encrypt_sym (keys : Keys.t) ~level values =
+  let params = keys.params in
+  let values = pad_slots params values in
+  let m = Encoding.encode_real params ~level ~scale:params.scale values in
+  let a =
+    Rns_poly.of_residues
+      (Sampler.uniform_residues keys.rng ~n:params.n
+         ~moduli:(Array.sub params.moduli 0 level))
+  in
+  let e =
+    Rns_poly.of_centered_coeffs params ~level
+      (Sampler.gaussian keys.rng ~n:params.n ~sigma:params.sigma)
+  in
+  let s = Keys.secret_poly keys ~level in
+  let c0 =
+    Rns_poly.add params (Rns_poly.add params (Rns_poly.neg params (Rns_poly.mul params a s)) m) e
+  in
+  { c0; c1 = a; scale = params.scale }
+
+let encrypt (keys : Keys.t) ~level values =
+  let params = keys.params in
+  let values = pad_slots params values in
+  let m = Encoding.encode_real params ~level ~scale:params.scale values in
+  let v =
+    Rns_poly.of_centered_coeffs params ~level (Sampler.ternary keys.rng ~n:params.n)
+  in
+  let e0 =
+    Rns_poly.of_centered_coeffs params ~level
+      (Sampler.gaussian keys.rng ~n:params.n ~sigma:params.sigma)
+  in
+  let e1 =
+    Rns_poly.of_centered_coeffs params ~level
+      (Sampler.gaussian keys.rng ~n:params.n ~sigma:params.sigma)
+  in
+  let pk0 = Rns_poly.to_level params ~level keys.pk0 in
+  let pk1 = Rns_poly.to_level params ~level keys.pk1 in
+  let c0 =
+    Rns_poly.add params (Rns_poly.add params (Rns_poly.mul params v pk0) m) e0
+  in
+  let c1 = Rns_poly.add params (Rns_poly.mul params v pk1) e1 in
+  { c0; c1; scale = params.scale }
+
+let decrypt_poly (keys : Keys.t) ct =
+  let params = keys.params in
+  let s = Keys.secret_poly keys ~level:(level ct) in
+  Rns_poly.add params ct.c0 (Rns_poly.mul params ct.c1 s)
+
+let decrypt_complex (keys : Keys.t) ct =
+  Encoding.decode keys.params ~scale:ct.scale (decrypt_poly keys ct)
+
+let decrypt (keys : Keys.t) ct =
+  Encoding.decode_real keys.params ~scale:ct.scale (decrypt_poly keys ct)
+
+let check_levels name a b =
+  if level a <> level b then
+    invalid_arg (Printf.sprintf "Eval.%s: level mismatch (%d vs %d)" name (level a) (level b))
+
+let check_scales name a b =
+  let rel = Float.abs (a.scale -. b.scale) /. Float.max a.scale b.scale in
+  if rel > 1e-2 then
+    invalid_arg
+      (Printf.sprintf "Eval.%s: scale mismatch (%g vs %g)" name a.scale b.scale)
+
+let addcc (keys : Keys.t) a b =
+  check_levels "addcc" a b;
+  check_scales "addcc" a b;
+  let p = keys.params in
+  { c0 = Rns_poly.add p a.c0 b.c0; c1 = Rns_poly.add p a.c1 b.c1; scale = a.scale }
+
+let subcc (keys : Keys.t) a b =
+  check_levels "subcc" a b;
+  check_scales "subcc" a b;
+  let p = keys.params in
+  { c0 = Rns_poly.sub p a.c0 b.c0; c1 = Rns_poly.sub p a.c1 b.c1; scale = a.scale }
+
+let addcp (keys : Keys.t) a values =
+  let params = keys.params in
+  let values = pad_slots params values in
+  let m = Encoding.encode_real params ~level:(level a) ~scale:a.scale values in
+  { a with c0 = Rns_poly.add params a.c0 m }
+
+let multcc (keys : Keys.t) a b =
+  check_levels "multcc" a b;
+  let p = keys.params in
+  let d0 = Rns_poly.mul p a.c0 b.c0 in
+  let d1 = Rns_poly.add p (Rns_poly.mul p a.c0 b.c1) (Rns_poly.mul p a.c1 b.c0) in
+  let d2 = Rns_poly.mul p a.c1 b.c1 in
+  let u0, u1 = Keys.key_switch keys (Keys.relin_key keys) d2 in
+  {
+    c0 = Rns_poly.add p d0 u0;
+    c1 = Rns_poly.add p d1 u1;
+    scale = a.scale *. b.scale;
+  }
+
+let multcp (keys : Keys.t) a values =
+  let params = keys.params in
+  let values = pad_slots params values in
+  let m = Encoding.encode_real params ~level:(level a) ~scale:params.scale values in
+  {
+    c0 = Rns_poly.mul params a.c0 m;
+    c1 = Rns_poly.mul params a.c1 m;
+    scale = a.scale *. params.scale;
+  }
+
+let rotate (keys : Keys.t) a ~offset =
+  let params = keys.params in
+  if offset = 0 then a
+  else begin
+    let k = Keys.galois_element params ~offset in
+    let r0 = Rns_poly.automorphism params ~k a.c0 in
+    let r1 = Rns_poly.automorphism params ~k a.c1 in
+    let sk = Keys.rotation_key keys ~offset in
+    let u0, u1 = Keys.key_switch keys sk r1 in
+    { c0 = Rns_poly.add params r0 u0; c1 = u1; scale = a.scale }
+  end
+
+let conjugate (keys : Keys.t) a =
+  let params = keys.params in
+  let k = (2 * params.n) - 1 in
+  let r0 = Rns_poly.automorphism params ~k a.c0 in
+  let r1 = Rns_poly.automorphism params ~k a.c1 in
+  let u0, u1 = Keys.key_switch keys (Keys.conjugation_key keys) r1 in
+  { c0 = Rns_poly.add params r0 u0; c1 = u1; scale = a.scale }
+
+let multcp_complex (keys : Keys.t) a values =
+  let params = keys.params in
+  let m = Encoding.encode params ~level:(level a) ~scale:params.scale values in
+  {
+    c0 = Rns_poly.mul params a.c0 m;
+    c1 = Rns_poly.mul params a.c1 m;
+    scale = a.scale *. params.scale;
+  }
+
+let rescale (keys : Keys.t) a =
+  let params = keys.params in
+  let dropped = Params.modulus_at params ~level:(level a) in
+  {
+    c0 = Rns_poly.rescale_last params a.c0;
+    c1 = Rns_poly.rescale_last params a.c1;
+    scale = a.scale /. float_of_int dropped;
+  }
+
+let modswitch (keys : Keys.t) a ~down =
+  if down < 0 then invalid_arg "Eval.modswitch: negative";
+  let params = keys.params in
+  let target = level a - down in
+  {
+    a with
+    c0 = Rns_poly.to_level params ~level:target a.c0;
+    c1 = Rns_poly.to_level params ~level:target a.c1;
+  }
+
+let negate (keys : Keys.t) a =
+  let p = keys.params in
+  { a with c0 = Rns_poly.neg p a.c0; c1 = Rns_poly.neg p a.c1 }
+
+let multcp_exact (keys : Keys.t) a values ~target =
+  let params = keys.params in
+  let l = level a in
+  if l < 2 then invalid_arg "Eval.multcp_exact: level below 2";
+  let q = float_of_int (Params.modulus_at params ~level:l) in
+  let encode_scale = target *. q /. a.scale in
+  let values = pad_slots params values in
+  let m = Encoding.encode_real params ~level:l ~scale:encode_scale values in
+  let product =
+    {
+      c0 = Rns_poly.mul params a.c0 m;
+      c1 = Rns_poly.mul params a.c1 m;
+      scale = a.scale *. encode_scale;
+    }
+  in
+  let r = rescale keys product in
+  (* Floating bookkeeping can be off by one ulp; pin the target. *)
+  { r with scale = target }
+
+let adjust_scale (keys : Keys.t) a ~target =
+  multcp_exact keys a (Array.make keys.params.slots 1.0) ~target

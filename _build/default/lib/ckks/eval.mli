@@ -1,0 +1,65 @@
+(** Homomorphic evaluation on RNS-CKKS ciphertexts: the operation set of the
+    paper's Section 2 (addcc/addcp, multcc/multcp, rotate, rescale,
+    modswitch), plus encryption and decryption.
+
+    Every ciphertext tracks its exact floating-point [scale]; [rescale]
+    divides it by the dropped prime, [multcc] multiplies the operand scales.
+    Level semantics follow the paper: a ciphertext at level [l] carries [l]
+    residue polynomials and any operation requires [l >= 1]. *)
+
+type ct = private { c0 : Rns_poly.t; c1 : Rns_poly.t; scale : float }
+
+val level : ct -> int
+val scale : ct -> float
+
+val of_parts : c0:Rns_poly.t -> c1:Rns_poly.t -> scale:float -> ct
+(** Assemble a ciphertext from raw polynomials (used by the bootstrapping
+    pipeline's ModRaise, which reinterprets residues over a larger
+    modulus). *)
+
+val encrypt : Keys.t -> level:int -> float array -> ct
+(** Public-key encryption of real slot values at the default scale
+    (shorter vectors are zero-padded to [slots]). *)
+
+val encrypt_sym : Keys.t -> level:int -> float array -> ct
+(** Symmetric encryption; used by tests and by the bootstrapping oracle. *)
+
+val decrypt : Keys.t -> ct -> float array
+
+val decrypt_complex : Keys.t -> ct -> Complex.t array
+
+val addcc : Keys.t -> ct -> ct -> ct
+val subcc : Keys.t -> ct -> ct -> ct
+val addcp : Keys.t -> ct -> float array -> ct
+val multcc : Keys.t -> ct -> ct -> ct
+(** Includes relinearization.  The result scale is the product of the operand
+    scales; callers are expected to [rescale] afterwards. *)
+
+val multcp : Keys.t -> ct -> float array -> ct
+(** The plaintext is encoded at the default scale. *)
+
+val rotate : Keys.t -> ct -> offset:int -> ct
+(** Circular left rotation of the slot vector by [offset]. *)
+
+val conjugate : Keys.t -> ct -> ct
+(** Slot-wise complex conjugation (the Galois automorphism [X -> X^{-1}]). *)
+
+val multcp_complex : Keys.t -> ct -> Complex.t array -> ct
+(** Plaintext multiplication by a complex vector (used by the bootstrapping
+    pipeline's homomorphic DFT matrices). *)
+
+val rescale : Keys.t -> ct -> ct
+val modswitch : Keys.t -> ct -> down:int -> ct
+val negate : Keys.t -> ct -> ct
+
+val multcp_exact : Keys.t -> ct -> float array -> target:float -> ct
+(** Plaintext multiplication immediately followed by a rescale, with the
+    plaintext encoded at the scale that makes the result's scale exactly
+    [target].  This is how practical RNS-CKKS implementations absorb the
+    drift of primes that only approximate the scale; the deep Chebyshev
+    trees of {!Bootstrap_real} compound that drift multiplicatively and
+    need the exact form.  Consumes one level. *)
+
+val adjust_scale : Keys.t -> ct -> target:float -> ct
+(** Multiply by an exact-scale plaintext one: rescales the ciphertext's
+    scale to exactly [target] at the cost of one level. *)

@@ -1,0 +1,50 @@
+let bit_reverse_permute a =
+  let n = Array.length a in
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let t = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- t
+    end;
+    let bit = ref (n lsr 1) in
+    while !j land !bit <> 0 do
+      j := !j lxor !bit;
+      bit := !bit lsr 1
+    done;
+    j := !j lor !bit
+  done
+
+let transform ~sign a =
+  let n = Array.length a in
+  if n land (n - 1) <> 0 then invalid_arg "Fft: size must be a power of two";
+  bit_reverse_permute a;
+  let len = ref 2 in
+  while !len <= n do
+    let ang = sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wlen = { Complex.re = cos ang; im = sin ang } in
+    let half = !len / 2 in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Complex.one in
+      for k = 0 to half - 1 do
+        let u = a.(!i + k) in
+        let v = Complex.mul a.(!i + k + half) !w in
+        a.(!i + k) <- Complex.add u v;
+        a.(!i + k + half) <- Complex.sub u v;
+        w := Complex.mul !w wlen
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let fft a = transform ~sign:(-1.0) a
+
+let ifft a =
+  transform ~sign:1.0 a;
+  let inv_n = 1.0 /. float_of_int (Array.length a) in
+  Array.iteri
+    (fun i (c : Complex.t) ->
+      a.(i) <- { Complex.re = c.re *. inv_n; im = c.im *. inv_n })
+    a

@@ -1,0 +1,8 @@
+(** In-place iterative radix-2 complex FFT used by the CKKS canonical
+    embedding ([Encoding]).  Sizes must be powers of two. *)
+
+val fft : Complex.t array -> unit
+(** Forward DFT, in place: [a'.(k) = sum_j a.(j) * exp(-2 pi i jk / n)]. *)
+
+val ifft : Complex.t array -> unit
+(** Inverse DFT, in place, including the [1/n] normalization. *)

@@ -1,0 +1,197 @@
+type secret = { coeffs : int array }
+
+(* k0.(i).(t) / k1.(i).(t): NTT-domain residues of the i-th digit key over
+   chain position t, where t < max_level indexes ciphertext moduli and
+   t = max_level is the special prime. *)
+type switch_key = { k0 : int array array array; k1 : int array array array }
+
+type t = {
+  params : Params.t;
+  secret : secret;
+  pk0 : Rns_poly.t;
+  pk1 : Rns_poly.t;
+  relin : switch_key;
+  rotations : (int, switch_key) Hashtbl.t;
+  rng : Random.State.t;
+}
+
+(* Chain accessors: position t is a ciphertext modulus for t < L, the special
+   prime for t = L. *)
+let chain_modulus (params : Params.t) t =
+  if t < params.max_level then params.moduli.(t) else params.special
+
+let chain_ntt (params : Params.t) t =
+  if t < params.max_level then Params.ntt_at params ~idx:t else params.ntt_special
+
+let chain_len (params : Params.t) = params.max_level + 1
+
+(* Exact negacyclic product of two small integer polynomials, used only at
+   key generation for s^2 (coefficients stay below n, far from overflow). *)
+let small_negacyclic_mul a b =
+  let n = Array.length a in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    if a.(i) <> 0 then
+      for j = 0 to n - 1 do
+        let k = i + j in
+        if k < n then out.(k) <- out.(k) + (a.(i) * b.(j))
+        else out.(k - n) <- out.(k - n) - (a.(i) * b.(j))
+      done
+  done;
+  out
+
+let ntt_of_centered params t coeffs =
+  let q = chain_modulus params t in
+  Ntt.forward (chain_ntt params t) (Array.map (fun c -> Modarith.reduce ~m:q c) coeffs)
+
+(* Switching key from s' (given by centered integer coefficients) to the main
+   secret s: for each digit i, (k0_i, k1_i) with
+   k0_i = -k1_i * s + e_i + P * D_i * s'  over Q*P,
+   where D_i is the CRT idempotent of q_i (so P*D_i*s' has residue
+   [P]_{q_i} * s' at position i and zero elsewhere, including mod P). *)
+let make_switch_key params rng ~secret_coeffs ~source_coeffs =
+  let n = (params : Params.t).n in
+  let l = params.max_level in
+  let len = chain_len params in
+  let s_ntt = Array.init len (fun t -> ntt_of_centered params t secret_coeffs) in
+  let digit i =
+    let e = Sampler.gaussian rng ~n ~sigma:params.sigma in
+    let k0 = Array.make len [||] and k1 = Array.make len [||] in
+    for t = 0 to len - 1 do
+      let q = chain_modulus params t in
+      let ctx = chain_ntt params t in
+      let a = Array.init n (fun _ -> Random.State.full_int rng q) in
+      let a_ntt = Ntt.forward ctx a in
+      let as_ntt = Array.init n (fun j -> Modarith.mul ~m:q a_ntt.(j) s_ntt.(t).(j)) in
+      let e_ntt = ntt_of_centered params t e in
+      let payload_ntt =
+        if t = i then begin
+          let p_mod_q = Modarith.reduce ~m:q params.special in
+          let src = ntt_of_centered params t source_coeffs in
+          Array.map (fun c -> Modarith.mul ~m:q c p_mod_q) src
+        end
+        else Array.make n 0
+      in
+      let b_ntt =
+        Array.init n (fun j ->
+            Modarith.add ~m:q
+              (Modarith.sub ~m:q e_ntt.(j) as_ntt.(j))
+              payload_ntt.(j))
+      in
+      k0.(t) <- b_ntt;
+      k1.(t) <- a_ntt
+    done;
+    (k0, k1)
+  in
+  let digits = Array.init l digit in
+  { k0 = Array.map fst digits; k1 = Array.map snd digits }
+
+let galois_element (params : Params.t) ~offset =
+  let two_n = 2 * params.n in
+  (* 5 has order n/2 in (Z/2nZ)*, so reduce the offset modulo n/2 first. *)
+  let order = params.n / 2 in
+  let r = ((offset mod order) + order) mod order in
+  let rec pow acc i = if i = 0 then acc else pow (acc * 5 mod two_n) (i - 1) in
+  pow 1 r
+
+let secret_poly keys ~level =
+  Rns_poly.of_centered_coeffs keys.params ~level keys.secret.coeffs
+
+let keygen ?(seed = 0x51CC5) params =
+  let rng = Random.State.make [| seed |] in
+  let n = (params : Params.t).n in
+  let s = Sampler.ternary rng ~n in
+  let l = params.max_level in
+  (* Public key at full level: pk0 = -a*s + e, pk1 = a. *)
+  let a = Rns_poly.of_residues (Sampler.uniform_residues rng ~n ~moduli:params.moduli) in
+  let e =
+    Rns_poly.of_centered_coeffs params ~level:l (Sampler.gaussian rng ~n ~sigma:params.sigma)
+  in
+  let s_poly = Rns_poly.of_centered_coeffs params ~level:l s in
+  let pk0 = Rns_poly.add params (Rns_poly.neg params (Rns_poly.mul params a s_poly)) e in
+  let s2 = small_negacyclic_mul s s in
+  let relin = make_switch_key params rng ~secret_coeffs:s ~source_coeffs:s2 in
+  {
+    params;
+    secret = { coeffs = s };
+    pk0;
+    pk1 = a;
+    relin;
+    rotations = Hashtbl.create 8;
+    rng;
+  }
+
+let apply_automorphism_small ~n ~k coeffs =
+  let two_n = 2 * n in
+  let out = Array.make n 0 in
+  for j = 0 to n - 1 do
+    let pos = j * k mod two_n in
+    if pos < n then out.(pos) <- out.(pos) + coeffs.(j)
+    else out.(pos - n) <- out.(pos - n) - coeffs.(j)
+  done;
+  out
+
+let galois_key keys k =
+  let params = keys.params in
+  match Hashtbl.find_opt keys.rotations k with
+  | Some sk -> sk
+  | None ->
+    let rotated = apply_automorphism_small ~n:params.n ~k keys.secret.coeffs in
+    let sk =
+      make_switch_key params keys.rng ~secret_coeffs:keys.secret.coeffs
+        ~source_coeffs:rotated
+    in
+    Hashtbl.add keys.rotations k sk;
+    sk
+
+let rotation_key keys ~offset = galois_key keys (galois_element keys.params ~offset)
+
+let conjugation_key keys = galois_key keys ((2 * keys.params.n) - 1)
+
+let relin_key keys = keys.relin
+
+let key_switch keys sk d =
+  let params = keys.params in
+  let n = params.n in
+  let l = Rns_poly.level d in
+  (* Accumulators in the NTT domain, positions 0..l-1 are ciphertext moduli,
+     position l is the special prime. *)
+  let positions = Array.append (Array.init l (fun t -> t)) [| params.max_level |] in
+  let acc0 = Array.map (fun _ -> Array.make n 0) positions in
+  let acc1 = Array.map (fun _ -> Array.make n 0) positions in
+  for i = 0 to l - 1 do
+    let qi = params.moduli.(i) in
+    let centered = Array.map (fun c -> Modarith.center ~m:qi c) (d : Rns_poly.t).res.(i) in
+    Array.iteri
+      (fun pos t ->
+        let q = chain_modulus params t in
+        let d_ntt = ntt_of_centered params t centered in
+        for j = 0 to n - 1 do
+          acc0.(pos).(j) <-
+            Modarith.add ~m:q acc0.(pos).(j)
+              (Modarith.mul ~m:q d_ntt.(j) sk.k0.(i).(t).(j));
+          acc1.(pos).(j) <-
+            Modarith.add ~m:q acc1.(pos).(j)
+              (Modarith.mul ~m:q d_ntt.(j) sk.k1.(i).(t).(j))
+        done)
+      positions
+  done;
+  (* Back to the coefficient domain, then exact division by P. *)
+  let to_coeffs acc =
+    Array.mapi (fun pos t -> Ntt.inverse (chain_ntt params t) acc.(pos)) positions
+  in
+  let u0 = to_coeffs acc0 and u1 = to_coeffs acc1 in
+  let p = params.special in
+  let divide_by_p u =
+    let special = u.(l) in
+    let reduce_t t =
+      let q = params.moduli.(t) in
+      let p_inv = Modarith.inv ~m:q (p mod q) in
+      Array.init n (fun j ->
+          let rep = Modarith.center ~m:p special.(j) in
+          let diff = Modarith.sub ~m:q u.(t).(j) (Modarith.reduce ~m:q rep) in
+          Modarith.mul ~m:q diff p_inv)
+    in
+    Rns_poly.of_residues (Array.init l reduce_t)
+  in
+  (divide_by_p u0, divide_by_p u1)

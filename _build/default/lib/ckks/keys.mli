@@ -1,0 +1,48 @@
+(** Key material: ternary secret, public encryption key, and BV-style
+    switching keys (relinearization and Galois/rotation keys) with per-prime
+    digit decomposition and one special prime.
+
+    Switching keys live modulo [Q * P] where [P] is the special prime.  The
+    per-prime decomposition keeps every digit's coefficients below its prime,
+    so no multi-precision base extension is required, and dividing the
+    switched ciphertext by [P] (an exact RNS rescale) keeps the added noise
+    at the scale of a fresh encryption error. *)
+
+type secret = private { coeffs : int array (* ternary *) }
+
+type switch_key
+(** One key per RNS digit, stored in the NTT domain over the extended chain
+    (all ciphertext moduli followed by the special prime). *)
+
+type t = private {
+  params : Params.t;
+  secret : secret;
+  pk0 : Rns_poly.t;
+  pk1 : Rns_poly.t;
+  relin : switch_key;
+  rotations : (int, switch_key) Hashtbl.t;  (** keyed by Galois element *)
+  rng : Random.State.t;
+}
+
+val keygen : ?seed:int -> Params.t -> t
+
+val galois_element : Params.t -> offset:int -> int
+(** The Galois element [5^offset mod 2n] implementing a left rotation by
+    [offset] slots (negative offsets rotate right). *)
+
+val rotation_key : t -> offset:int -> switch_key
+(** Fetches (generating and caching on first use) the switching key for the
+    rotation by [offset]. *)
+
+val conjugation_key : t -> switch_key
+(** Switching key for the conjugation automorphism [X -> X^{2n-1}], needed
+    by the real bootstrapping pipeline's CoeffToSlot. *)
+
+val key_switch : t -> switch_key -> Rns_poly.t -> Rns_poly.t * Rns_poly.t
+(** [key_switch keys k d] returns [(u0, u1)] such that
+    [u0 + u1 * s ~ d * s'] where [s'] is the key [k] was generated for. *)
+
+val relin_key : t -> switch_key
+
+val secret_poly : t -> level:int -> Rns_poly.t
+(** The secret embedded at a ciphertext level, for decryption. *)

@@ -1,0 +1,31 @@
+let max_modulus = 1 lsl 31
+
+let add ~m a b =
+  let s = a + b in
+  if s >= m then s - m else s
+
+let sub ~m a b =
+  let d = a - b in
+  if d < 0 then d + m else d
+
+let neg ~m a = if a = 0 then 0 else m - a
+let mul ~m a b = a * b mod m
+
+let pow ~m b e =
+  let rec go acc b e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul ~m acc b else acc in
+      go acc (mul ~m b b) (e lsr 1)
+  in
+  go 1 (b mod m) e
+
+let inv ~m a =
+  if a = 0 then invalid_arg "Modarith.inv: zero";
+  pow ~m a (m - 2)
+
+let reduce ~m a =
+  let r = a mod m in
+  if r < 0 then r + m else r
+
+let center ~m a = if a > m / 2 then a - m else a

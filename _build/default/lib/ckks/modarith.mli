@@ -1,0 +1,27 @@
+(** Modular arithmetic on OCaml's native [int] for odd moduli below [2^31].
+
+    Products of two operands below [2^31] fit in the 63-bit native integer,
+    so no multi-precision arithmetic is needed anywhere in the substrate.
+    All functions expect [0 <= a, b < m] unless stated otherwise. *)
+
+val max_modulus : int
+(** Largest supported modulus, [2^31]. *)
+
+val add : m:int -> int -> int -> int
+val sub : m:int -> int -> int -> int
+val neg : m:int -> int -> int
+val mul : m:int -> int -> int -> int
+
+val pow : m:int -> int -> int -> int
+(** [pow ~m b e] is [b^e mod m] for [e >= 0]. *)
+
+val inv : m:int -> int -> int
+(** Inverse modulo a prime [m] (via Fermat).  Raises [Invalid_argument] on a
+    zero argument. *)
+
+val reduce : m:int -> int -> int
+(** Reduce an arbitrary (possibly negative) integer into [0, m). *)
+
+val center : m:int -> int -> int
+(** [center ~m a] maps a residue [a] in [0, m) to its centered representative
+    in [(-m/2, m/2]]. *)

@@ -1,0 +1,97 @@
+type ctx = {
+  q : int;
+  n : int;
+  psi_pows : int array; (* psi^i for i < n, psi a primitive 2n-th root *)
+  psi_inv_pows : int array;
+  omega_pows : int array; (* omega^i for i < n, omega = psi^2 *)
+  omega_inv_pows : int array;
+  n_inv : int;
+}
+
+let q ctx = ctx.q
+let n ctx = ctx.n
+
+let powers ~m base count =
+  let a = Array.make count 1 in
+  for i = 1 to count - 1 do
+    a.(i) <- Modarith.mul ~m a.(i - 1) base
+  done;
+  a
+
+let make_ctx ~q ~n =
+  if n land (n - 1) <> 0 then invalid_arg "Ntt: n must be a power of two";
+  if (q - 1) mod (2 * n) <> 0 then invalid_arg "Ntt: q <> 1 mod 2n";
+  let psi = Primes.primitive_root_2n ~q ~n in
+  let psi_inv = Modarith.inv ~m:q psi in
+  let omega = Modarith.mul ~m:q psi psi in
+  let omega_inv = Modarith.inv ~m:q omega in
+  {
+    q;
+    n;
+    psi_pows = powers ~m:q psi n;
+    psi_inv_pows = powers ~m:q psi_inv n;
+    omega_pows = powers ~m:q omega n;
+    omega_inv_pows = powers ~m:q omega_inv n;
+    n_inv = Modarith.inv ~m:q n;
+  }
+
+let bit_reverse_permute a =
+  let n = Array.length a in
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let t = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- t
+    end;
+    let bit = ref (n lsr 1) in
+    while !j land !bit <> 0 do
+      j := !j lxor !bit;
+      bit := !bit lsr 1
+    done;
+    j := !j lor !bit
+  done
+
+(* Iterative Cooley-Tukey cyclic NTT using the given table of root powers
+   (omega for forward, omega^-1 for inverse). *)
+let cyclic ctx pows a =
+  let m = ctx.q and n = ctx.n in
+  bit_reverse_permute a;
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let stride = n / !len in
+    let i = ref 0 in
+    while !i < n do
+      for k = 0 to half - 1 do
+        let w = pows.(k * stride) in
+        let u = a.(!i + k) in
+        let v = Modarith.mul ~m a.(!i + k + half) w in
+        a.(!i + k) <- Modarith.add ~m u v;
+        a.(!i + k + half) <- Modarith.sub ~m u v
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let forward ctx coeffs =
+  let m = ctx.q in
+  let a = Array.mapi (fun i c -> Modarith.mul ~m c ctx.psi_pows.(i)) coeffs in
+  cyclic ctx ctx.omega_pows a;
+  a
+
+let inverse ctx values =
+  let m = ctx.q in
+  let a = Array.copy values in
+  cyclic ctx ctx.omega_inv_pows a;
+  Array.mapi
+    (fun i c ->
+      Modarith.mul ~m (Modarith.mul ~m c ctx.psi_inv_pows.(i)) ctx.n_inv)
+    a
+
+let negacyclic_mul ctx a b =
+  let m = ctx.q in
+  let fa = forward ctx a and fb = forward ctx b in
+  let prod = Array.init ctx.n (fun i -> Modarith.mul ~m fa.(i) fb.(i)) in
+  inverse ctx prod

@@ -1,0 +1,22 @@
+(** Negacyclic number-theoretic transform over [Z_q[X]/(X^n + 1)].
+
+    A [ctx] caches the twiddle factors for one [(q, n)] pair.  The forward
+    transform maps coefficient vectors to evaluations at the odd powers of a
+    primitive [2n]-th root of unity; pointwise products in that domain are
+    negacyclic convolutions in the coefficient domain. *)
+
+type ctx
+
+val make_ctx : q:int -> n:int -> ctx
+(** Requires [q] prime with [q = 1 (mod 2n)] and [n] a power of two. *)
+
+val q : ctx -> int
+val n : ctx -> int
+
+val forward : ctx -> int array -> int array
+(** Functional: returns a fresh array in the NTT domain. *)
+
+val inverse : ctx -> int array -> int array
+
+val negacyclic_mul : ctx -> int array -> int array -> int array
+(** Convenience: [inverse (forward a . forward b)]. *)

@@ -1,0 +1,67 @@
+type t = {
+  n : int;
+  slots : int;
+  max_level : int;
+  moduli : int array;
+  special : int;
+  scale : float;
+  sigma : float;
+  ntts : Ntt.ctx array;
+  ntt_special : Ntt.ctx;
+}
+
+type spec = { spec_log_n : int; spec_log_q : int; spec_scale_bits : int; spec_max_level : int }
+
+let paper_spec =
+  { spec_log_n = 17; spec_log_q = 1479; spec_scale_bits = 51; spec_max_level = 16 }
+
+let make ?(sigma = 3.2) ~log_n ~max_level ~base_bits ~scale_bits () =
+  if base_bits > 31 then invalid_arg "Params.make: base_bits > 31";
+  if scale_bits >= base_bits then
+    invalid_arg "Params.make: scale_bits must be below base_bits";
+  if max_level < 1 then invalid_arg "Params.make: max_level < 1";
+  let n = 1 lsl log_n in
+  (* The base prime and the special prime sit near 2^base_bits (the special
+     prime must dominate every rescale prime for key-switching noise), while
+     rescale primes sit near 2^scale_bits so that rescaling divides the scale
+     by approximately the scale itself. *)
+  let base = Primes.ntt_prime_below ~n ((1 lsl base_bits) - 1) in
+  let special = Primes.ntt_prime_below ~n (base - 1) in
+  let rescale_primes =
+    Primes.ntt_primes ~n ~bits:scale_bits ~count:(max_level - 1)
+  in
+  let moduli = Array.of_list (base :: rescale_primes) in
+  let ntts = Array.map (fun q -> Ntt.make_ctx ~q ~n) moduli in
+  {
+    n;
+    slots = n / 2;
+    max_level;
+    moduli;
+    special;
+    scale = Float.of_int (1 lsl scale_bits);
+    sigma;
+    ntts;
+    ntt_special = Ntt.make_ctx ~q:special ~n;
+  }
+
+let test_small_memo = ref None
+let test_deep_memo = ref None
+
+let memoized cell build =
+  match !cell with
+  | Some p -> p
+  | None ->
+    let p = build () in
+    cell := Some p;
+    p
+
+let test_small () =
+  memoized test_small_memo (fun () ->
+      make ~log_n:10 ~max_level:8 ~base_bits:31 ~scale_bits:27 ())
+
+let test_deep () =
+  memoized test_deep_memo (fun () ->
+      make ~log_n:11 ~max_level:16 ~base_bits:31 ~scale_bits:27 ())
+
+let modulus_at p ~level = p.moduli.(level - 1)
+let ntt_at p ~idx = p.ntts.(idx)

@@ -1,0 +1,53 @@
+(** RNS-CKKS parameter sets.
+
+    A parameter set fixes the ring degree [n], the modulus chain (one base
+    prime that is never dropped, [max_level - 1] rescale primes close to the
+    encoding scale, and one special prime reserved for key switching), the
+    default encoding scale and the error distribution width.
+
+    The paper's evaluation uses [n = 2^17, log Q = 1479, R_f = 2^51, L = 16],
+    which needs multi-precision arithmetic; we expose that set as a
+    descriptor ({!paper_spec}) for printing Table 1, and run the lattice
+    backend on small NTT-friendly parameter sets whose arithmetic fits the
+    63-bit native [int] (see DESIGN.md, substitution table). *)
+
+type t = private {
+  n : int;  (** polynomial modulus degree (power of two) *)
+  slots : int;  (** [n / 2] *)
+  max_level : int;  (** [L]: number of ciphertext moduli *)
+  moduli : int array;  (** length [max_level]; [moduli.(0)] is the base *)
+  special : int;  (** key-switching special prime *)
+  scale : float;  (** default encoding scale *)
+  sigma : float;  (** error distribution standard deviation *)
+  ntts : Ntt.ctx array;  (** NTT context per ciphertext modulus *)
+  ntt_special : Ntt.ctx;
+}
+
+val make :
+  ?sigma:float ->
+  log_n:int ->
+  max_level:int ->
+  base_bits:int ->
+  scale_bits:int ->
+  unit ->
+  t
+(** Builds a parameter set.  Requires [base_bits <= 31] and
+    [scale_bits < base_bits].  Rescale primes are chosen just below
+    [2^scale_bits] so that rescaling approximately preserves the scale. *)
+
+val test_small : unit -> t
+(** [n = 2^10], [L = 8] — fast enough for unit tests. *)
+
+val test_deep : unit -> t
+(** [n = 2^11], [L = 16] — matches the paper's level budget. *)
+
+(** Descriptor of the paper's Table 1 parameter set (not runnable on native
+    ints; used for printing and for the abstract compiler configuration). *)
+type spec = { spec_log_n : int; spec_log_q : int; spec_scale_bits : int; spec_max_level : int }
+
+val paper_spec : spec
+
+val modulus_at : t -> level:int -> int
+(** The prime dropped when rescaling from [level], i.e. [moduli.(level - 1)]. *)
+
+val ntt_at : t -> idx:int -> Ntt.ctx

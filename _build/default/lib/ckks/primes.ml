@@ -1,0 +1,64 @@
+(* Deterministic Miller-Rabin.  The witness set {2,...,37} is sufficient for
+   all integers below 3.3 * 10^24, which covers the native-int range. *)
+let witnesses = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ]
+
+let is_prime n =
+  if n < 2 then false
+  else if List.mem n witnesses then true
+  else if n mod 2 = 0 then false
+  else begin
+    let d = ref (n - 1) and r = ref 0 in
+    while !d mod 2 = 0 do
+      d := !d / 2;
+      incr r
+    done;
+    let strong_probable_prime a =
+      let x = Modarith.pow ~m:n a !d in
+      if x = 1 || x = n - 1 then true
+      else begin
+        let x = ref x and ok = ref false in
+        for _ = 1 to !r - 1 do
+          if not !ok then begin
+            x := Modarith.mul ~m:n !x !x;
+            if !x = n - 1 then ok := true
+          end
+        done;
+        !ok
+      end
+    in
+    List.for_all strong_probable_prime witnesses
+  end
+
+let ntt_prime_below ~n start =
+  let step = 2 * n in
+  (* Largest q <= start with q = 1 mod 2n. *)
+  let q0 = (start - 1) / step * step + 1 in
+  let rec go q =
+    if q <= step then raise Not_found
+    else if is_prime q then q
+    else go (q - step)
+  in
+  go q0
+
+let ntt_primes ~n ~bits ~count =
+  let rec collect acc start remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let q = ntt_prime_below ~n start in
+      collect (q :: acc) (q - 1) (remaining - 1)
+  in
+  collect [] ((1 lsl bits) - 1) count
+
+let primitive_root_2n ~q ~n =
+  let order = 2 * n in
+  assert ((q - 1) mod order = 0);
+  let cofactor = (q - 1) / order in
+  (* Search for a generator candidate g; g^cofactor has order dividing 2n and
+     has full order 2n iff its n-th power is -1. *)
+  let rec go g =
+    if g >= q then invalid_arg "primitive_root_2n: exhausted"
+    else
+      let cand = Modarith.pow ~m:q g cofactor in
+      if cand <> 0 && Modarith.pow ~m:q cand n = q - 1 then cand else go (g + 1)
+  in
+  go 2

@@ -1,0 +1,19 @@
+(** Generation of NTT-friendly primes.
+
+    A prime [q] supports the negacyclic NTT of degree [n] (a power of two)
+    when [q = 1 (mod 2n)], which guarantees a primitive [2n]-th root of unity
+    modulo [q]. *)
+
+val is_prime : int -> bool
+(** Deterministic Miller–Rabin for the full native-int range. *)
+
+val ntt_prime_below : n:int -> int -> int
+(** [ntt_prime_below ~n start] is the largest prime [q <= start] with
+    [q = 1 (mod 2n)].  Raises [Not_found] if none exists above [2n]. *)
+
+val ntt_primes : n:int -> bits:int -> count:int -> int list
+(** [ntt_primes ~n ~bits ~count] generates [count] distinct NTT-friendly
+    primes just below [2^bits], largest first. *)
+
+val primitive_root_2n : q:int -> n:int -> int
+(** A primitive [2n]-th root of unity modulo the NTT-friendly prime [q]. *)

@@ -1,0 +1,131 @@
+type ct = { data : float array; ct_level : int; scale_bits : float }
+
+type state = {
+  slots : int;
+  max_level : int;
+  default_scale_bits : float;
+  rng : Random.State.t;
+  enc_noise : float;
+  mult_noise : float;
+  boot_noise : float;
+}
+
+let create ?(seed = 0xB00) ?(enc_noise = 1e-7) ?(mult_noise = 1e-8)
+    ?(boot_noise = 1e-5) ~slots ~max_level ~scale_bits () =
+  {
+    slots;
+    max_level;
+    default_scale_bits = float_of_int scale_bits;
+    rng = Random.State.make [| seed |];
+    enc_noise;
+    mult_noise;
+    boot_noise;
+  }
+
+let slots st = st.slots
+let max_level st = st.max_level
+let level _st ct = ct.ct_level
+
+let gaussian st sigma =
+  let u1 = Random.State.float st.rng 1.0 +. 1e-12 in
+  let u2 = Random.State.float st.rng 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) *. sigma
+
+let pad st values =
+  if Array.length values = st.slots then values
+  else begin
+    let out = Array.make st.slots 0.0 in
+    Array.blit values 0 out 0 (min (Array.length values) st.slots);
+    out
+  end
+
+let check_level name ct low =
+  if ct.ct_level < low then
+    invalid_arg (Printf.sprintf "Ref_backend.%s: level %d below %d" name ct.ct_level low)
+
+let check_match name a b =
+  if a.ct_level <> b.ct_level then
+    invalid_arg
+      (Printf.sprintf "Ref_backend.%s: level mismatch (%d vs %d)" name a.ct_level
+         b.ct_level);
+  if Float.abs (a.scale_bits -. b.scale_bits) > 0.5 then
+    invalid_arg
+      (Printf.sprintf "Ref_backend.%s: scale mismatch (%g vs %g bits)" name
+         a.scale_bits b.scale_bits)
+
+let encrypt st ~level values =
+  if level < 1 || level > st.max_level then
+    invalid_arg "Ref_backend.encrypt: level out of range";
+  let data = Array.map (fun v -> v +. gaussian st st.enc_noise) (pad st values) in
+  { data; ct_level = level; scale_bits = st.default_scale_bits }
+
+let decrypt _st ct = Array.copy ct.data
+
+let addcc _st a b =
+  check_match "addcc" a b;
+  { a with data = Array.map2 ( +. ) a.data b.data }
+
+let subcc _st a b =
+  check_match "subcc" a b;
+  { a with data = Array.map2 ( -. ) a.data b.data }
+
+let addcp st a values =
+  check_level "addcp" a 1;
+  { a with data = Array.map2 ( +. ) a.data (pad st values) }
+
+let multcc st a b =
+  (* The paper (section 2.2): multiplication constrains only the operand
+     levels; scales multiply. *)
+  if a.ct_level <> b.ct_level then
+    invalid_arg
+      (Printf.sprintf "Ref_backend.multcc: level mismatch (%d vs %d)" a.ct_level
+         b.ct_level);
+  check_level "multcc" a 1;
+  let noisy v = v +. (Float.abs v *. gaussian st st.mult_noise) in
+  {
+    a with
+    data = Array.map2 (fun x y -> noisy (x *. y)) a.data b.data;
+    scale_bits = a.scale_bits +. b.scale_bits;
+  }
+
+let multcp st a values =
+  check_level "multcp" a 1;
+  let noisy v = v +. (Float.abs v *. gaussian st st.mult_noise) in
+  {
+    a with
+    data = Array.map2 (fun x y -> noisy (x *. y)) a.data (pad st values);
+    scale_bits = a.scale_bits +. st.default_scale_bits;
+  }
+
+let rotate st a ~offset =
+  check_level "rotate" a 1;
+  let n = st.slots in
+  let shift = ((offset mod n) + n) mod n in
+  { a with data = Array.init n (fun i -> a.data.((i + shift) mod n)) }
+
+let rescale st a =
+  check_level "rescale" a 2;
+  (* Dropping one prime divides the scale by ~2^scale_bits and adds rounding
+     error at the scale's resolution. *)
+  let data = Array.map (fun v -> v +. gaussian st (Float.ldexp 1.0 (-25))) a.data in
+  {
+    data;
+    ct_level = a.ct_level - 1;
+    scale_bits = a.scale_bits -. st.default_scale_bits;
+  }
+
+let modswitch _st a ~down =
+  if down < 0 then invalid_arg "Ref_backend.modswitch: negative";
+  check_level "modswitch" a (down + 1);
+  { a with ct_level = a.ct_level - down }
+
+let bootstrap st a ~target =
+  if target < 1 || target > st.max_level then
+    invalid_arg "Ref_backend.bootstrap: target out of range";
+  {
+    data = Array.map (fun v -> v +. gaussian st st.boot_noise) a.data;
+    ct_level = target;
+    scale_bits = st.default_scale_bits;
+  }
+
+let negate _st a = { a with data = Array.map Float.neg a.data }

@@ -1,0 +1,51 @@
+(** Reference CKKS backend: carries the decoded slot values in the clear
+    while enforcing the same level/scale discipline as the lattice backend
+    and injecting calibrated noise.
+
+    The HALO compiler's behaviour depends only on levels, scales, encryption
+    status and operation counts; this backend reproduces those exactly while
+    scaling to the paper's workloads (4096 slots, 40-iteration training
+    loops), which the real lattice backend cannot reach without the authors'
+    GPU library.  The lattice backend ({!Eval}) is used by the test suite to
+    validate that programs run unchanged on genuine RLWE ciphertexts. *)
+
+type ct = private {
+  data : float array;
+  ct_level : int;
+  scale_bits : float;  (** log2 of the ciphertext scale *)
+}
+
+type state
+
+val create :
+  ?seed:int ->
+  ?enc_noise:float ->
+  ?mult_noise:float ->
+  ?boot_noise:float ->
+  slots:int ->
+  max_level:int ->
+  scale_bits:int ->
+  unit ->
+  state
+(** Noise magnitudes are standard deviations in slot-value units:
+    [enc_noise] at encryption (default [1e-7]), [mult_noise] relative error
+    per multiplication (default [1e-8]), [boot_noise] per bootstrap
+    (default [1e-5], matching the oracle's default). *)
+
+val slots : state -> int
+val max_level : state -> int
+val level : state -> ct -> int
+
+val encrypt : state -> level:int -> float array -> ct
+val decrypt : state -> ct -> float array
+
+val addcc : state -> ct -> ct -> ct
+val subcc : state -> ct -> ct -> ct
+val addcp : state -> ct -> float array -> ct
+val multcc : state -> ct -> ct -> ct
+val multcp : state -> ct -> float array -> ct
+val rotate : state -> ct -> offset:int -> ct
+val rescale : state -> ct -> ct
+val modswitch : state -> ct -> down:int -> ct
+val bootstrap : state -> ct -> target:int -> ct
+val negate : state -> ct -> ct

@@ -1,0 +1,86 @@
+type t = { level : int; res : int array array }
+
+let level p = p.level
+
+let zero (params : Params.t) ~level =
+  { level; res = Array.init level (fun _ -> Array.make params.n 0) }
+
+let of_centered_coeffs (params : Params.t) ~level coeffs =
+  let embed q = Array.map (fun c -> Modarith.reduce ~m:q c) coeffs in
+  { level; res = Array.init level (fun i -> embed params.moduli.(i)) }
+
+let of_residues res = { level = Array.length res; res }
+
+let centered_coeffs (params : Params.t) p =
+  let q0 = params.moduli.(0) in
+  Array.map (fun r -> Modarith.center ~m:q0 r) p.res.(0)
+
+let map2 (params : Params.t) f a b =
+  if a.level <> b.level then invalid_arg "Rns_poly: level mismatch";
+  let combine i =
+    let q = params.moduli.(i) in
+    Array.init (Array.length a.res.(i)) (fun j -> f ~m:q a.res.(i).(j) b.res.(i).(j))
+  in
+  { level = a.level; res = Array.init a.level combine }
+
+let add params a b = map2 params Modarith.add a b
+let sub params a b = map2 params Modarith.sub a b
+
+let neg (params : Params.t) a =
+  {
+    a with
+    res =
+      Array.mapi
+        (fun i r -> Array.map (fun c -> Modarith.neg ~m:params.moduli.(i) c) r)
+        a.res;
+  }
+
+let mul (params : Params.t) a b =
+  if a.level <> b.level then invalid_arg "Rns_poly.mul: level mismatch";
+  let prod i =
+    Ntt.negacyclic_mul (Params.ntt_at params ~idx:i) a.res.(i) b.res.(i)
+  in
+  { level = a.level; res = Array.init a.level prod }
+
+let automorphism (params : Params.t) ~k a =
+  let n = params.n in
+  let two_n = 2 * n in
+  let apply q r =
+    let out = Array.make n 0 in
+    for j = 0 to n - 1 do
+      let pos = j * k mod two_n in
+      if pos < n then out.(pos) <- Modarith.add ~m:q out.(pos) r.(j)
+      else out.(pos - n) <- Modarith.sub ~m:q out.(pos - n) r.(j)
+    done;
+    out
+  in
+  {
+    a with
+    res = Array.mapi (fun i r -> apply params.moduli.(i) r) a.res;
+  }
+
+let rescale_last (params : Params.t) a =
+  if a.level < 2 then invalid_arg "Rns_poly.rescale_last: level < 2";
+  let last_idx = a.level - 1 in
+  let ql = params.moduli.(last_idx) in
+  let last = a.res.(last_idx) in
+  let scale_down i =
+    let q = params.moduli.(i) in
+    let ql_inv = Modarith.inv ~m:q (ql mod q) in
+    Array.init params.n (fun j ->
+        (* (c - [c]_{q_l}) * q_l^{-1} mod q_i, with a centered representative
+           of the dropped residue to halve the rounding error. *)
+        let rep = Modarith.center ~m:ql last.(j) in
+        let diff = Modarith.sub ~m:q a.res.(i).(j) (Modarith.reduce ~m:q rep) in
+        Modarith.mul ~m:q diff ql_inv)
+  in
+  { level = a.level - 1; res = Array.init (a.level - 1) scale_down }
+
+let drop_last a =
+  if a.level < 2 then invalid_arg "Rns_poly.drop_last: level < 2";
+  { level = a.level - 1; res = Array.sub a.res 0 (a.level - 1) }
+
+let rec to_level params ~level a =
+  if a.level < level then invalid_arg "Rns_poly.to_level: cannot raise level"
+  else if a.level = level then a
+  else to_level params ~level (drop_last a)

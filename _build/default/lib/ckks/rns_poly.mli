@@ -1,0 +1,45 @@
+(** Polynomials of [Z_Q[X]/(X^n + 1)] in residue-number-system form, over the
+    ciphertext modulus chain of a {!Params.t}.
+
+    A polynomial at level [l] carries [l] residue vectors, one per prime
+    [moduli.(0) .. moduli.(l-1)], in the coefficient domain.  The level
+    management operations implement exactly the paper's abstraction
+    (Figure 1): [rescale] and [modswitch] drop the last residue polynomial,
+    the former dividing the value by the dropped prime. *)
+
+type t = private { level : int; res : int array array }
+
+val level : t -> int
+val zero : Params.t -> level:int -> t
+
+val of_centered_coeffs : Params.t -> level:int -> int array -> t
+(** Embed a small-coefficient integer polynomial (coefficients are reduced
+    into each modulus). *)
+
+val of_residues : int array array -> t
+(** Takes ownership of the given residue vectors. *)
+
+val centered_coeffs : Params.t -> t -> int array
+(** Recover centered integer coefficients from the base residue.  Correct
+    whenever the true centered coefficients are below [moduli.(0) / 2] in
+    magnitude, which encryption parameters guarantee for decrypted
+    plaintexts (see DESIGN.md). *)
+
+val add : Params.t -> t -> t -> t
+val sub : Params.t -> t -> t -> t
+val neg : Params.t -> t -> t
+val mul : Params.t -> t -> t -> t
+(** Negacyclic product via per-residue NTT.  Operands must share a level. *)
+
+val automorphism : Params.t -> k:int -> t -> t
+(** [X -> X^k] for odd [k], the Galois action implementing slot rotation. *)
+
+val rescale_last : Params.t -> t -> t
+(** Exact RNS rescale: drops the last residue and divides by its prime.
+    Requires level >= 2. *)
+
+val drop_last : t -> t
+(** Modswitch: drop the last residue without scaling.  Requires level >= 2. *)
+
+val to_level : Params.t -> level:int -> t -> t
+(** Repeated {!drop_last} down to [level]. *)

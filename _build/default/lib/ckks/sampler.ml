@@ -1,0 +1,14 @@
+let ternary rng ~n = Array.init n (fun _ -> Random.State.int rng 3 - 1)
+
+let gaussian rng ~n ~sigma =
+  let sample () =
+    (* Box-Muller; one draw per coefficient keeps the code simple. *)
+    let u1 = Random.State.float rng 1.0 +. 1e-12 in
+    let u2 = Random.State.float rng 1.0 in
+    let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+    int_of_float (Float.round (z *. sigma))
+  in
+  Array.init n (fun _ -> sample ())
+
+let uniform_residues rng ~n ~moduli =
+  Array.map (fun q -> Array.init n (fun _ -> Random.State.full_int rng q)) moduli

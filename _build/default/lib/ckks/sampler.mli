@@ -1,0 +1,13 @@
+(** Randomness for RLWE: ternary secrets, discrete Gaussians and uniform ring
+    elements.  All sampling goes through an explicit [Random.State.t] so every
+    experiment is reproducible from a seed. *)
+
+val ternary : Random.State.t -> n:int -> int array
+(** Coefficients uniform in [{-1, 0, 1}]. *)
+
+val gaussian : Random.State.t -> n:int -> sigma:float -> int array
+(** Rounded continuous Gaussian with standard deviation [sigma]. *)
+
+val uniform_residues : Random.State.t -> n:int -> moduli:int array -> int array array
+(** One independent uniform residue vector per modulus (uniform in [R_Q] by
+    the Chinese remainder theorem). *)

@@ -1,0 +1,1 @@
+lib/core/cse.ml: Array Buffer Digest Hashtbl Ir List Printf

@@ -1,0 +1,1 @@
+lib/core/dacapo.ml: Array Halo_cost Hashtbl Ir Levels List Liveness Printf Typecheck

@@ -1,0 +1,1 @@
+lib/core/dacapo.mli: Hashtbl Ir Typecheck

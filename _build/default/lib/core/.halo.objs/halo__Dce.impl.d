@@ -1,0 +1,1 @@
+lib/core/dce.ml: Int Ir List Set

@@ -1,0 +1,1 @@
+lib/core/dce.mli: Ir

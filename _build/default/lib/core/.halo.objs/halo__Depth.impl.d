@@ -1,0 +1,1 @@
+lib/core/depth.ml: Hashtbl Ir List Status

@@ -1,0 +1,1 @@
+lib/core/depth.mli: Ir

@@ -1,0 +1,1 @@
+lib/core/dsl.ml: Array Float Hashtbl Ir List

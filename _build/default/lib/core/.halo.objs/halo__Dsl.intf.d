@@ -1,0 +1,1 @@
+lib/core/dsl.mli: Ir

@@ -1,0 +1,1 @@
+lib/core/full_unroll.ml: Hashtbl Ir List

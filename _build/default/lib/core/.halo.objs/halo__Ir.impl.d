@@ -1,0 +1,1 @@
+lib/core/ir.ml: Hashtbl Int List Printf Set

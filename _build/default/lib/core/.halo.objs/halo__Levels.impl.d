@@ -1,0 +1,1 @@
+lib/core/levels.ml: Hashtbl Ir List Printf Typecheck

@@ -1,0 +1,1 @@
+lib/core/levels.mli: Hashtbl Ir Typecheck

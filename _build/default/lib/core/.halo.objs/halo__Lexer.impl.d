@@ -1,0 +1,1 @@
+lib/core/lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/core/licm.ml: Int Ir List Set

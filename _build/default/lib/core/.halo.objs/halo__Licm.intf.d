@@ -1,0 +1,1 @@
+lib/core/licm.mli: Ir

@@ -1,0 +1,1 @@
+lib/core/linalg.ml: Array Dsl List Option

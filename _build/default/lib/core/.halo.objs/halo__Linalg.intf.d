@@ -1,0 +1,1 @@
+lib/core/linalg.mli: Dsl

@@ -1,0 +1,1 @@
+lib/core/liveness.ml: Array Int Ir List Set

@@ -1,0 +1,1 @@
+lib/core/liveness.mli: Ir Set

@@ -1,0 +1,1 @@
+lib/core/loop_codegen.ml: Dacapo Hashtbl Ir Levels List Printf Status Typecheck

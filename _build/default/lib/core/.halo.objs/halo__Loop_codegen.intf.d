@@ -1,0 +1,1 @@
+lib/core/loop_codegen.mli: Dacapo Ir

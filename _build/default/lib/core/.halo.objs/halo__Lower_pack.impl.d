@@ -1,0 +1,1 @@
+lib/core/lower_pack.ml: Array Ir List Sizes

@@ -1,0 +1,1 @@
+lib/core/noise_budget.ml: Float Hashtbl Ir List Sizes

@@ -1,0 +1,1 @@
+lib/core/noise_budget.mli: Ir

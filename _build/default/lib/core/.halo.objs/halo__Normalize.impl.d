@@ -1,0 +1,1 @@
+lib/core/normalize.ml: Hashtbl Ir List Printf Sizes Typecheck

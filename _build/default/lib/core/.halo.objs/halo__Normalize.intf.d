@@ -1,0 +1,1 @@
+lib/core/normalize.mli: Hashtbl Ir Typecheck

@@ -1,0 +1,1 @@
+lib/core/packing.ml: Dacapo Hashtbl Ir Levels List Loop_codegen Pass_util Sizes Typecheck

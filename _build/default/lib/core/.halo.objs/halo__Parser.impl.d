@@ -1,0 +1,1 @@
+lib/core/parser.ml: Array Ir Lexer List Printf

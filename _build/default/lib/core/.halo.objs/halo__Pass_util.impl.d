@@ -1,0 +1,1 @@
+lib/core/pass_util.ml: Hashtbl Ir Levels List Typecheck

@@ -1,0 +1,1 @@
+lib/core/pass_util.mli: Hashtbl Ir Typecheck

@@ -1,0 +1,1 @@
+lib/core/peel.ml: Ir List Status

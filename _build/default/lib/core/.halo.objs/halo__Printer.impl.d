@@ -1,0 +1,1 @@
+lib/core/printer.ml: Array Buffer Ir List Printf String

@@ -1,0 +1,1 @@
+lib/core/printer.mli: Ir

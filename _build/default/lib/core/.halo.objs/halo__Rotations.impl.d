@@ -1,0 +1,1 @@
+lib/core/rotations.ml: Int Ir List Set Sizes

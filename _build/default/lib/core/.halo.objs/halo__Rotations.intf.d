@@ -1,0 +1,1 @@
+lib/core/rotations.mli: Ir

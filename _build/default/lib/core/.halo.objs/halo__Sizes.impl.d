@@ -1,0 +1,1 @@
+lib/core/sizes.ml: Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/core/sizes.mli: Hashtbl Ir

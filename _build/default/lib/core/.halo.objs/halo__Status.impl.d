@@ -1,0 +1,1 @@
+lib/core/status.ml: Hashtbl Ir List Printf Typecheck

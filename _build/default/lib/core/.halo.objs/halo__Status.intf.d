@@ -1,0 +1,1 @@
+lib/core/status.mli: Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Cse Dce Full_unroll Licm Loop_codegen Lower_pack Normalize Packing Peel Printf Tuning Typecheck Unroll

@@ -1,0 +1,1 @@
+lib/core/tuning.ml: Hashtbl Ir Levels List Pass_util

@@ -1,0 +1,1 @@
+lib/core/typecheck.ml: Hashtbl Ir List Printf Sizes

@@ -1,0 +1,1 @@
+lib/core/typecheck.mli: Hashtbl Ir

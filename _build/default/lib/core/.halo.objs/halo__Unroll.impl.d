@@ -1,0 +1,1 @@
+lib/core/unroll.ml: Hashtbl Ir Levels List Pass_util Typecheck

@@ -1,0 +1,1 @@
+lib/core/unroll.mli: Ir

@@ -1,0 +1,229 @@
+open Typecheck
+
+type config = { filter_width : int }
+
+let default_config = { filter_width = 4 }
+
+let terr fmt = Printf.ksprintf (fun s -> raise (Typecheck.Type_error s)) fmt
+
+(* Forward level simulation over [instrs] starting at [start], with variable
+   types in [tys] (a scratch Hashtbl).  Returns [Some index] of the first
+   instruction that underflows, [None] if the suffix completes, including
+   the boundary check on yields. *)
+let simulate ~max_level ~boundary ~tys ~instrs ~yields ~start =
+  let ty_of v =
+    match Hashtbl.find_opt tys v with
+    | Some t -> t
+    | None -> terr "Dacapo: use of undefined %%%d" v
+  in
+  let n = Array.length instrs in
+  let rec go index =
+    if index >= n then begin
+      let bad =
+        List.exists
+          (fun v ->
+            match (boundary, ty_of v) with
+            | Some m, Tcipher { level; _ } -> level < m
+            | _ -> false)
+          yields
+      in
+      if bad then Some n else None
+    end
+    else begin
+      let i : Ir.instr = instrs.(index) in
+      match i.op with
+      | Ir.For fo ->
+        let init_tys = List.map ty_of fo.inits in
+        let m = match fo.boundary with Some m -> m | None -> 1 in
+        let ok =
+          List.for_all
+            (function Tcipher { level; _ } -> level >= m | Tplain -> true)
+            init_tys
+        in
+        if not ok then Some index
+        else begin
+          List.iter2
+            (fun r t ->
+              Hashtbl.replace tys r
+                (match t with
+                 | Tplain -> Tplain
+                 | Tcipher _ -> Tcipher { level = m; scale = 1 }))
+            i.results init_tys;
+          go (index + 1)
+        end
+      | op ->
+        (match
+           Levels.op_result ~max_level ~index op
+             ~operand_tys:(List.map ty_of (Ir.op_operands op))
+         with
+         | t ->
+           Hashtbl.replace tys (Ir.result i) t;
+           go (index + 1)
+         | exception Levels.Underflow _ -> Some index)
+    end
+  in
+  go start
+
+let place_in_block ?(config = default_config) ~fresh ~max_level ~env ~param_tys
+    ~boundary (b : Ir.block) =
+  let instrs = Array.of_list b.instrs in
+  let n = Array.length instrs in
+  let base_tys () =
+    let tys = Hashtbl.copy env in
+    List.iter2 (fun v t -> Hashtbl.replace tys v t) b.params param_tys;
+    tys
+  in
+  let is_cipher_at tys v =
+    match Hashtbl.find_opt tys v with Some (Tcipher _) -> true | _ -> false
+  in
+  (* Types with every instruction executed optimistically (bootstrapping
+     whenever needed) — used only to classify variables as cipher/plain for
+     liveness, which is level-independent. *)
+  let full_tys =
+    let tys = base_tys () in
+    let bump v =
+      (* Saturate underflowed values back to max level: statuses stay right. *)
+      Hashtbl.replace tys v (Tcipher { level = max_level; scale = 1 })
+    in
+    Array.iteri
+      (fun index (i : Ir.instr) ->
+        let ty_of v =
+          match Hashtbl.find_opt tys v with Some t -> t | None -> Tplain
+        in
+        match i.op with
+        | Ir.For fo ->
+          let m = match fo.boundary with Some m -> m | None -> 1 in
+          List.iter2
+            (fun r init ->
+              Hashtbl.replace tys r
+                (match ty_of init with
+                 | Tplain -> Tplain
+                 | Tcipher _ -> Tcipher { level = m; scale = 1 }))
+            i.results fo.inits
+        | op ->
+          (match
+             Levels.op_result ~max_level ~index op
+               ~operand_tys:(List.map ty_of (Ir.op_operands op))
+           with
+           | t -> Hashtbl.replace tys (Ir.result i) t
+           | exception Levels.Underflow _ -> bump (Ir.result i)))
+      instrs;
+    tys
+  in
+  let sim_from ~live start =
+    (* Pre-[start] definitions keep their optimistic classification (their
+       levels only matter if they are used later, in which case they are in
+       the live set and get raised to the maximum level, exactly what a
+       bootstrap at [start] does); post-[start] definitions are recomputed
+       by the simulation before any use. *)
+    let tys = Hashtbl.copy full_tys in
+    Liveness.VarSet.iter
+      (fun v -> Hashtbl.replace tys v (Tcipher { level = max_level; scale = 1 }))
+      live;
+    simulate ~max_level ~boundary ~tys ~instrs ~yields:b.yields ~start
+  in
+  (* No placement needed? *)
+  let entry_sim () =
+    let tys = base_tys () in
+    simulate ~max_level ~boundary ~tys ~instrs ~yields:b.yields ~start:0
+  in
+  match entry_sim () with
+  | None -> b
+  | Some entry_reach ->
+    let live_sets = Liveness.live_at_points b ~is_cipher:(is_cipher_at full_tys) in
+    let reach_of = Array.make (n + 1) (-1) in
+    let reach j =
+      if reach_of.(j) >= 0 then reach_of.(j)
+      else begin
+        let r =
+          match sim_from ~live:live_sets.(j) j with
+          | None -> n + 1 (* covers the whole block *)
+          | Some idx -> idx
+        in
+        reach_of.(j) <- r;
+        r
+      end
+    in
+    let boot_cost = Halo_cost.Cost_model.bootstrap_latency_us ~target:max_level in
+    let cost_at j = float_of_int (Liveness.VarSet.cardinal live_sets.(j)) *. boot_cost in
+    (* DP over candidate points filtered by live count. *)
+    let try_plan width =
+      let candidate j =
+        Liveness.VarSet.cardinal live_sets.(j) <= width
+        && not (Liveness.VarSet.is_empty live_sets.(j))
+      in
+      let dp = Array.make (n + 1) infinity in
+      let prev = Array.make (n + 1) (-1) in
+      for j = 0 to n do
+        if candidate j then begin
+          (* Reachable directly from entry? *)
+          if j <= entry_reach then begin
+            let c = cost_at j in
+            if c < dp.(j) then begin
+              dp.(j) <- c;
+              prev.(j) <- -1
+            end
+          end;
+          for i = 0 to j - 1 do
+            if candidate i && dp.(i) < infinity && reach i >= j then begin
+              let c = dp.(i) +. cost_at j in
+              if c < dp.(j) then begin
+                dp.(j) <- c;
+                prev.(j) <- i
+              end
+            end
+          done
+        end
+      done;
+      (* Best finishing point: covers through the end. *)
+      let best = ref (-1) in
+      for j = 0 to n do
+        if candidate j && dp.(j) < infinity && reach j > n then
+          if !best < 0 || dp.(j) < dp.(!best) then best := j
+      done;
+      if !best < 0 then None
+      else begin
+        let rec chain j acc = if j < 0 then acc else chain prev.(j) (j :: acc) in
+        Some (chain !best [])
+      end
+    in
+    let rec widen width =
+      match try_plan width with
+      | Some pts -> pts
+      | None ->
+        if width > n + 2 then terr "Dacapo: no feasible bootstrap plan"
+        else widen (width * 2)
+    in
+    let points = widen config.filter_width in
+    (* Materialize: walk forward, inserting bootstraps at chosen points and
+       renaming subsequent uses. *)
+    let rename : (Ir.var, Ir.var) Hashtbl.t = Hashtbl.create 32 in
+    let resolve v = match Hashtbl.find_opt rename v with Some v' -> v' | None -> v in
+    let out = ref [] in
+    let insert_point j =
+      Liveness.VarSet.iter
+        (fun v ->
+          let fresh_v = Ir.fresh_var fresh in
+          out :=
+            { Ir.results = [ fresh_v ];
+              op = Ir.Bootstrap { src = resolve v; target = max_level } }
+            :: !out;
+          Hashtbl.replace rename v fresh_v)
+        live_sets.(j)
+    in
+    Array.iteri
+      (fun j (i : Ir.instr) ->
+        if List.mem j points then insert_point j;
+        let op =
+          match i.op with
+          | Ir.For fo ->
+            Ir.For
+              { fo with
+                inits = List.map resolve fo.inits;
+                body = Ir.substitute_block resolve fo.body }
+          | op -> Ir.map_op_operands resolve op
+        in
+        out := { i with op } :: !out)
+      instrs;
+    if List.mem n points then insert_point n;
+    { b with instrs = List.rev !out; yields = List.map resolve b.yields }

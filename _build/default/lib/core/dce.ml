@@ -1,0 +1,34 @@
+module VarSet = Set.Make (Int)
+
+(* One bottom-up sweep: uses inside kept instructions (and nested bodies,
+   which are cleaned first) keep their producers alive.  Iterating the sweep
+   reaches the fixed point; each sweep removes at least one instruction. *)
+let rec sweep (b : Ir.block) =
+  let cleaned =
+    List.map
+      (fun (i : Ir.instr) ->
+        match i.op with
+        | Ir.For fo -> { i with op = Ir.For { fo with body = sweep fo.body } }
+        | _ -> i)
+      b.instrs
+  in
+  let used = ref (VarSet.of_list b.yields) in
+  let use vs = List.iter (fun v -> used := VarSet.add v !used) vs in
+  let kept =
+    List.fold_right
+      (fun (i : Ir.instr) acc ->
+        if List.exists (fun r -> VarSet.mem r !used) i.results then begin
+          use (Ir.op_operands i.op);
+          (match i.op with Ir.For fo -> use (Ir.free_vars fo.body) | _ -> ());
+          i :: acc
+        end
+        else acc)
+      cleaned []
+  in
+  { b with instrs = kept }
+
+let rec block b =
+  let b' = sweep b in
+  if Ir.count_ops b' = Ir.count_ops b then b' else block b'
+
+let program (p : Ir.program) = { p with body = block p.body }

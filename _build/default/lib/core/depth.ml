@@ -1,0 +1,64 @@
+(* Forward walk computing, per variable, the multiplicative depth relative
+   to the block entry.  Status matters: plaintext-only products add no
+   ciphertext depth. *)
+
+let status_of env v = try Hashtbl.find env v with Not_found -> Ir.Plain
+
+let rec block_depths ~status ~depth ~param_depths (b : Ir.block) =
+  List.iter2 (fun v d -> Hashtbl.replace depth v d) b.params param_depths;
+  let d_of v = try Hashtbl.find depth v with Not_found -> 0 in
+  List.iter
+    (fun (i : Ir.instr) ->
+      match i.op with
+      | Ir.Const _ -> Hashtbl.replace depth (Ir.result i) 0
+      | Ir.Binary { kind; lhs; rhs } ->
+        let base = max (d_of lhs) (d_of rhs) in
+        let is_cipher v = status_of status v = Ir.Cipher in
+        let d =
+          match kind with
+          | Ir.Mul when is_cipher lhs || is_cipher rhs -> base + 1
+          | _ -> base
+        in
+        Hashtbl.replace depth (Ir.result i) d
+      | Ir.Rotate { src; _ } | Ir.Rescale { src } | Ir.Modswitch { src; _ } ->
+        Hashtbl.replace depth (Ir.result i) (d_of src)
+      | Ir.Bootstrap _ ->
+        (* Bootstrapping resets the chain. *)
+        Hashtbl.replace depth (Ir.result i) 0
+      | Ir.Pack { srcs; _ } ->
+        Hashtbl.replace depth (Ir.result i)
+          (1 + List.fold_left (fun a v -> max a (d_of v)) 0 srcs)
+      | Ir.Unpack { src; _ } -> Hashtbl.replace depth (Ir.result i) (d_of src + 1)
+      | Ir.For fo ->
+        let body_d = for_depth ~status ~depth fo in
+        let init_d = List.fold_left (fun a v -> max a (d_of v)) 0 fo.inits in
+        List.iter2
+          (fun r _ -> Hashtbl.replace depth r (init_d + body_d))
+          i.results fo.inits)
+    b.instrs;
+  List.fold_left (fun a v -> max a (d_of v)) 0 b.yields
+
+and for_depth ~status ~depth (fo : Ir.for_op) =
+  (* Depth added across one iteration: walk the body with carried values at
+     depth 0 and take the deepest yield. *)
+  let scratch = Hashtbl.copy depth in
+  block_depths ~status ~depth:scratch
+    ~param_depths:(List.map (fun _ -> 0) fo.body.params)
+    fo.body
+
+let program_depth (p : Ir.program) =
+  let status = Status.infer p in
+  let depth = Hashtbl.create 256 in
+  block_depths ~status ~depth
+    ~param_depths:(List.map (fun _ -> 0) p.body.params)
+    p.body
+
+let loop_body_depth (p : Ir.program) fo =
+  let status = Status.infer p in
+  let depth = Hashtbl.create 256 in
+  (* Populate depths of everything dominating the loop. *)
+  ignore
+    (block_depths ~status ~depth
+       ~param_depths:(List.map (fun _ -> 0) p.body.params)
+       p.body);
+  for_depth ~status ~depth fo

@@ -1,0 +1,15 @@
+(** Multiplicative-depth analysis on traced programs (no level-management
+    operations), following def-use chains as in the paper's Section 6.2:
+    the depth of a multiplication with a ciphertext operand is one more than
+    the deepest such operand.
+
+    Loops report the depth of one iteration ({!loop_body_depth}) — the
+    quantity HALO's level-aware unrolling divides into the level budget —
+    and {!program_depth} treats each loop as consuming its per-iteration
+    depth once (the compiler makes that true by bootstrapping). *)
+
+val program_depth : Ir.program -> int
+
+val loop_body_depth : Ir.program -> Ir.for_op -> int
+(** Maximum multiplicative depth added along any loop-carried chain in one
+    iteration of the given loop (which must belong to the program). *)

@@ -1,0 +1,29 @@
+let program ~bindings (p : Ir.program) =
+  let fresh = Ir.fresh_of_program p in
+  let rec process_block (b : Ir.block) : Ir.block =
+    let rename : (Ir.var, Ir.var) Hashtbl.t = Hashtbl.create 16 in
+    let resolve v = match Hashtbl.find_opt rename v with Some v' -> v' | None -> v in
+    let instrs =
+      List.concat_map
+        (fun (i : Ir.instr) ->
+          match i.op with
+          | Ir.For fo ->
+            let body = process_block (Ir.substitute_block resolve fo.body) in
+            let n = Ir.eval_count ~bindings fo.count in
+            let rec chain k args acc =
+              if k = 0 then (List.rev acc, args)
+              else begin
+                let instrs, yields = Ir.inline_block fresh ~args body in
+                chain (k - 1) yields (List.rev_append instrs acc)
+              end
+            in
+            let unrolled, final = chain n (List.map resolve fo.inits) [] in
+            List.iter2 (fun r y -> Hashtbl.replace rename r y) i.results final;
+            unrolled
+          | op -> [ { i with op = Ir.map_op_operands resolve op } ])
+        b.instrs
+    in
+    { b with instrs; yields = List.map resolve b.yields }
+  in
+  let body = process_block p.body in
+  { p with body; next_var = fresh.Ir.next }

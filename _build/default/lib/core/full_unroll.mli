@@ -1,0 +1,9 @@
+(** Full loop unrolling — the preprocessing every prior compiler (DaCapo,
+    EVA, Hecate, HECO, ...) applies because it lacks loop support.  Every
+    [For] is replaced by chained copies of its body, which requires all
+    iteration counts to be known: dynamic counts are resolved against
+    [bindings], so changing an iteration count forces recompilation (the
+    paper's Section 2.4 critique, reproduced by Table 6/7's growth). *)
+
+val program : bindings:(string * int) list -> Ir.program -> Ir.program
+(** Raises [Not_found] if a dynamic count has no binding. *)

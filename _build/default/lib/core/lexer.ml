@@ -1,0 +1,103 @@
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | VAR of int
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | COMMA | EQUAL | COLON | CARET
+  | PLUS | MINUS | SLASH | MOD
+  | EOF
+
+exception Lex_error of { pos : int; msg : string }
+
+let fail pos fmt = Printf.ksprintf (fun msg -> raise (Lex_error { pos; msg })) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then begin
+      (* Line comment. *)
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      let is_float = ref false in
+      if !i < n && src.[!i] = '.' then begin
+        is_float := true;
+        incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        is_float := true;
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      let text = String.sub src start (!i - start) in
+      if !is_float then push (FLOAT (float_of_string text))
+      else push (INT (int_of_string text))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do incr i done;
+      push (IDENT (String.sub src start (!i - start)))
+    end
+    else
+      match c with
+      | '%' ->
+        (match peek 1 with
+         | Some d when is_digit d ->
+           incr i;
+           let start = !i in
+           while !i < n && is_digit src.[!i] do incr i done;
+           push (VAR (int_of_string (String.sub src start (!i - start))))
+         | _ ->
+           push MOD;
+           incr i)
+      | '"' ->
+        incr i;
+        let start = !i in
+        while !i < n && src.[!i] <> '"' do incr i done;
+        if !i >= n then fail start "unterminated string";
+        push (STRING (String.sub src start (!i - start)));
+        incr i
+      | '{' -> push LBRACE; incr i
+      | '}' -> push RBRACE; incr i
+      | '(' -> push LPAREN; incr i
+      | ')' -> push RPAREN; incr i
+      | '[' -> push LBRACKET; incr i
+      | ']' -> push RBRACKET; incr i
+      | ',' -> push COMMA; incr i
+      | '=' -> push EQUAL; incr i
+      | ':' -> push COLON; incr i
+      | '^' -> push CARET; incr i
+      | '+' -> push PLUS; incr i
+      | '-' -> push MINUS; incr i
+      | '/' -> push SLASH; incr i
+      | c -> fail !i "unexpected character %c" c
+  done;
+  List.rev (EOF :: !tokens)
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "ident %s" s
+  | STRING s -> Printf.sprintf "string %S" s
+  | INT k -> Printf.sprintf "int %d" k
+  | FLOAT x -> Printf.sprintf "float %g" x
+  | VAR v -> Printf.sprintf "%%%d" v
+  | LBRACE -> "{" | RBRACE -> "}" | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | COMMA -> "," | EQUAL -> "=" | COLON -> ":" | CARET -> "^"
+  | PLUS -> "+" | MINUS -> "-" | SLASH -> "/" | MOD -> "%"
+  | EOF -> "<eof>"

@@ -1,0 +1,17 @@
+(** Hand-written lexer for the textual IR ({!Printer} format). *)
+
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | FLOAT of float
+  | VAR of int  (** [%123] *)
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | COMMA | EQUAL | COLON | CARET
+  | PLUS | MINUS | SLASH | MOD
+  | EOF
+
+exception Lex_error of { pos : int; msg : string }
+
+val tokenize : string -> token list
+val token_to_string : token -> string

@@ -1,0 +1,43 @@
+
+let dot b x y ~size = Dsl.sum_slots b (Dsl.mul b x y) ~size
+
+let mean b x ~size = Dsl.scale_by b (Dsl.sum_slots b x ~size) (1.0 /. float_of_int size)
+
+let variance b x ~size =
+  let m = mean b x ~size in
+  let ex2 = mean b (Dsl.mul b x x) ~size in
+  Dsl.sub b ex2 (Dsl.mul b m m)
+
+let covariance b x y ~size =
+  let exy = mean b (Dsl.mul b x y) ~size in
+  Dsl.sub b exy (Dsl.mul b (mean b x ~size) (mean b y ~size))
+
+let weighted_step b w ~grad ~lr ~size =
+  Dsl.sub b w
+    (Dsl.scale_by b (Dsl.sum_slots b grad ~size) (lr /. float_of_int size))
+
+let matvec_diag b ~diags v =
+  let acc =
+    List.fold_left
+      (fun acc (g, d) ->
+        let term = Dsl.mul b (Dsl.rotate b v g) d in
+        match acc with None -> Some term | Some a -> Some (Dsl.add b a term))
+      None
+      (List.mapi (fun g d -> (g, d)) diags)
+  in
+  match acc with Some v -> v | None -> invalid_arg "Linalg.matvec_diag: no diagonals"
+
+let diagonals_of b ~entry ~dim =
+  let one_hot f = Array.init dim (fun i -> if i = f then 1.0 else 0.0) in
+  List.init dim (fun g ->
+      let acc =
+        List.fold_left
+          (fun acc f ->
+            let masked =
+              Dsl.mul b (entry f ((f + g) mod dim)) (Dsl.const_vec b (one_hot f))
+            in
+            match acc with None -> Some masked | Some a -> Some (Dsl.add b a masked))
+          None
+          (List.init dim (fun f -> f))
+      in
+      Option.get acc)

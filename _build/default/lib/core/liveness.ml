@@ -1,0 +1,25 @@
+module VarSet = Set.Make (Int)
+
+let live_at_points (b : Ir.block) ~is_cipher =
+  let n = List.length b.instrs in
+  let points = Array.make (n + 1) VarSet.empty in
+  let keep vs set =
+    List.fold_left
+      (fun acc v -> if is_cipher v then VarSet.add v acc else acc)
+      set vs
+  in
+  points.(n) <- keep b.yields VarSet.empty;
+  let instrs = Array.of_list b.instrs in
+  for j = n - 1 downto 0 do
+    let i = instrs.(j) in
+    let after = points.(j + 1) in
+    let minus_defs = List.fold_left (fun acc r -> VarSet.remove r acc) after i.results in
+    let with_uses = keep (Ir.op_operands i.op) minus_defs in
+    let with_free =
+      match i.op with
+      | Ir.For fo -> keep (Ir.free_vars fo.body) with_uses
+      | _ -> with_uses
+    in
+    points.(j) <- with_free
+  done;
+  points

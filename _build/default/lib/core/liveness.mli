@@ -1,0 +1,11 @@
+(** Backward liveness analysis over a block, used by the DaCapo-style
+    bootstrapping placement to count the ciphertexts that would have to be
+    bootstrapped at each candidate program point. *)
+
+module VarSet : Set.S with type elt = Ir.var
+
+val live_at_points : Ir.block -> is_cipher:(Ir.var -> bool) -> VarSet.t array
+(** [live_at_points b ~is_cipher] has [List.length b.instrs + 1] entries;
+    entry [j] is the set of cipher variables live immediately before
+    instruction [j] (the last entry is before the yields).  Free variables
+    used by nested loop bodies are included. *)

@@ -1,0 +1,164 @@
+open Typecheck
+
+let boundary_level = 1
+
+let terr fmt = Printf.ksprintf (fun s -> raise (Typecheck.Type_error s)) fmt
+
+let program ?dacapo_config (p : Ir.program) =
+  let fresh = Ir.fresh_of_program p in
+  let status_env = Status.infer p in
+  let cipher_status v =
+    match Hashtbl.find_opt status_env v with
+    | Some Ir.Cipher -> true
+    | Some Ir.Plain -> false
+    | None -> terr "Loop_codegen: unknown status of %%%d" v
+  in
+  (* Forward walk mirroring Levels.walk_block, processing loops as they are
+     met (inner loops first via recursion) and falling back to DaCapo
+     placement when a block underflows. *)
+  let rec process_block env ~param_tys ~boundary (b : Ir.block) : Ir.block =
+    List.iter2 (fun v t -> Hashtbl.replace env v t) b.params param_tys;
+    let ty_of v =
+      match Hashtbl.find_opt env v with
+      | Some t -> t
+      | None -> terr "Loop_codegen: use of undefined %%%d" v
+    in
+    let instrs =
+      List.mapi
+        (fun index (i : Ir.instr) ->
+          match i.op with
+          | Ir.For fo when fo.boundary = None
+                           && List.exists cipher_status fo.body.params ->
+            let fo = match_loop env fo in
+            let m = match fo.boundary with Some m -> m | None -> assert false in
+            List.iter2
+              (fun r init ->
+                Hashtbl.replace env r
+                  (match ty_of init with
+                   | Tplain -> Tplain
+                   | Tcipher _ -> Tcipher { level = m; scale = 1 }))
+              i.results fo.inits;
+            { i with op = Ir.For fo }
+          | Ir.For fo ->
+            (* Plain-only loop (or already matched): recurse for nested
+               cipher loops, keep boundary as is. *)
+            let m = match fo.boundary with Some m -> Some m | None -> None in
+            let param_tys =
+              List.map2
+                (fun prm init ->
+                  ignore prm;
+                  match ty_of init with
+                  | Tplain -> Tplain
+                  | Tcipher _ ->
+                    Tcipher { level = (match m with Some m -> m | None -> 1); scale = 1 })
+                fo.body.params fo.inits
+            in
+            let body = process_block env ~param_tys ~boundary:m fo.body in
+            List.iter2
+              (fun r t -> Hashtbl.replace env r t)
+              i.results param_tys;
+            { i with op = Ir.For { fo with body } }
+          | op ->
+            let t =
+              match
+                Levels.op_result ~max_level:p.max_level ~index op
+                  ~operand_tys:(List.map ty_of (Ir.op_operands op))
+              with
+              | t -> t
+              | exception Levels.Underflow _ ->
+                (* Leave an optimistic type; the block-level retry below
+                   will place bootstraps and reprocess. *)
+                Tcipher { level = p.max_level; scale = 1 }
+            in
+            (match i.results with
+             | [ r ] -> Hashtbl.replace env r t
+             | _ -> terr "Loop_codegen: non-loop op with several results");
+            i)
+        b.instrs
+    in
+    let b = { b with instrs } in
+    (* Validate; on underflow, let DaCapo repair this block and re-walk. *)
+    match
+      Levels.walk_block ~max_level:p.max_level ~env:(Hashtbl.copy env) ~param_tys
+        ~boundary b
+    with
+    | _ -> b
+    | exception Levels.Underflow _ ->
+      let repaired =
+        Dacapo.place_in_block ?config:dacapo_config ~fresh ~max_level:p.max_level
+          ~env ~param_tys ~boundary b
+      in
+      (match
+         Levels.walk_block ~max_level:p.max_level ~env ~param_tys ~boundary
+           repaired
+       with
+       | _ -> repaired
+       | exception Levels.Underflow { msg; _ } ->
+         terr "Loop_codegen: block still underflows after placement: %s" msg)
+
+  (* Algorithm 1 on one loop: bootstrap every carried ciphertext at the head
+     of the body, process the body (inner loops, extra bootstraps), and set
+     the boundary.  Modswitches on inits and yields are materialized later
+     by Normalize. *)
+  and match_loop env (fo : Ir.for_op) : Ir.for_op =
+    let m = boundary_level in
+    let head, rename =
+      List.fold_left
+        (fun (head, rename) prm ->
+          if cipher_status prm then begin
+            let v = Ir.fresh_var fresh in
+            let head =
+              { Ir.results = [ v ];
+                op = Ir.Bootstrap { src = prm; target = p.max_level } }
+              :: head
+            in
+            (head, (prm, v) :: rename)
+          end
+          else (head, rename))
+        ([], []) fo.body.params
+    in
+    let rename_map = rename in
+    let resolve v =
+      match List.assoc_opt v rename_map with Some v' -> v' | None -> v
+    in
+    let renamed_body =
+      (* Rename carried-variable uses to their bootstrapped versions, but
+         keep the binding occurrences (params) intact. *)
+      let body = fo.body in
+      let instrs =
+        List.map
+          (fun (i : Ir.instr) ->
+            match i.op with
+            | Ir.For nested ->
+              { i with
+                op =
+                  Ir.For
+                    { nested with
+                      inits = List.map resolve nested.inits;
+                      body = Ir.substitute_block resolve nested.body } }
+            | op -> { i with op = Ir.map_op_operands resolve op })
+          body.instrs
+      in
+      { body with instrs; yields = List.map resolve body.yields }
+    in
+    let body = { renamed_body with instrs = List.rev head @ renamed_body.instrs } in
+    let param_tys =
+      List.map
+        (fun prm ->
+          if cipher_status prm then Tcipher { level = m; scale = 1 } else Tplain)
+        fo.body.params
+    in
+    let body = process_block env ~param_tys ~boundary:(Some m) body in
+    { fo with body; boundary = Some m }
+  in
+  let param_tys =
+    List.map
+      (fun (i : Ir.input) ->
+        match i.in_status with
+        | Ir.Plain -> Tplain
+        | Ir.Cipher -> Tcipher { level = p.max_level; scale = 1 })
+      p.inputs
+  in
+  let env = Hashtbl.create 256 in
+  let body = process_block env ~param_tys ~boundary:None p.body in
+  { p with body; next_var = fresh.Ir.next }

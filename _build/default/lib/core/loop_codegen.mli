@@ -1,0 +1,23 @@
+(** Loop-enabled code generation (paper Algorithm 1 + Section 5.3).
+
+    Transforms every loop into a {e type-matched loop}:
+
+    + {!Peel} is assumed to have run, so encryption statuses of loop-carried
+      variables are stable across iterations;
+    + every loop-carried ciphertext is bootstrapped to the maximum level at
+      the head of the loop body (Solution A-2);
+    + the loop is annotated with a boundary level ([1]); {!Normalize}
+      materializes the modswitches that align inits and yields to it;
+    + if the body (or straight-line code outside loops) still runs out of
+      levels, the DaCapo placement ({!Dacapo}) inserts additional bootstraps
+      — recursively for nested loops, innermost first, treating inner loops
+      as black boxes.
+
+    The result walks without underflow and, after {!Normalize}, verifies
+    under {!Typecheck}. *)
+
+val boundary_level : int
+(** The loop-boundary level used for type-matched loops (1; {!Packing}
+    raises it to 2 for the mask multiplications). *)
+
+val program : ?dacapo_config:Dacapo.config -> Ir.program -> Ir.program

@@ -1,0 +1,75 @@
+let mask ~segments ~num_e ~index =
+  let values = Array.make (segments * num_e) 0.0 in
+  Array.fill values (index * num_e) num_e 1.0;
+  Ir.Vector values
+
+let program (p : Ir.program) =
+  let fresh = Ir.fresh_of_program p in
+  let emit acc op =
+    let v = Ir.fresh_var fresh in
+    acc := { Ir.results = [ v ]; op } :: !acc;
+    v
+  in
+  let emit_as acc results op = acc := { Ir.results = results; op } :: !acc in
+  let rec process_block (b : Ir.block) : Ir.block =
+    let acc = ref [] in
+    List.iter
+      (fun (i : Ir.instr) ->
+        match i.op with
+        | Ir.Pack { srcs; num_e } ->
+          let segments = Sizes.round_pow2 (List.length srcs) in
+          let masked =
+            List.mapi
+              (fun index src ->
+                let m =
+                  emit acc
+                    (Ir.Const
+                       { value = mask ~segments ~num_e ~index;
+                         size = segments * num_e })
+                in
+                emit acc (Ir.Binary { kind = Ir.Mul; lhs = src; rhs = m }))
+              srcs
+          in
+          (* Sum the masked ciphertexts; the final addition carries the
+             original result variable. *)
+          (match masked with
+           | [] | [ _ ] -> invalid_arg "Lower_pack: pack needs at least two sources"
+           | first :: rest ->
+             let rec fold a = function
+               | [ last ] ->
+                 emit_as acc i.results (Ir.Binary { kind = Ir.Add; lhs = a; rhs = last })
+               | v :: tl -> fold (emit acc (Ir.Binary { kind = Ir.Add; lhs = a; rhs = v })) tl
+               | [] -> assert false
+             in
+             fold first rest)
+        | Ir.Unpack { src; index; num_e; count } ->
+          let segments = Sizes.round_pow2 count in
+          if segments < 2 then invalid_arg "Lower_pack: unpack needs two segments";
+          let m =
+            emit acc
+              (Ir.Const
+                 { value = mask ~segments ~num_e ~index; size = segments * num_e })
+          in
+          let selected = emit acc (Ir.Binary { kind = Ir.Mul; lhs = src; rhs = m }) in
+          let positioned =
+            if index = 0 then selected
+            else emit acc (Ir.Rotate { src = selected; offset = index * num_e })
+          in
+          (* Replicate the segment across the slots by rotate-and-add
+             doubling (rotating right fills the higher slots); the last
+             addition carries the original result variable. *)
+          let rec replicate v step =
+            let rotated = emit acc (Ir.Rotate { src = v; offset = -step }) in
+            let op = Ir.Binary { kind = Ir.Add; lhs = v; rhs = rotated } in
+            if step * 2 >= segments * num_e then emit_as acc i.results op
+            else replicate (emit acc op) (step * 2)
+          in
+          replicate positioned num_e
+        | Ir.For fo ->
+          acc := { i with op = Ir.For { fo with body = process_block fo.body } } :: !acc
+        | _ -> acc := i :: !acc)
+      b.instrs;
+    { b with instrs = List.rev !acc }
+  in
+  let body = process_block p.body in
+  { p with body; next_var = fresh.Ir.next }

@@ -1,0 +1,14 @@
+(** Lowering of the composite [pack]/[unpack] operations into the primitive
+    RNS-CKKS operation set (paper Section 6.1):
+
+    - [pack]: each source is masked by a zero/one plaintext ([multcp]) and
+      the masked ciphertexts are summed ([addcc]);
+    - [unpack]: the packed ciphertext is masked, rotated to slot 0, and
+      re-replicated across the slots by a rotate-and-add doubling tree.
+
+    Segment counts are padded to powers of two so that the mask period
+    divides the slot count.  Each lowered form consumes exactly one level
+    (the mask multiplication), matching the composite ops' typing rule, so
+    lowering commutes with level analysis. *)
+
+val program : Ir.program -> Ir.program

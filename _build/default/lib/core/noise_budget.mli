@@ -1,0 +1,34 @@
+(** Static worst-case noise estimation.
+
+    Tracks an upper bound on each value's error relative to its scale, in
+    the style of EVA/ELASM's error analyses (the scale-management lineage
+    the paper builds on): encryption, key switching, rescale rounding and
+    bootstrapping each contribute a configurable unit; multiplication adds the
+    operands' relative bounds plus a relinearization unit, and addition
+    takes the larger bound (assuming no catastrophic cancellation, the
+    usual affine simplification).
+
+    For type-matched loops the head bootstrap makes the carried noise
+    iteration-independent, which the analysis verifies by checking the
+    yield bound against the loop-entry bound — if a carried value's noise
+    grows per iteration (e.g. the program was compiled without
+    bootstrapping), the estimate is reported as unbounded. *)
+
+type units = {
+  enc : float;  (** fresh encryption *)
+  keyswitch : float;  (** rotation / relinearization *)
+  rescale : float;  (** rounding of one rescale *)
+  bootstrap : float;  (** error of one bootstrap *)
+}
+
+val default_units : units
+(** Calibrated to the reference backend's defaults (1e-7 encryption, 1e-5
+    bootstrap, ...). *)
+
+type report = {
+  per_output : float list;  (** worst-case relative error bound per output *)
+  worst : float;
+  bounded : bool;  (** false if some loop grows noise without bootstrap *)
+}
+
+val analyze : ?units:units -> Ir.program -> report

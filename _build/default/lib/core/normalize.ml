@@ -1,0 +1,197 @@
+exception Underflow of string
+
+let underflow fmt = Printf.ksprintf (fun s -> raise (Underflow s)) fmt
+let terr fmt = Printf.ksprintf (fun s -> raise (Typecheck.Type_error s)) fmt
+
+open Typecheck
+
+let rec block ~fresh ~max_level ~slots ~env ~rename ~param_tys ~boundary (b : Ir.block) =
+  List.iter2 (fun v t -> Hashtbl.replace env v t) b.params param_tys;
+  let out = ref [] in
+  let emit ?result op ty =
+    let r = match result with Some r -> r | None -> Ir.fresh_var fresh in
+    out := { Ir.results = [ r ]; op } :: !out;
+    Hashtbl.replace env r ty;
+    r
+  in
+  let resolve v = match Hashtbl.find_opt rename v with Some v' -> v' | None -> v in
+  let ty_of v =
+    match Hashtbl.find_opt env v with
+    | Some t -> t
+    | None -> terr "normalize: use of undefined %%%d" v
+  in
+  (* Lower a ciphertext to [target] level, emitting a modswitch if needed. *)
+  let lower v target ~what =
+    match ty_of v with
+    | Tplain -> terr "normalize: cannot modswitch plaintext (%s)" what
+    | Tcipher { level; scale } ->
+      if level < target then
+        underflow "%s: ciphertext at level %d, need %d" what level target
+      else if level = target then v
+      else
+        emit
+          (Ir.Modswitch { src = v; down = level - target })
+          (Tcipher { level = target; scale })
+  in
+  let process (i : Ir.instr) =
+    match i.op with
+    | Ir.Rescale { src } | Ir.Modswitch { src; _ } ->
+      (* Strip: regenerated below where required. *)
+      Hashtbl.replace rename (Ir.result i) (resolve src)
+    | Ir.Const _ as op -> ignore (emit ~result:(Ir.result i) op Tplain)
+    | Ir.Binary { kind; lhs; rhs } ->
+      let lhs = resolve lhs and rhs = resolve rhs in
+      let tl = ty_of lhs and tr = ty_of rhs in
+      (match (tl, tr) with
+       | Tplain, Tplain ->
+         ignore (emit ~result:(Ir.result i) (Ir.Binary { kind; lhs; rhs }) Tplain)
+       | Tcipher c, Tplain | Tplain, Tcipher c ->
+         (match kind with
+          | Ir.Add | Ir.Sub ->
+            ignore
+              (emit ~result:(Ir.result i) (Ir.Binary { kind; lhs; rhs }) (Tcipher c))
+          | Ir.Mul ->
+            (* multcp then rescale: consumes one level. *)
+            if c.level < 2 then underflow "multcp: operand at level %d" c.level;
+            let prod =
+              emit (Ir.Binary { kind; lhs; rhs })
+                (Tcipher { c with scale = c.scale + 1 })
+            in
+            ignore
+              (emit ~result:(Ir.result i) (Ir.Rescale { src = prod })
+                 (Tcipher { level = c.level - 1; scale = c.scale })))
+       | Tcipher cl, Tcipher cr ->
+         if cl.scale <> 1 || cr.scale <> 1 then
+           terr "normalize: non-canonical scale on binary operand";
+         let target = min cl.level cr.level in
+         (match kind with
+          | Ir.Add | Ir.Sub ->
+            let lhs = lower lhs target ~what:"addcc align" in
+            let rhs = lower rhs target ~what:"addcc align" in
+            ignore
+              (emit ~result:(Ir.result i) (Ir.Binary { kind; lhs; rhs })
+                 (Tcipher { level = target; scale = 1 }))
+          | Ir.Mul ->
+            if target < 2 then underflow "multcc: operands at level %d" target;
+            let lhs = lower lhs target ~what:"multcc align" in
+            let rhs = lower rhs target ~what:"multcc align" in
+            let prod =
+              emit (Ir.Binary { kind; lhs; rhs }) (Tcipher { level = target; scale = 2 })
+            in
+            ignore
+              (emit ~result:(Ir.result i) (Ir.Rescale { src = prod })
+                 (Tcipher { level = target - 1; scale = 1 }))))
+    | Ir.Rotate { src; offset } ->
+      let src = resolve src in
+      ignore (emit ~result:(Ir.result i) (Ir.Rotate { src; offset }) (ty_of src))
+    | Ir.Bootstrap { src; target } ->
+      let src = resolve src in
+      (match ty_of src with
+       | Tplain -> terr "normalize: bootstrap of plaintext"
+       | Tcipher { scale; _ } ->
+         if scale <> 1 then terr "normalize: bootstrap of non-canonical scale";
+         if target < 1 || target > max_level then
+           terr "normalize: bootstrap target %d out of range" target;
+         ignore
+           (emit ~result:(Ir.result i) (Ir.Bootstrap { src; target })
+              (Tcipher { level = target; scale = 1 })))
+    | Ir.Pack { srcs; num_e } ->
+      let srcs = List.map resolve srcs in
+      if Sizes.round_pow2 (List.length srcs) * num_e > slots then
+        terr "normalize: pack exceeds slot capacity";
+      let levels =
+        List.map
+          (fun v ->
+            match ty_of v with
+            | Tcipher { level; scale = 1 } -> level
+            | Tcipher _ -> terr "normalize: pack operand with non-canonical scale"
+            | Tplain -> terr "normalize: pack of plaintext")
+          srcs
+      in
+      let target = List.fold_left min max_int levels in
+      if target < 2 then underflow "pack: operands at level %d" target;
+      let srcs = List.map (fun v -> lower v target ~what:"pack align") srcs in
+      ignore
+        (emit ~result:(Ir.result i) (Ir.Pack { srcs; num_e })
+           (Tcipher { level = target - 1; scale = 1 }))
+    | Ir.Unpack { src; index; num_e; count } ->
+      let src = resolve src in
+      (match ty_of src with
+       | Tplain -> terr "normalize: unpack of plaintext"
+       | Tcipher { level; scale } ->
+         if scale <> 1 then terr "normalize: unpack of non-canonical scale";
+         if level < 2 then underflow "unpack: operand at level %d" level;
+         ignore
+           (emit ~result:(Ir.result i) (Ir.Unpack { src; index; num_e; count })
+              (Tcipher { level = level - 1; scale = 1 })))
+    | Ir.For fo ->
+      let inits = List.map resolve fo.inits in
+      let init_tys = List.map ty_of inits in
+      let carries_cipher = List.exists (fun t -> t <> Tplain) init_tys in
+      let m =
+        match (fo.boundary, carries_cipher) with
+        | Some m, _ -> Some m
+        | None, false -> None
+        | None, true -> terr "normalize: cipher-carrying loop without boundary"
+      in
+      let inits =
+        List.map2
+          (fun v t ->
+            match (t, m) with
+            | Tplain, _ -> v
+            | Tcipher _, Some m -> lower v m ~what:"loop init align"
+            | Tcipher _, None -> assert false)
+          inits init_tys
+      in
+      let param_tys =
+        List.map
+          (fun t ->
+            match (t, m) with
+            | Tplain, _ -> Tplain
+            | Tcipher _, Some m -> Tcipher { level = m; scale = 1 }
+            | Tcipher _, None -> assert false)
+          init_tys
+      in
+      let body, yield_tys =
+        block ~fresh ~max_level ~slots ~env ~rename ~param_tys ~boundary:m fo.body
+      in
+      (* The boundary alignment inside [block] guarantees cipher yields sit
+         at level m; plain yields must still be plain (peeling has run). *)
+      List.iter2
+        (fun pt yt ->
+          if pt = Tplain && yt <> Tplain then
+            terr "normalize: loop needs peeling (plain init, cipher yield)")
+        param_tys yield_tys;
+      List.iter2 (fun r t -> Hashtbl.replace env r t) i.results param_tys;
+      out := { Ir.results = i.results; op = Ir.For { fo with inits; body } } :: !out
+  in
+  List.iter process b.instrs;
+  let yields =
+    List.map
+      (fun v ->
+        let v = resolve v in
+        match (boundary, ty_of v) with
+        | Some m, Tcipher _ -> lower v m ~what:"loop yield align"
+        | _ -> v)
+      b.yields
+  in
+  let yield_tys = List.map ty_of yields in
+  ({ Ir.params = b.params; instrs = List.rev !out; yields }, yield_tys)
+
+let program (p : Ir.program) =
+  let env = Hashtbl.create 256 in
+  let rename = Hashtbl.create 64 in
+  let fresh = Ir.fresh_of_program p in
+  let param_tys =
+    List.map
+      (fun (i : Ir.input) ->
+        match i.in_status with
+        | Ir.Plain -> Tplain
+        | Ir.Cipher -> Tcipher { level = p.max_level; scale = 1 })
+      p.inputs
+  in
+  let body, _ =
+    block ~fresh ~max_level:p.max_level ~slots:p.slots ~env ~rename ~param_tys
+      ~boundary:None p.body
+  in
+  { p with body; next_var = fresh.Ir.next }

@@ -1,0 +1,45 @@
+(** Scale management: materialize [rescale] and [modswitch].
+
+    Given a program whose interesting decisions (bootstrap placement, loop
+    boundaries, packing, unrolling) have been made, this pass deterministically
+    inserts the level-management bookkeeping, in the style of EVA/Hecate's
+    scale managers:
+
+    - every ciphertext multiplication is followed by a [rescale] (so scales
+      stay at one Delta unit at instruction boundaries);
+    - operands of cipher-cipher operations are aligned by [modswitch] on the
+      higher-level operand (eager lowering — lower-level ops are faster,
+      Table 2);
+    - loop-carried values are aligned to the loop's boundary level on entry
+      and before each yield.
+
+    Pre-existing [rescale]/[modswitch] instructions are stripped and
+    regenerated, which makes the pass idempotent and lets later passes (e.g.
+    bootstrap target tuning) simply edit bootstrap targets and re-normalize.
+
+    Raises {!Underflow} when a multiplication, pack/unpack or boundary
+    alignment would push a ciphertext below level 1 — the signal that
+    additional bootstrapping is required (handled by {!Dacapo}). *)
+
+exception Underflow of string
+
+val program : Ir.program -> Ir.program
+(** Normalize a whole program.  Loops carrying ciphertexts must have their
+    [boundary] set (i.e. {!Loop_codegen} must have run); raises
+    [Typecheck.Type_error] otherwise. *)
+
+val block :
+  fresh:Ir.fresh ->
+  max_level:int ->
+  slots:int ->
+  env:(Ir.var, Typecheck.ty) Hashtbl.t ->
+  rename:(Ir.var, Ir.var) Hashtbl.t ->
+  param_tys:Typecheck.ty list ->
+  boundary:int option ->
+  Ir.block ->
+  Ir.block * Typecheck.ty list
+(** Normalize one block given its parameter types; used by passes that probe
+    loop bodies.  [env] types free variables and is extended in place;
+    [rename] maps stripped variables to their replacements and must be
+    shared with the enclosing traversal.  When [boundary] is set, cipher
+    yields are modswitched down to it. *)

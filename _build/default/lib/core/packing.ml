@@ -1,0 +1,129 @@
+open Typecheck
+
+let packed_boundary = 2
+
+let program ?dacapo_config (p : Ir.program) =
+  let fresh = Ir.fresh_of_program p in
+  let sizes = Sizes.infer p in
+  let env = Pass_util.type_env p in
+  let size_of v = match Hashtbl.find_opt sizes v with Some s -> s | None -> 1 in
+  (* Split the head of a type-matched body into the parameter bootstraps
+     inserted by Loop_codegen and the rest. *)
+  let split_head (body : Ir.block) =
+    let rec go acc = function
+      | ({ Ir.op = Ir.Bootstrap { src; _ }; _ } as i) :: rest
+        when List.mem src body.params ->
+        go (i :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    go [] body.instrs
+  in
+  let rec process_block (b : Ir.block) : Ir.block =
+    let instrs =
+      List.map
+        (fun (i : Ir.instr) ->
+          match i.op with
+          | Ir.For fo ->
+            let fo = { fo with body = process_block fo.body } in
+            { i with op = Ir.For (pack_loop fo) }
+          | _ -> i)
+        b.instrs
+    in
+    { b with instrs }
+  and pack_loop (fo : Ir.for_op) : Ir.for_op =
+    match fo.boundary with
+    | None -> fo
+    | Some m when m <> Loop_codegen.boundary_level -> fo
+    | Some _ ->
+      let head, rest = split_head fo.body in
+      if List.length head < 2 then fo
+      else begin
+        let srcs =
+          List.map
+            (fun (i : Ir.instr) ->
+              match i.op with
+              | Ir.Bootstrap { src; _ } -> src
+              | _ -> assert false)
+            head
+        in
+        let k = List.length srcs in
+        let num_e =
+          Sizes.round_pow2 (List.fold_left (fun a v -> max a (size_of v)) 1 srcs)
+        in
+        if Sizes.round_pow2 k * num_e > p.slots then fo
+        else begin
+          let target =
+            match head with
+            | { Ir.op = Ir.Bootstrap { target; _ }; _ } :: _ -> target
+            | _ -> assert false
+          in
+          let packed = Ir.fresh_var fresh in
+          let boosted = Ir.fresh_var fresh in
+          let unpacked = List.map (fun _ -> Ir.fresh_var fresh) srcs in
+          let new_head =
+            { Ir.results = [ packed ]; op = Ir.Pack { srcs; num_e } }
+            :: { Ir.results = [ boosted ]; op = Ir.Bootstrap { src = packed; target } }
+            :: List.mapi
+                 (fun index u ->
+                   { Ir.results = [ u ];
+                     op = Ir.Unpack { src = boosted; index; num_e; count = k } })
+                 unpacked
+          in
+          (* Old bootstrap results now come from the unpacks. *)
+          let rename_assoc =
+            List.map2 (fun (i : Ir.instr) u -> (Ir.result i, u)) head unpacked
+          in
+          let resolve v =
+            match List.assoc_opt v rename_assoc with Some v' -> v' | None -> v
+          in
+          let rest =
+            List.map
+              (fun (i : Ir.instr) ->
+                match i.op with
+                | Ir.For nested ->
+                  { i with
+                    op =
+                      Ir.For
+                        { nested with
+                          inits = List.map resolve nested.inits;
+                          body = Ir.substitute_block resolve nested.body } }
+                | op -> { i with op = Ir.map_op_operands resolve op })
+              rest
+          in
+          let body =
+            { fo.body with
+              instrs = new_head @ rest;
+              yields = List.map resolve fo.body.yields }
+          in
+          let fo = { fo with body; boundary = Some packed_boundary } in
+          repair_loop fo
+        end
+      end
+  (* The two mask multiplications eat into the level budget; if the body no
+     longer fits, place an additional in-body bootstrap (DaCapo scope). *)
+  and repair_loop (fo : Ir.for_op) : Ir.for_op =
+    let m = match fo.boundary with Some m -> m | None -> assert false in
+    let param_tys =
+      List.map2
+        (fun prm init ->
+          ignore init;
+          match Hashtbl.find_opt env prm with
+          | Some Tplain -> Tplain
+          | _ -> Tcipher { level = m; scale = 1 })
+        fo.body.params fo.inits
+    in
+    let scratch = Hashtbl.copy env in
+    match
+      Levels.walk_block ~max_level:p.max_level ~env:scratch ~param_tys
+        ~boundary:(Some m) fo.body
+    with
+    | _ -> fo
+    | exception Levels.Underflow _ ->
+      let body =
+        Dacapo.place_in_block ?config:dacapo_config ~fresh ~max_level:p.max_level
+          ~env ~param_tys ~boundary:(Some m) fo.body
+      in
+      { fo with body }
+  in
+  let body = process_block p.body in
+  { p with body; next_var = fresh.Ir.next }

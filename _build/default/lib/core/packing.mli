@@ -1,0 +1,19 @@
+(** Solution B-1: pack the loop-carried ciphertexts into a single ciphertext
+    so that each iteration pays for one bootstrap instead of one per carried
+    variable (paper Section 6.1).
+
+    The pass rewrites the bootstrap block that {!Loop_codegen} put at each
+    loop head:
+
+    {v  b1 = bootstrap p1, L          t  = pack(p1 .. pk) num_e
+        ...                     ==>   bt = bootstrap t, L
+        bk = bootstrap pk, L          u1 = unpack bt, 0, num_e, k ...  v}
+
+    Packing applies when the loop carries at least two ciphertexts and
+    [k * num_e] fits in the slots.  The mask multiplications consume one
+    level on each side of the bootstrap, so the loop boundary is raised from
+    1 to 2 and, if the body no longer fits in the level budget, an
+    additional in-body bootstrap is placed (the K-means case discussed in
+    Section 7.1). *)
+
+val program : ?dacapo_config:Dacapo.config -> Ir.program -> Ir.program

@@ -1,0 +1,6 @@
+(** Recursive-descent parser for the textual IR; inverse of {!Printer}. *)
+
+exception Parse_error of string
+
+val parse_program : string -> Ir.program
+(** Raises {!Parse_error} or [Lexer.Lex_error] on malformed input. *)

@@ -1,0 +1,14 @@
+let input_tys (p : Ir.program) =
+  List.map
+    (fun (i : Ir.input) ->
+      match i.in_status with
+      | Ir.Plain -> Typecheck.Tplain
+      | Ir.Cipher -> Typecheck.Tcipher { level = p.max_level; scale = 1 })
+    p.inputs
+
+let type_env (p : Ir.program) =
+  let env = Hashtbl.create 256 in
+  ignore
+    (Levels.walk_block ~max_level:p.max_level ~env ~param_tys:(input_tys p)
+       ~boundary:None p.body);
+  env

@@ -1,0 +1,7 @@
+(** Shared helpers for the optimization passes. *)
+
+val type_env : Ir.program -> (Ir.var, Typecheck.ty) Hashtbl.t
+(** Level-walk the whole (already type-matched) program and return the types
+    of every variable, including loop-body locals. *)
+
+val input_tys : Ir.program -> Typecheck.ty list

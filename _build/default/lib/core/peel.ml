@@ -1,0 +1,50 @@
+let decrement = function
+  | Ir.Static n ->
+    if n < 1 then invalid_arg "Peel: cannot peel a zero-iteration loop";
+    Ir.Static (n - 1)
+  | Ir.Dyn d ->
+    if d.div <> 1 then invalid_arg "Peel: loop already unrolled";
+    Ir.Dyn { d with add = d.add - 1 }
+
+let program (p : Ir.program) =
+  let fresh = Ir.fresh_of_program p in
+  let env = Status.infer p in
+  (* Process a block, peeling loops bottom-up.  Peeled copies are spliced in
+     front of the loop and become its new inits. *)
+  let rec process_block (b : Ir.block) : Ir.block =
+    let instrs =
+      List.concat_map
+        (fun (i : Ir.instr) ->
+          match i.op with
+          | Ir.For fo ->
+            let fo = { fo with body = process_block fo.body } in
+            let rec peel fo budget =
+              if budget = 0 then ([], fo)
+              else if Status.loop_needs_peel env fo then begin
+                let peeled_instrs, peeled_yields =
+                  Ir.inline_block fresh ~args:fo.inits fo.body
+                in
+                (* Track statuses of the freshly-created variables so the
+                   next mismatch check sees them. *)
+                ignore
+                  (Status.block_statuses env
+                     ~param_statuses:[]
+                     { Ir.params = []; instrs = peeled_instrs; yields = [] });
+                let fo' =
+                  { fo with inits = peeled_yields; count = decrement fo.count }
+                in
+                let more, final = peel fo' (budget - 1) in
+                (peeled_instrs @ more, final)
+              end
+              else ([], fo)
+            in
+            let budget = List.length fo.inits + 1 in
+            let peeled, fo = peel fo budget in
+            peeled @ [ { i with op = Ir.For fo } ]
+          | _ -> [ i ])
+        b.instrs
+    in
+    { b with instrs }
+  in
+  let body = process_block p.body in
+  { p with body; next_var = fresh.Ir.next }

@@ -1,0 +1,12 @@
+(** Solution A-1: peel the first iteration of loops whose loop-carried
+    variables enter as plaintext but are yielded as ciphertext (paper
+    Section 5.1).
+
+    Because encryption status is monotone (nothing reverts to plaintext), a
+    bounded number of peels — at most the number of carried variables —
+    stabilizes the statuses; usually a single peel suffices.  Peeling
+    decrements the iteration count ([K] becomes [K - 1]); dynamic counts are
+    assumed to be at least the number of peeled iterations, which the
+    runtime checks when the count binding is supplied. *)
+
+val program : Ir.program -> Ir.program

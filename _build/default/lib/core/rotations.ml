@@ -1,0 +1,33 @@
+module IntSet = Set.Make (Int)
+
+let required (p : Ir.program) =
+  let slots = p.slots in
+  let normalize off = ((off mod slots) + slots) mod slots in
+  let acc = ref IntSet.empty in
+  Ir.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.op with
+          | Ir.Rotate { offset; _ } ->
+            let o = normalize offset in
+            if o <> 0 then acc := IntSet.add o !acc
+          | Ir.Unpack { index; num_e; count; _ } ->
+            (* A composite unpack lowers to a positioning rotation plus the
+               replication doublings. *)
+            let o = normalize (index * num_e) in
+            if o <> 0 then acc := IntSet.add o !acc;
+            let segments = Sizes.round_pow2 count in
+            let rec steps s =
+              if s < segments * num_e then begin
+                acc := IntSet.add (normalize (-s)) !acc;
+                steps (s * 2)
+              end
+            in
+            steps num_e
+          | _ -> ())
+        b.instrs)
+    p.body;
+  IntSet.elements !acc
+
+let count p = List.length (required p)

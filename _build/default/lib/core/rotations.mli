@@ -1,0 +1,14 @@
+(** Rotation-key planning.
+
+    Every distinct rotation offset used by a compiled program needs a Galois
+    switching key at run time; deployments generate exactly that key set and
+    ship it to the evaluator (rotation keys dominate the key material — cf.
+    the paper's reference [43] on rotation-key reduction).  This analysis
+    collects the offsets so the runtime can pre-generate keys and the CLI
+    can report them. *)
+
+val required : Ir.program -> int list
+(** Distinct rotation offsets (normalized modulo the slot count, zero
+    excluded), ascending. *)
+
+val count : Ir.program -> int

@@ -1,0 +1,41 @@
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let infer (p : Ir.program) =
+  let env : (Ir.var, int) Hashtbl.t = Hashtbl.create 256 in
+  let size_of v = match Hashtbl.find_opt env v with Some s -> s | None -> 1 in
+  let rec block_sizes ~param_sizes (b : Ir.block) =
+    List.iter2 (fun v s -> Hashtbl.replace env v s) b.params param_sizes;
+    List.iter
+      (fun (i : Ir.instr) ->
+        match i.op with
+        | Ir.Const { size; _ } -> Hashtbl.replace env (Ir.result i) size
+        | Ir.Binary { lhs; rhs; _ } ->
+          Hashtbl.replace env (Ir.result i) (max (size_of lhs) (size_of rhs))
+        | Ir.Rotate { src; _ } | Ir.Rescale { src } | Ir.Modswitch { src; _ }
+        | Ir.Bootstrap { src; _ } ->
+          Hashtbl.replace env (Ir.result i) (size_of src)
+        | Ir.Pack { srcs; num_e } ->
+          Hashtbl.replace env (Ir.result i)
+            (max num_e (List.fold_left (fun a v -> max a (size_of v)) 1 srcs))
+        | Ir.Unpack { num_e; _ } -> Hashtbl.replace env (Ir.result i) num_e
+        | Ir.For fo ->
+          let stable = fixpoint fo in
+          List.iter2 (fun r s -> Hashtbl.replace env r s) i.results stable)
+      b.instrs;
+    List.map size_of b.yields
+  and fixpoint (fo : Ir.for_op) =
+    let current = ref (List.map size_of fo.inits) in
+    let continue = ref true in
+    while !continue do
+      let yields = block_sizes ~param_sizes:!current fo.body in
+      let joined = List.map2 max !current yields in
+      if joined = !current then continue := false else current := joined
+    done;
+    ignore (block_sizes ~param_sizes:!current fo.body);
+    !current
+  in
+  let param_sizes = List.map (fun (i : Ir.input) -> i.in_size) p.inputs in
+  ignore (block_sizes ~param_sizes p.body);
+  env

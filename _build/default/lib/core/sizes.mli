@@ -1,0 +1,13 @@
+(** Element-count analysis.
+
+    Every value carries a number of meaningful elements ([num_e] in the
+    paper, Section 6.1), declared on inputs and constants and propagated
+    forward (binary operations take the maximum, loops reach a fixed point).
+    The packing pass uses it to size the pack masks; over-approximation is
+    sound because all sizes are normalized to powers of two and replicated
+    data keeps every power-of-two period that divides the slot count. *)
+
+val infer : Ir.program -> (Ir.var, int) Hashtbl.t
+
+val round_pow2 : int -> int
+(** Smallest power of two >= the argument (>= 1). *)

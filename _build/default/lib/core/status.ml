@@ -1,0 +1,55 @@
+type env = (Ir.var, Ir.status) Hashtbl.t
+
+let join a b =
+  match (a, b) with Ir.Plain, Ir.Plain -> Ir.Plain | _ -> Ir.Cipher
+
+let status_of (env : env) v =
+  match Hashtbl.find_opt env v with
+  | Some s -> s
+  | None -> raise (Typecheck.Type_error (Printf.sprintf "status of undefined %%%d" v))
+
+let rec block_statuses env ~param_statuses (block : Ir.block) =
+  List.iter2 (fun v s -> Hashtbl.replace env v s) block.params param_statuses;
+  List.iter
+    (fun (i : Ir.instr) ->
+      match i.op with
+      | Ir.Const _ -> Hashtbl.replace env (Ir.result i) Ir.Plain
+      | Ir.Binary { lhs; rhs; _ } ->
+        Hashtbl.replace env (Ir.result i) (join (status_of env lhs) (status_of env rhs))
+      | Ir.Rotate { src; _ } -> Hashtbl.replace env (Ir.result i) (status_of env src)
+      | Ir.Rescale { src } | Ir.Modswitch { src; _ } | Ir.Bootstrap { src; _ }
+      | Ir.Unpack { src; _ } ->
+        (* Level-management and unpack operate on ciphertexts only. *)
+        ignore (status_of env src);
+        Hashtbl.replace env (Ir.result i) Ir.Cipher
+      | Ir.Pack _ -> Hashtbl.replace env (Ir.result i) Ir.Cipher
+      | Ir.For fo ->
+        let stable = fixpoint env fo in
+        List.iter2 (fun r s -> Hashtbl.replace env r s) i.results stable)
+    block.instrs;
+  List.map (status_of env) block.yields
+
+(* Iterate the body until carried statuses stabilize (monotone, so at most
+   [arity] steps). *)
+and fixpoint env (fo : Ir.for_op) =
+  let current = ref (List.map (status_of env) fo.inits) in
+  let continue = ref true in
+  while !continue do
+    let yields = block_statuses env ~param_statuses:!current fo.body in
+    let joined = List.map2 join !current yields in
+    if joined = !current then continue := false else current := joined
+  done;
+  (* Leave the body's variables at their stable statuses. *)
+  ignore (block_statuses env ~param_statuses:!current fo.body);
+  !current
+
+let infer (p : Ir.program) =
+  let env : env = Hashtbl.create 256 in
+  let param_statuses = List.map (fun (i : Ir.input) -> i.in_status) p.inputs in
+  ignore (block_statuses env ~param_statuses p.body);
+  env
+
+let loop_needs_peel env (fo : Ir.for_op) =
+  let init_statuses = List.map (status_of env) fo.inits in
+  let yields = block_statuses (Hashtbl.copy env) ~param_statuses:init_statuses fo.body in
+  List.exists2 (fun i y -> i = Ir.Plain && y = Ir.Cipher) init_statuses yields

@@ -1,0 +1,22 @@
+(** Encryption-status analysis (plain vs cipher), the first half of the
+    paper's type-matching problem (Challenge A-1).
+
+    Status is monotone: arithmetic with a ciphertext operand yields a
+    ciphertext and nothing ever reverts to plaintext, so loop bodies reach a
+    fixed point after at most [number of carried variables] iterations. *)
+
+type env = (Ir.var, Ir.status) Hashtbl.t
+
+val infer : Ir.program -> env
+(** Fixed-point statuses of every variable (loop-carried variables get their
+    stable status). *)
+
+val block_statuses :
+  env -> param_statuses:Ir.status list -> Ir.block -> Ir.status list
+(** One forward pass through a block with the given parameter statuses;
+    returns the yield statuses.  [env] supplies statuses of free variables
+    and is extended with the block's definitions. *)
+
+val loop_needs_peel : env -> Ir.for_op -> bool
+(** True when some loop-carried variable enters as plain but is yielded as
+    cipher — the Challenge A-1 mismatch that Solution A-1 peels away. *)

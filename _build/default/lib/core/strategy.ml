@@ -1,0 +1,67 @@
+type t = Dacapo | Type_matched | Packing | Packing_unrolling | Halo
+
+let all = [ Dacapo; Type_matched; Packing; Packing_unrolling; Halo ]
+
+let to_string = function
+  | Dacapo -> "dacapo"
+  | Type_matched -> "type-matched"
+  | Packing -> "packing"
+  | Packing_unrolling -> "packing+unrolling"
+  | Halo -> "halo"
+
+let of_string = function
+  | "dacapo" -> Some Dacapo
+  | "type-matched" | "type_matched" -> Some Type_matched
+  | "packing" -> Some Packing
+  | "packing+unrolling" | "packing_unrolling" -> Some Packing_unrolling
+  | "halo" -> Some Halo
+  | _ -> None
+
+let compile ?(bindings = []) ?dacapo_config ?(lower = true) ~strategy p =
+  let p = Dce.program p in
+  (* Loop-invariant code (including constants) is hoisted before anything
+     else: it shrinks every loop body's level consumption, which benefits
+     all strategies — including the DaCapo baseline, whose fully unrolled
+     code would otherwise replicate the invariants. *)
+  let p = Licm.program p in
+  let p = Cse.program p in
+  let p =
+    match strategy with
+    | Dacapo ->
+      (* Baseline: full unrolling, then placement over straight-line code.
+         Loop_codegen degenerates to exactly that once no loop remains. *)
+      let p = Full_unroll.program ~bindings p in
+      let p = Dce.program p in
+      Loop_codegen.program ?dacapo_config p
+    | Type_matched ->
+      let p = Peel.program p in
+      Loop_codegen.program ?dacapo_config p
+    | Packing ->
+      let p = Peel.program p in
+      let p = Loop_codegen.program ?dacapo_config p in
+      Packing.program ?dacapo_config p
+    | Packing_unrolling ->
+      let p = Peel.program p in
+      let p = Loop_codegen.program ?dacapo_config p in
+      let p = Packing.program ?dacapo_config p in
+      Unroll.program p
+    | Halo ->
+      let p = Peel.program p in
+      let p = Loop_codegen.program ?dacapo_config p in
+      let p = Packing.program ?dacapo_config p in
+      let p = Unroll.program p in
+      Tuning.program p
+  in
+  let p = if lower then Lower_pack.program p else p in
+  (* Lowering materializes mask constants inside loop bodies; hoist and
+     deduplicate them before the final normalization. *)
+  let p = Licm.program p in
+  let p = Cse.program p in
+  let p = Normalize.program p in
+  match Typecheck.verify p with
+  | Ok () -> p
+  | Error msg ->
+    raise
+      (Typecheck.Type_error
+         (Printf.sprintf "%s: compiled program fails verification: %s"
+            (to_string strategy) msg))

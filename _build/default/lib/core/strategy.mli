@@ -1,0 +1,33 @@
+(** The five compilation strategies compared in the paper's evaluation
+    (Section 7):
+
+    - [Dacapo]: the baseline — fully unroll every loop (iteration counts
+      must be bound), then run the DaCapo bootstrapping placement on the
+      resulting straight-line program.
+    - [Type_matched]: peeling + Algorithm 1, no optimization.
+    - [Packing]: [Type_matched] + loop-carried ciphertext packing (B-1).
+    - [Packing_unrolling]: [Packing] + level-aware unrolling (B-2).
+    - [Halo]: all optimizations, adding bootstrap target tuning (B-3).
+
+    Every pipeline ends with pack/unpack lowering, scale-management
+    normalization and verification, so compiled programs always satisfy
+    {!Typecheck.verify}. *)
+
+type t = Dacapo | Type_matched | Packing | Packing_unrolling | Halo
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+
+val compile :
+  ?bindings:(string * int) list ->
+  ?dacapo_config:Dacapo.config ->
+  ?lower:bool ->
+  strategy:t ->
+  Ir.program ->
+  Ir.program
+(** [bindings] resolves dynamic iteration counts; only the [Dacapo] strategy
+    needs them (raises [Not_found] when missing).  [lower] (default [true])
+    expands pack/unpack into primitive operations.  The result verifies
+    under {!Typecheck.verify}; compilation raises [Typecheck.Type_error] if
+    it cannot. *)

@@ -1,0 +1,63 @@
+(* Bootstrap instructions are identified by their (unique) result variable. *)
+
+let rec rewrite_block target_of (b : Ir.block) =
+  let instrs =
+    List.map
+      (fun (i : Ir.instr) ->
+        match i.op with
+        | Ir.Bootstrap { src; target } ->
+          let target =
+            match target_of (Ir.result i) with Some t -> t | None -> target
+          in
+          { i with op = Ir.Bootstrap { src; target } }
+        | Ir.For fo -> { i with op = Ir.For { fo with body = rewrite_block target_of fo.body } }
+        | _ -> i)
+      b.instrs
+  in
+  { b with instrs }
+
+let collect_bootstraps (p : Ir.program) =
+  let acc = ref [] in
+  Ir.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.op with
+          | Ir.Bootstrap { target; _ } -> acc := (Ir.result i, target) :: !acc
+          | _ -> ())
+        b.instrs)
+    p.body;
+  List.rev !acc
+
+let feasible (p : Ir.program) overrides =
+  let target_of v = Hashtbl.find_opt overrides v in
+  let body = rewrite_block target_of p.body in
+  match
+    Levels.walk_block ~max_level:p.max_level ~env:(Hashtbl.create 256)
+      ~param_tys:(Pass_util.input_tys p) ~boundary:None body
+  with
+  | _ -> true
+  | exception Levels.Underflow _ -> false
+
+let program (p : Ir.program) =
+  let bootstraps = collect_bootstraps p in
+  let overrides : (Ir.var, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (v, current) ->
+      (* Lowest feasible target in [1, current]: feasibility is monotone in
+         the target, binary search on the smallest feasible value. *)
+      let rec search lo hi =
+        if lo >= hi then lo
+        else begin
+          let mid = (lo + hi) / 2 in
+          Hashtbl.replace overrides v mid;
+          if feasible p overrides then search lo mid else search (mid + 1) hi
+        end
+      in
+      let best = search 1 current in
+      Hashtbl.replace overrides v best;
+      (* Keep the override only if it survives a final check (it should,
+         by monotonicity). *)
+      if not (feasible p overrides) then Hashtbl.remove overrides v)
+    bootstraps;
+  { p with body = rewrite_block (Hashtbl.find_opt overrides) p.body }

@@ -1,0 +1,11 @@
+(** Solution B-3: bootstrap target-level tuning (paper Section 6.3).
+
+    Bootstrap latency grows with the target level (Table 3), and a
+    modswitch downstream of a bootstrap means recovered levels were wasted.
+    For each bootstrap, this pass finds the lowest target for which the
+    whole program still walks within its level budget (feasibility is
+    monotone in the target, so a binary search suffices), processing
+    bootstraps in program order.  {!Normalize} afterwards regenerates the
+    modswitches with correspondingly smaller down-factors. *)
+
+val program : Ir.program -> Ir.program

@@ -1,0 +1,166 @@
+type ty = Tplain | Tcipher of { level : int; scale : int }
+
+let ty_to_string = function
+  | Tplain -> "plain"
+  | Tcipher { level; scale } ->
+    if scale = 1 then Printf.sprintf "cipher@%d" level
+    else Printf.sprintf "cipher@%d^%d" level scale
+
+let equal_ty a b = a = b
+
+exception Type_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+(* Strict result type of an op: operand types must already satisfy every
+   constraint (no implicit alignment). *)
+let op_result_ty ~max_level ~slots op ~operand_tys =
+  match (op, operand_tys) with
+  | Ir.Const _, [] -> Tplain
+  | Ir.Binary { kind; _ }, [ a; b ] ->
+    (match (kind, a, b) with
+     | _, Tplain, Tplain -> Tplain
+     | (Ir.Add | Ir.Sub), Tcipher c, Tplain | (Ir.Add | Ir.Sub), Tplain, Tcipher c ->
+       Tcipher c
+     | (Ir.Add | Ir.Sub), Tcipher c1, Tcipher c2 ->
+       if c1.level <> c2.level then
+         err "addcc: operand levels differ (%d vs %d)" c1.level c2.level;
+       if c1.scale <> c2.scale then
+         err "addcc: operand scales differ (%d vs %d)" c1.scale c2.scale;
+       Tcipher c1
+     | Ir.Mul, Tcipher c, Tplain | Ir.Mul, Tplain, Tcipher c ->
+       if c.level < 1 then err "multcp: level below 1";
+       Tcipher { c with scale = c.scale + 1 }
+     | Ir.Mul, Tcipher c1, Tcipher c2 ->
+       if c1.level <> c2.level then
+         err "multcc: operand levels differ (%d vs %d)" c1.level c2.level;
+       if c1.level < 1 then err "multcc: level below 1";
+       Tcipher { level = c1.level; scale = c1.scale + c2.scale })
+  | Ir.Rotate _, [ t ] -> t
+  | Ir.Rescale _, [ Tcipher { level; scale } ] ->
+    if level < 2 then err "rescale: level %d below 2" level;
+    if scale < 2 then err "rescale: scale %d below 2" scale;
+    Tcipher { level = level - 1; scale = scale - 1 }
+  | Ir.Rescale _, [ Tplain ] -> err "rescale: plaintext operand"
+  | Ir.Modswitch { down; _ }, [ Tcipher { level; scale } ] ->
+    if down < 0 then err "modswitch: negative down";
+    if level - down < 1 then err "modswitch: level %d - %d below 1" level down;
+    Tcipher { level = level - down; scale }
+  | Ir.Modswitch _, [ Tplain ] -> err "modswitch: plaintext operand"
+  | Ir.Bootstrap { target; _ }, [ Tcipher { level; scale } ] ->
+    if level < 1 then err "bootstrap: exhausted operand";
+    if scale <> 1 then err "bootstrap: operand scale %d <> 1" scale;
+    if target < 1 || target > max_level then
+      err "bootstrap: target %d out of range [1, %d]" target max_level;
+    Tcipher { level = target; scale = 1 }
+  | Ir.Bootstrap _, [ Tplain ] -> err "bootstrap: plaintext operand"
+  | Ir.Pack { srcs; num_e }, tys ->
+    if Sizes.round_pow2 (List.length srcs) * num_e > slots then
+      err "pack: %d values of %d elements exceed %d slots (power-of-two padded)"
+        (List.length srcs) num_e slots;
+    let level =
+      List.fold_left
+        (fun acc t ->
+          match t with
+          | Tcipher { level; scale = 1 } -> min acc level
+          | Tcipher { scale; _ } -> err "pack: operand scale %d <> 1" scale
+          | Tplain -> err "pack: plaintext operand")
+        max_int tys
+    in
+    (match tys with
+     | [] -> err "pack: no operands"
+     | Tcipher { level = l0; _ } :: rest ->
+       List.iter
+         (function
+           | Tcipher { level = l; _ } when l <> l0 ->
+             err "pack: operand levels differ (%d vs %d)" l0 l
+           | _ -> ())
+         rest
+     | Tplain :: _ -> err "pack: plaintext operand");
+    if level < 2 then err "pack: level %d below 2 (mask multiplication)" level;
+    Tcipher { level = level - 1; scale = 1 }
+  | Ir.Unpack _, [ Tcipher { level; scale } ] ->
+    if scale <> 1 then err "unpack: operand scale %d <> 1" scale;
+    if level < 2 then err "unpack: level %d below 2 (mask multiplication)" level;
+    Tcipher { level = level - 1; scale = 1 }
+  | Ir.Unpack _, [ Tplain ] -> err "unpack: plaintext operand"
+  | Ir.For _, _ -> err "op_result_ty: For handled separately"
+  | _, _ -> err "op_result_ty: arity mismatch"
+
+let infer_program (p : Ir.program) =
+  let env : (Ir.var, ty) Hashtbl.t = Hashtbl.create 256 in
+  let defined : (Ir.var, unit) Hashtbl.t = Hashtbl.create 256 in
+  let define v =
+    if Hashtbl.mem defined v then err "variable %%%d defined twice (SSA)" v;
+    Hashtbl.replace defined v ()
+  in
+  let ty_of v =
+    match Hashtbl.find_opt env v with
+    | Some t -> t
+    | None -> err "use of undefined variable %%%d" v
+  in
+  let rec check_block (block : Ir.block) =
+    List.iter
+      (fun (i : Ir.instr) ->
+        match i.op with
+        | Ir.For fo ->
+          let init_tys = List.map ty_of fo.inits in
+          (* Loop-carried values enter the body with the init types. *)
+          List.iter2
+            (fun v t ->
+              define v;
+              Hashtbl.replace env v t)
+            fo.body.params init_tys;
+          (* Boundary annotation, if present, must match carried cipher levels. *)
+          (match fo.boundary with
+           | None -> ()
+           | Some m ->
+             List.iter
+               (function
+                 | Tcipher { level; _ } when level <> m ->
+                   err "loop boundary %d but carried ciphertext at level %d" m level
+                 | _ -> ())
+               init_tys);
+          check_block fo.body;
+          let yield_tys = List.map ty_of fo.body.yields in
+          List.iter2
+            (fun a b ->
+              if not (equal_ty a b) then
+                err "loop not type-matched: carried %s vs yielded %s"
+                  (ty_to_string a) (ty_to_string b))
+            init_tys yield_tys;
+          List.iter2
+            (fun v t ->
+              define v;
+              Hashtbl.replace env v t)
+            i.results init_tys
+        | op ->
+          let operand_tys = List.map ty_of (Ir.op_operands op) in
+          let t = op_result_ty ~max_level:p.max_level ~slots:p.slots op ~operand_tys in
+          (match i.results with
+           | [ r ] ->
+             define r;
+             Hashtbl.replace env r t
+           | _ -> err "non-loop op with %d results" (List.length i.results)))
+      block.instrs;
+    List.iter (fun v -> ignore (ty_of v)) block.yields
+  in
+  List.iter
+    (fun (inp : Ir.input) ->
+      define inp.in_var;
+      let t =
+        match inp.in_status with
+        | Ir.Plain -> Tplain
+        | Ir.Cipher -> Tcipher { level = p.max_level; scale = 1 }
+      in
+      Hashtbl.replace env inp.in_var t)
+    p.inputs;
+  if List.map (fun (i : Ir.input) -> i.Ir.in_var) p.inputs <> p.body.params then
+    err "program body parameters do not match declared inputs";
+  check_block p.body;
+  env
+
+let verify p =
+  match infer_program p with
+  | _ -> Ok ()
+  | exception Type_error msg -> Error msg

@@ -1,0 +1,215 @@
+open Typecheck
+
+(* Recognize the head that Loop_codegen/Packing put at the start of a
+   type-matched body, and map each carried cipher parameter to the variable
+   holding its restored-level version. *)
+type head = {
+  head_instrs : Ir.instr list;
+  rest : Ir.instr list;
+  restored : (Ir.var * Ir.var) list; (* param -> post-head variable *)
+  available : int; (* level available right after the head *)
+}
+
+let split_head ~max_level (body : Ir.block) =
+  match body.instrs with
+  | { Ir.op = Ir.Pack { srcs; _ }; results = [ packed ] } :: rest
+    when List.for_all (fun v -> List.mem v body.params) srcs -> (
+    match rest with
+    | ({ Ir.op = Ir.Bootstrap { src; target }; results = [ boosted ] } as b) :: rest
+      when src = packed ->
+      let rec unpacks acc rest =
+        match rest with
+        | ({ Ir.op = Ir.Unpack { src; index; _ }; results = [ u ] } as i) :: tl
+          when src = boosted ->
+          unpacks ((index, u, i) :: acc) tl
+        | _ -> (List.rev acc, rest)
+      in
+      let ups, rest = unpacks [] rest in
+      if List.length ups <> List.length srcs then None
+      else begin
+        let restored =
+          List.mapi
+            (fun i prm ->
+              match List.find_opt (fun (idx, _, _) -> idx = i) ups with
+              | Some (_, u, _) -> (prm, u)
+              | None -> (prm, prm))
+            srcs
+        in
+        Some
+          {
+            head_instrs =
+              (List.hd body.instrs :: b :: List.map (fun (_, _, i) -> i) ups);
+            rest;
+            restored;
+            available = min target max_level - 1;
+          }
+      end
+    | _ -> None)
+  | instrs ->
+    let rec boots acc = function
+      | ({ Ir.op = Ir.Bootstrap { src; target }; results = [ r ] } as i) :: tl
+        when List.mem src body.params ->
+        boots ((src, r, target, i) :: acc) tl
+      | rest -> (List.rev acc, rest)
+    in
+    let bs, rest = boots [] instrs in
+    if bs = [] then None
+    else
+      Some
+        {
+          head_instrs = List.map (fun (_, _, _, i) -> i) bs;
+          rest;
+          restored = List.map (fun (p, r, _, _) -> (p, r)) bs;
+          available =
+            List.fold_left (fun a (_, _, t, _) -> min a t) max_level bs;
+        }
+
+let contains_bootstrap_or_loop instrs =
+  List.exists
+    (fun (i : Ir.instr) ->
+      match i.op with Ir.Bootstrap _ | Ir.For _ -> true | _ -> false)
+    instrs
+
+let program (p : Ir.program) =
+  let fresh = Ir.fresh_of_program p in
+  let env = Pass_util.type_env p in
+  let is_plain v = Hashtbl.find_opt env v = Some Tplain in
+  let walk_ok ~param_tys ~boundary body =
+    match
+      Levels.walk_block ~max_level:p.max_level ~env:(Hashtbl.copy env) ~param_tys
+        ~boundary body
+    with
+    | _ -> true
+    | exception Levels.Underflow _ -> false
+  in
+  let yield_levels ~param_tys ~boundary body =
+    match
+      Levels.walk_block ~max_level:p.max_level ~env:(Hashtbl.copy env) ~param_tys
+        ~boundary body
+    with
+    | tys ->
+      Some
+        (List.filter_map
+           (function Tcipher { level; _ } -> Some level | Tplain -> None)
+           tys)
+    | exception Levels.Underflow _ -> None
+  in
+  let rec process_block (b : Ir.block) : Ir.block =
+    let instrs =
+      List.concat_map
+        (fun (i : Ir.instr) ->
+          match i.op with
+          | Ir.For fo ->
+            let fo = { fo with body = process_block fo.body } in
+            unroll_loop i fo
+          | _ -> [ i ])
+        b.instrs
+    in
+    { b with instrs }
+  and unroll_loop (i : Ir.instr) (fo : Ir.for_op) : Ir.instr list =
+    let keep = [ { i with op = Ir.For fo } ] in
+    match fo.boundary with
+    | None -> keep
+    | Some m -> (
+      match split_head ~max_level:p.max_level fo.body with
+      | None -> keep
+      | Some head when contains_bootstrap_or_loop head.rest -> keep
+      | Some head ->
+        let param_tys =
+          List.map
+            (fun prm -> if is_plain prm then Tplain else Tcipher { level = m; scale = 1 })
+            fo.body.params
+        in
+        (match yield_levels ~param_tys ~boundary:(Some m) fo.body with
+         | None -> keep
+         | Some [] -> keep
+         | Some levels ->
+           let d_iter = head.available - List.fold_left min max_int levels in
+           if d_iter < 1 then keep
+           else begin
+             let f0 = (head.available - m) / d_iter in
+             (* Per-iteration template: carried values in, carried values
+                out, head excluded. *)
+             let template =
+               {
+                 Ir.params =
+                   List.map
+                     (fun prm ->
+                       match List.assoc_opt prm head.restored with
+                       | Some r -> r
+                       | None -> prm)
+                     fo.body.params;
+                 instrs = head.rest;
+                 yields = fo.body.yields;
+               }
+             in
+             let build f =
+               let rec chain j yields acc =
+                 if j >= f then (List.rev acc, yields)
+                 else begin
+                   let instrs, ys = Ir.inline_block fresh ~args:yields template in
+                   chain (j + 1) ys (List.rev_append instrs acc)
+                 end
+               in
+               let tail, yields = chain 1 fo.body.yields [] in
+               {
+                 fo.body with
+                 instrs = head.head_instrs @ head.rest @ tail;
+                 yields;
+               }
+             in
+             let rec feasible f =
+               if f < 2 then None
+               else begin
+                 let body = build f in
+                 if walk_ok ~param_tys ~boundary:(Some m) body then Some (f, body)
+                 else feasible (f - 1)
+               end
+             in
+             match feasible f0 with
+             | None -> keep
+             | Some (f, body) ->
+               let main_count, rem_count =
+                 match fo.count with
+                 | Ir.Static n ->
+                   if n / f = 0 then (None, None)
+                   else
+                     ( Some (Ir.Static (n / f)),
+                       if n mod f = 0 then None else Some (Ir.Static (n mod f)) )
+                 | Ir.Dyn d ->
+                   if d.div <> 1 then (None, None)
+                   else
+                     ( Some (Ir.Dyn { d with div = f }),
+                       Some (Ir.Dyn { d with div = f; rem = true }) )
+               in
+               (match main_count with
+                | None -> keep
+                | Some main_count ->
+                  let main_results =
+                    match rem_count with
+                    | None -> i.results
+                    | Some _ -> List.map (fun _ -> Ir.fresh_var fresh) i.results
+                  in
+                  let main =
+                    {
+                      Ir.results = main_results;
+                      op = Ir.For { fo with count = main_count; body };
+                    }
+                  in
+                  (match rem_count with
+                   | None -> [ main ]
+                   | Some rc ->
+                     let rem_body = Ir.clone_block fresh ~subst:[] fo.body in
+                     let rem =
+                       {
+                         Ir.results = i.results;
+                         op =
+                           Ir.For
+                             { fo with count = rc; inits = main_results; body = rem_body };
+                       }
+                     in
+                     [ main; rem ]))
+           end))
+  in
+  let body = process_block p.body in
+  { p with body; next_var = fresh.Ir.next }

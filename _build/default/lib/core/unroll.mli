@@ -1,0 +1,19 @@
+(** Solution B-2: level-aware loop unrolling (paper Section 6.2).
+
+    When one iteration of a type-matched loop consumes only a fraction of
+    the levels restored by its head bootstrap, the body is replicated so
+    that one bootstrap serves several iterations: the unroll factor is
+    [depth_limit / depth_max] ([L] minus the pack/unpack levels, divided by
+    the per-iteration consumption), verified — and reduced if necessary — by
+    re-walking the unrolled body.
+
+    Loops whose body already needs in-body bootstraps are left alone
+    (unrolling cannot reduce their bootstrap count), as are loops with
+    factor 0 or 1.
+
+    Static iteration counts split into an unrolled loop of [n / f]
+    iterations plus [n mod f] peeled remainder iterations; dynamic counts
+    become an unrolled loop of [K / f] plus a remainder loop of [K mod f]
+    iterations sharing the original body. *)
+
+val program : Ir.program -> Ir.program

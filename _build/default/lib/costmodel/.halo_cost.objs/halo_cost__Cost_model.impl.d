@@ -1,0 +1,1 @@
+lib/costmodel/cost_model.ml: Float List

@@ -1,0 +1,79 @@
+type op =
+  | Addcc
+  | Addcp
+  | Subcc
+  | Multcc
+  | Multcp
+  | Rotate
+  | Rescale
+  | Modswitch
+  | Encode
+
+let op_to_string = function
+  | Addcc -> "addcc"
+  | Addcp -> "addcp"
+  | Subcc -> "subcc"
+  | Multcc -> "multcc"
+  | Multcp -> "multcp"
+  | Rotate -> "rotate"
+  | Rescale -> "rescale"
+  | Modswitch -> "modswitch"
+  | Encode -> "encode"
+
+(* Anchor tables from the paper.  Table 2: (level, latency in us). *)
+let multcc_anchors = [ (1, 758.); (5, 1146.); (10, 1974.); (15, 2528.) ]
+let rescale_anchors = [ (1, 126.); (5, 288.); (10, 516.); (15, 731.) ]
+let modswitch_anchors = [ (1, 15.); (5, 46.); (10, 77.); (15, 107.) ]
+
+(* Table 3: (target level, latency in us). *)
+let bootstrap_anchors =
+  [ (4, 294928.); (7, 339302.); (10, 384637.); (13, 423781.); (16, 463171.) ]
+
+let table2_levels = List.map fst multcc_anchors
+let table3_targets = List.map fst bootstrap_anchors
+
+(* Piecewise-linear interpolation through anchor points, extrapolating from
+   the nearest segment outside the anchor range.  Anchors are sorted and have
+   at least two points. *)
+let interpolate anchors x =
+  let rec segment = function
+    | [ (x0, y0); (x1, y1) ] -> (x0, y0, x1, y1)
+    | (x0, y0) :: ((x1, y1) :: _ as rest) ->
+      if x <= x1 then (x0, y0, x1, y1) else segment rest
+    | [ _ ] | [] -> invalid_arg "interpolate: need at least two anchors"
+  in
+  let x0, y0, x1, y1 = segment anchors in
+  let t = float_of_int (x - x0) /. float_of_int (x1 - x0) in
+  y0 +. (t *. (y1 -. y0))
+
+(* Clamp to a small positive floor so extrapolation below level 1 can never
+   produce a non-positive latency. *)
+let positive x = Float.max x 1.0
+
+let latency_us op ~level =
+  let level = max 1 level in
+  let base anchors = interpolate anchors level in
+  positive
+    (match op with
+     | Multcc -> base multcc_anchors
+     | Rescale -> base rescale_anchors
+     | Modswitch -> base modswitch_anchors
+     | Addcc | Subcc -> 2.0 *. base modswitch_anchors
+     | Addcp -> 2.0 *. base modswitch_anchors
+     | Multcp -> 0.4 *. base multcc_anchors
+     | Rotate -> 0.9 *. base multcc_anchors
+     | Encode -> base modswitch_anchors)
+
+let bootstrap_latency_us ~target =
+  let target = max 1 target in
+  positive (interpolate bootstrap_anchors target)
+
+let table2_anchor op ~level =
+  let find anchors = List.assoc_opt level anchors in
+  match op with
+  | Multcc -> find multcc_anchors
+  | Rescale -> find rescale_anchors
+  | Modswitch -> find modswitch_anchors
+  | Addcc | Addcp | Subcc | Multcp | Rotate | Encode -> None
+
+let table3_anchor ~target = List.assoc_opt target bootstrap_anchors

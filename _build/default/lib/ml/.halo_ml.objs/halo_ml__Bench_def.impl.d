@@ -1,0 +1,1 @@
+lib/ml/bench_def.ml: Halo List Printf

@@ -1,0 +1,1 @@
+lib/ml/datasets.mli: Random

@@ -1,0 +1,1 @@
+lib/ml/linear_reg.mli: Bench_def

@@ -1,0 +1,1 @@
+lib/ml/logistic_reg.ml: Array Bench_def Datasets Dsl Halo Halo_approx Linalg

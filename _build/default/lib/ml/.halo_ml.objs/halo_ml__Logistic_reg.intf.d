@@ -1,0 +1,1 @@
+lib/ml/logistic_reg.mli: Bench_def

@@ -1,0 +1,1 @@
+lib/ml/multivariate_reg.ml: Array Bench_def Datasets Dsl Halo Linalg List Printf

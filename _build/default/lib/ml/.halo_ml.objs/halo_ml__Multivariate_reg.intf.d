@@ -1,0 +1,1 @@
+lib/ml/multivariate_reg.mli: Bench_def

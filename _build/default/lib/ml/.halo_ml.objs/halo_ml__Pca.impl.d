@@ -1,0 +1,1 @@
+lib/ml/pca.ml: Array Bench_def Datasets Dsl Halo Halo_approx Linalg List Printf

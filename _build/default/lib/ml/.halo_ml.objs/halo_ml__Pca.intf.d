@@ -1,0 +1,1 @@
+lib/ml/pca.mli: Bench_def

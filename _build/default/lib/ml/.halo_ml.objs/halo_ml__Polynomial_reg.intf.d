@@ -1,0 +1,1 @@
+lib/ml/polynomial_reg.mli: Bench_def

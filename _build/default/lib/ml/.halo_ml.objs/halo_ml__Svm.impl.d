@@ -1,0 +1,1 @@
+lib/ml/svm.ml: Array Bench_def Datasets Dsl Halo Halo_approx List

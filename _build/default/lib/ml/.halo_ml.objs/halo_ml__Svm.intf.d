@@ -1,0 +1,1 @@
+lib/ml/svm.mli: Bench_def

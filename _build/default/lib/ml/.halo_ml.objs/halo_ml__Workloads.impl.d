@@ -1,0 +1,1 @@
+lib/ml/workloads.ml: Array Bench_def Halo Halo_ckks Halo_runtime Kmeans Linear_reg List Logistic_reg Multivariate_reg Pca Polynomial_reg String Svm

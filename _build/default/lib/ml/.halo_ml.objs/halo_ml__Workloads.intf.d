@@ -1,0 +1,1 @@
+lib/ml/workloads.mli: Bench_def Halo Halo_runtime

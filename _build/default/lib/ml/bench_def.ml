@@ -1,0 +1,37 @@
+(** Shared shape of the seven evaluation benchmarks (paper Table 4). *)
+
+type t = {
+  name : string;
+  loop_depth : int;  (** nesting depth of the training loops *)
+  carried : string;  (** loop-carried variable counts, outer first *)
+  approx : string list;  (** approximated non-linear functions *)
+  count_names : string list;  (** iteration-count binding names *)
+  build : slots:int -> size:int -> Halo.Ir.program;
+  gen_inputs : seed:int -> size:int -> (string * float array) list;
+  reference :
+    size:int ->
+    bindings:(string * int) list ->
+    inputs:(string * float array) list ->
+    float array list;
+      (** Cleartext execution of the same training algorithm with exact
+          non-linear functions — the paper's "non-encrypted result" used for
+          the RMSE columns of Table 4. *)
+  output_len : size:int -> int list;
+      (** Meaningful slots per program output (RMSE is computed on these). *)
+}
+
+let dyn name = Halo.Ir.Dyn { name; add = 0; div = 1; rem = false }
+
+let find_input inputs name =
+  match List.assoc_opt name inputs with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "missing input %S" name)
+
+let find_binding bindings name =
+  match List.assoc_opt name bindings with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "missing binding %S" name)
+
+let check_pow2 size =
+  if size land (size - 1) <> 0 then
+    invalid_arg "benchmark sizes must be powers of two"

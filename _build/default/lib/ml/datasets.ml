@@ -1,0 +1,90 @@
+type rng = Random.State.t
+
+let make_rng ~seed = Random.State.make [| seed; 0xDA7A |]
+
+let uniform rng ~lo ~hi = lo +. Random.State.float rng (hi -. lo)
+
+let gaussian rng ~mu ~sigma =
+  let u1 = Random.State.float rng 1.0 +. 1e-12 in
+  let u2 = Random.State.float rng 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let linear ~seed ~size ~w ~b =
+  let rng = make_rng ~seed in
+  let x = Array.init size (fun _ -> uniform rng ~lo:(-1.0) ~hi:1.0) in
+  let y = Array.map (fun v -> (w *. v) +. b +. gaussian rng ~mu:0.0 ~sigma:0.01) x in
+  (x, y)
+
+let polynomial ~seed ~size ~w2 ~w1 ~b =
+  let rng = make_rng ~seed in
+  let x = Array.init size (fun _ -> uniform rng ~lo:(-1.0) ~hi:1.0) in
+  let y =
+    Array.map
+      (fun v -> (w2 *. v *. v) +. (w1 *. v) +. b +. gaussian rng ~mu:0.0 ~sigma:0.01)
+      x
+  in
+  (x, y)
+
+let multivariate ~seed ~size ~weights ~b =
+  let rng = make_rng ~seed in
+  let d = Array.length weights in
+  let features =
+    Array.init d (fun _ -> Array.init size (fun _ -> uniform rng ~lo:(-1.0) ~hi:1.0))
+  in
+  let y =
+    Array.init size (fun s ->
+        let acc = ref b in
+        for f = 0 to d - 1 do
+          acc := !acc +. (weights.(f) *. features.(f).(s))
+        done;
+        !acc +. gaussian rng ~mu:0.0 ~sigma:0.01)
+  in
+  (features, y)
+
+let two_class ~seed ~size =
+  let rng = make_rng ~seed in
+  let x =
+    Array.init size (fun i ->
+        if i mod 2 = 0 then gaussian rng ~mu:0.8 ~sigma:0.4
+        else gaussian rng ~mu:(-0.8) ~sigma:0.4)
+  in
+  let y = Array.init size (fun i -> if i mod 2 = 0 then 1.0 else 0.0) in
+  (x, y)
+
+let clusters ~seed ~size =
+  let rng = make_rng ~seed in
+  Array.init size (fun i ->
+      let center = if i mod 2 = 0 then 0.6 else -0.6 in
+      Float.max (-1.0) (Float.min 1.0 (gaussian rng ~mu:center ~sigma:0.15)))
+
+let clusters_labeled ~seed ~size =
+  let points = clusters ~seed ~size in
+  let labels = Array.init size (fun i -> if i mod 2 = 0 then 1.0 else -1.0) in
+  (points, labels)
+
+(* Per-species (mean, stddev) of the four iris features, from the classic
+   published summary statistics. *)
+let iris_species =
+  [|
+    [| (5.01, 0.35); (3.43, 0.38); (1.46, 0.17); (0.25, 0.11) |];
+    [| (5.94, 0.52); (2.77, 0.31); (4.26, 0.47); (1.33, 0.20) |];
+    [| (6.59, 0.64); (2.97, 0.32); (5.55, 0.55); (2.03, 0.27) |];
+  |]
+
+let iris_like ~seed ~size =
+  let rng = make_rng ~seed in
+  let raw =
+    Array.init 4 (fun f ->
+        Array.init size (fun s ->
+            let mu, sigma = iris_species.(s mod 3).(f) in
+            gaussian rng ~mu ~sigma))
+  in
+  (* Scale each feature into [-1, 1] so products stay within the encoding
+     headroom. *)
+  Array.map
+    (fun col ->
+      let lo = Array.fold_left min infinity col in
+      let hi = Array.fold_left max neg_infinity col in
+      let span = Float.max 1e-9 (hi -. lo) in
+      Array.map (fun v -> (2.0 *. (v -. lo) /. span) -. 1.0) col)
+    raw

@@ -1,0 +1,75 @@
+(** K-means (K = 2) on 1-D points with soft centroid updates.
+
+    Cluster assignment uses the composite-polynomial sign approximation
+    (depth 13), making the loop body deeper than one bootstrap's budget —
+    the case where packing "has no effect due to insufficient depth_limit"
+    and an additional in-body bootstrap appears (paper Section 7.1).
+
+    The classic centroid update divides by the encrypted cluster size,
+    which CKKS cannot do directly; like other FHE K-means formulations we
+    use a fixed-rate soft update [c <- c + eta * mean(a * (p - c))]. *)
+
+open Halo
+
+let eta = 1.2
+
+let build ~slots ~size =
+  Bench_def.check_pow2 size;
+  Dsl.build ~name:"kmeans" ~slots ~max_level:16 (fun b ->
+      let p = Dsl.input b "points" ~size in
+      let outs =
+        Dsl.for_ b ~count:(Bench_def.dyn "iters")
+          ~init:[ Dsl.const b 0.9; Dsl.const b (-0.9) ]
+          (fun b -> function
+            | [ c1; c2 ] ->
+              let d1 = Dsl.mul b (Dsl.sub b p c1) (Dsl.sub b p c1) in
+              let d2 = Dsl.mul b (Dsl.sub b p c2) (Dsl.sub b p c2) in
+              (* a ~ 1 where p is closer to c1; distances are within [0, 4],
+                 so the sign argument is scaled into [-1, 1]. *)
+              let diff = Dsl.scale_by b (Dsl.sub b d2 d1) 0.25 in
+              let s = Halo_approx.Sign_approx.sign_dsl b diff in
+              let a = Dsl.add b (Dsl.scale_by b s 0.5) (Dsl.const b 0.5) in
+              let one_minus_a = Dsl.sub b (Dsl.const b 1.0) a in
+              let update c a =
+                let moved = Dsl.mul b a (Dsl.sub b p c) in
+                Dsl.add b c
+                  (Dsl.scale_by b (Dsl.sum_slots b moved ~size)
+                     (eta /. float_of_int size))
+              in
+              [ update c1 a; update c2 one_minus_a ]
+            | _ -> assert false)
+      in
+      List.iter (Dsl.output b) outs)
+
+let gen_inputs ~seed ~size = [ ("points", Datasets.clusters ~seed ~size) ]
+
+let reference ~size ~bindings ~inputs =
+  let iters = Bench_def.find_binding bindings "iters" in
+  let p = Bench_def.find_input inputs "points" in
+  let n = float_of_int size in
+  let c1 = ref 0.9 and c2 = ref (-0.9) in
+  for _ = 1 to iters do
+    let m1 = ref 0.0 and m2 = ref 0.0 in
+    for s = 0 to size - 1 do
+      let d1 = (p.(s) -. !c1) ** 2.0 and d2 = (p.(s) -. !c2) ** 2.0 in
+      let a = if d2 -. d1 > 0.0 then 1.0 else 0.0 in
+      m1 := !m1 +. (a *. (p.(s) -. !c1));
+      m2 := !m2 +. ((1.0 -. a) *. (p.(s) -. !c2))
+    done;
+    c1 := !c1 +. (eta *. !m1 /. n);
+    c2 := !c2 +. (eta *. !m2 /. n)
+  done;
+  [ Array.make size !c1; Array.make size !c2 ]
+
+let benchmark : Bench_def.t =
+  {
+    name = "K-means";
+    loop_depth = 1;
+    carried = "2";
+    approx = [ "sign" ];
+    count_names = [ "iters" ];
+    build;
+    gen_inputs;
+    reference;
+    output_len = (fun ~size -> [ size; size ]);
+  }

@@ -1,0 +1,5 @@
+(** K-means (K = 2) with sign-approximation assignment and soft centroid
+    updates — the benchmark whose body exceeds one bootstrap's level budget
+    (paper Section 7.1); see the implementation header. *)
+
+val benchmark : Bench_def.t

@@ -1,0 +1,68 @@
+(** Linear regression by SIMD batch gradient descent: two loop-carried
+    ciphertexts (slope and intercept), no approximated functions — the
+    paper's shallowest benchmark, where packing and level-aware unrolling
+    shine (Table 5). *)
+
+open Halo
+
+let lr = 0.5
+
+let build ~slots ~size =
+  Bench_def.check_pow2 size;
+  Dsl.build ~name:"linear" ~slots ~max_level:16 (fun b ->
+      let x = Dsl.input b "x" ~size in
+      let y = Dsl.input b "y" ~size in
+      let outs =
+        Dsl.for_ b ~count:(Bench_def.dyn "iters")
+          ~init:[ Dsl.const b 0.0; Dsl.const b 0.0 ]
+          (fun b -> function
+            | [ w; bias ] ->
+              let pred = Dsl.add b (Dsl.mul b w x) bias in
+              let err = Dsl.sub b pred y in
+              let w' = Linalg.weighted_step b w ~grad:(Dsl.mul b err x) ~lr ~size in
+              let bias' = Linalg.weighted_step b bias ~grad:err ~lr ~size in
+              [ w'; bias' ]
+            | _ -> assert false)
+      in
+      match outs with
+      | [ w; bias ] ->
+        Dsl.output b w;
+        Dsl.output b bias;
+        Dsl.output b (Dsl.add b (Dsl.mul b w x) bias)
+      | _ -> assert false)
+
+let gen_inputs ~seed ~size =
+  let x, y = Datasets.linear ~seed ~size ~w:0.7 ~b:(-0.3) in
+  [ ("x", x); ("y", y) ]
+
+let reference ~size ~bindings ~inputs =
+  let iters = Bench_def.find_binding bindings "iters" in
+  let x = Bench_def.find_input inputs "x" in
+  let y = Bench_def.find_input inputs "y" in
+  let n = float_of_int size in
+  let w = ref 0.0 and bias = ref 0.0 in
+  for _ = 1 to iters do
+    let gw = ref 0.0 and gb = ref 0.0 in
+    for s = 0 to size - 1 do
+      let err = (!w *. x.(s)) +. !bias -. y.(s) in
+      gw := !gw +. (err *. x.(s));
+      gb := !gb +. err
+    done;
+    w := !w -. (lr *. !gw /. n);
+    bias := !bias -. (lr *. !gb /. n)
+  done;
+  let pred = Array.init size (fun s -> (!w *. x.(s)) +. !bias) in
+  [ Array.make size !w; Array.make size !bias; pred ]
+
+let benchmark : Bench_def.t =
+  {
+    name = "Linear";
+    loop_depth = 1;
+    carried = "2";
+    approx = [];
+    count_names = [ "iters" ];
+    build;
+    gen_inputs;
+    reference;
+    output_len = (fun ~size -> [ size; size; size ]);
+  }

@@ -1,0 +1,4 @@
+(** One of the paper's seven evaluation benchmarks (Table 4); see the
+    implementation header for the algorithm and its loop structure. *)
+
+val benchmark : Bench_def.t

@@ -1,0 +1,66 @@
+(** Logistic regression: one loop-carried ciphertext and a 96th-order
+    sigmoid approximation (multiplicative depth ~9), so each iteration's
+    body is deep — packing and unrolling cannot help (Table 5), but target
+    tuning can (Section 7.1 reports 19% from tuning alone here). *)
+
+open Halo
+
+let lr = 1.0
+
+let build ~slots ~size =
+  Bench_def.check_pow2 size;
+  Dsl.build ~name:"logistic" ~slots ~max_level:16 (fun b ->
+      let x = Dsl.input b "x" ~size in
+      let y = Dsl.input b "y" ~size in
+      let outs =
+        Dsl.for_ b ~count:(Bench_def.dyn "iters")
+          ~init:[ Dsl.const b 0.0 ]
+          (fun b -> function
+            | [ w ] ->
+              let z = Dsl.mul b w x in
+              let p = Halo_approx.Sigmoid_approx.sigmoid_dsl b z in
+              let err = Dsl.sub b p y in
+              [ Linalg.weighted_step b w ~grad:(Dsl.mul b err x) ~lr ~size ]
+            | _ -> assert false)
+      in
+      match outs with
+      | [ w ] ->
+        Dsl.output b w;
+        Dsl.output b (Halo_approx.Sigmoid_approx.sigmoid_dsl b (Dsl.mul b w x))
+      | _ -> assert false)
+
+let gen_inputs ~seed ~size =
+  let x, y = Datasets.two_class ~seed ~size in
+  [ ("x", x); ("y", y) ]
+
+let reference ~size ~bindings ~inputs =
+  let iters = Bench_def.find_binding bindings "iters" in
+  let x = Bench_def.find_input inputs "x" in
+  let y = Bench_def.find_input inputs "y" in
+  let n = float_of_int size in
+  let w = ref 0.0 in
+  for _ = 1 to iters do
+    let g = ref 0.0 in
+    for s = 0 to size - 1 do
+      let p = Halo_approx.Sigmoid_approx.sigmoid_exact (!w *. x.(s)) in
+      g := !g +. ((p -. y.(s)) *. x.(s))
+    done;
+    w := !w -. (lr *. !g /. n)
+  done;
+  let pred =
+    Array.init size (fun s -> Halo_approx.Sigmoid_approx.sigmoid_exact (!w *. x.(s)))
+  in
+  [ Array.make size !w; pred ]
+
+let benchmark : Bench_def.t =
+  {
+    name = "Logistic";
+    loop_depth = 1;
+    carried = "1";
+    approx = [ "sigmoid" ];
+    count_names = [ "iters" ];
+    build;
+    gen_inputs;
+    reference;
+    output_len = (fun ~size -> [ size; size ]);
+  }

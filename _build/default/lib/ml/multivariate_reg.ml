@@ -1,0 +1,81 @@
+(** Multivariate regression over eight features: nine loop-carried
+    ciphertexts — the paper's stress test for packing (Table 5: bootstraps
+    drop from 9 to 1 per iteration). *)
+
+open Halo
+
+let lr = 0.4
+let num_features = 8
+
+let feature_name f = Printf.sprintf "x%d" f
+
+let build ~slots ~size =
+  Bench_def.check_pow2 size;
+  Dsl.build ~name:"multivariate" ~slots ~max_level:16 (fun b ->
+      let xs = List.init num_features (fun f -> Dsl.input b (feature_name f) ~size) in
+      let y = Dsl.input b "y" ~size in
+      let init = List.init (num_features + 1) (fun _ -> Dsl.const b 0.0) in
+      let outs =
+        Dsl.for_ b ~count:(Bench_def.dyn "iters") ~init (fun b vars ->
+            let ws = List.filteri (fun i _ -> i < num_features) vars in
+            let bias = List.nth vars num_features in
+            let pred =
+              List.fold_left2
+                (fun acc w x -> Dsl.add b acc (Dsl.mul b w x))
+                bias ws xs
+            in
+            let err = Dsl.sub b pred y in
+            List.map2
+              (fun w x -> Linalg.weighted_step b w ~grad:(Dsl.mul b err x) ~lr ~size)
+              ws xs
+            @ [ Linalg.weighted_step b bias ~grad:err ~lr ~size ])
+      in
+      List.iter (Dsl.output b) outs)
+
+let true_weights = [| 0.5; -0.3; 0.2; 0.7; -0.6; 0.1; -0.2; 0.4 |]
+
+let gen_inputs ~seed ~size =
+  let features, y = Datasets.multivariate ~seed ~size ~weights:true_weights ~b:0.1 in
+  List.init num_features (fun f -> (feature_name f, features.(f))) @ [ ("y", y) ]
+
+let reference ~size ~bindings ~inputs =
+  let iters = Bench_def.find_binding bindings "iters" in
+  let xs = Array.init num_features (fun f -> Bench_def.find_input inputs (feature_name f)) in
+  let y = Bench_def.find_input inputs "y" in
+  let n = float_of_int size in
+  let ws = Array.make num_features 0.0 in
+  let bias = ref 0.0 in
+  for _ = 1 to iters do
+    let gs = Array.make num_features 0.0 in
+    let gb = ref 0.0 in
+    for s = 0 to size - 1 do
+      let pred = ref !bias in
+      for f = 0 to num_features - 1 do
+        pred := !pred +. (ws.(f) *. xs.(f).(s))
+      done;
+      let err = !pred -. y.(s) in
+      for f = 0 to num_features - 1 do
+        gs.(f) <- gs.(f) +. (err *. xs.(f).(s))
+      done;
+      gb := !gb +. err
+    done;
+    for f = 0 to num_features - 1 do
+      ws.(f) <- ws.(f) -. (lr *. gs.(f) /. n)
+    done;
+    bias := !bias -. (lr *. !gb /. n)
+  done;
+  Array.to_list (Array.map (fun w -> Array.make size w) ws)
+  @ [ Array.make size !bias ]
+
+let benchmark : Bench_def.t =
+  {
+    name = "Multivariate";
+    loop_depth = 1;
+    carried = "9";
+    approx = [];
+    count_names = [ "iters" ];
+    build;
+    gen_inputs;
+    reference;
+    output_len = (fun ~size -> List.init (num_features + 1) (fun _ -> size));
+  }

@@ -1,0 +1,74 @@
+(** Polynomial (degree-2) regression: three loop-carried ciphertexts.  The
+    squared feature is computed once before the loop and captured by the
+    body as a live-in ciphertext. *)
+
+open Halo
+
+let lr = 0.5
+
+let build ~slots ~size =
+  Bench_def.check_pow2 size;
+  Dsl.build ~name:"polynomial" ~slots ~max_level:16 (fun b ->
+      let x = Dsl.input b "x" ~size in
+      let y = Dsl.input b "y" ~size in
+      let x2 = Dsl.mul b x x in
+      let outs =
+        Dsl.for_ b ~count:(Bench_def.dyn "iters")
+          ~init:[ Dsl.const b 0.0; Dsl.const b 0.0; Dsl.const b 0.0 ]
+          (fun b -> function
+            | [ w2; w1; bias ] ->
+              let pred =
+                Dsl.add b (Dsl.add b (Dsl.mul b w2 x2) (Dsl.mul b w1 x)) bias
+              in
+              let err = Dsl.sub b pred y in
+              [
+                Linalg.weighted_step b w2 ~grad:(Dsl.mul b err x2) ~lr ~size;
+                Linalg.weighted_step b w1 ~grad:(Dsl.mul b err x) ~lr ~size;
+                Linalg.weighted_step b bias ~grad:err ~lr ~size;
+              ]
+            | _ -> assert false)
+      in
+      match outs with
+      | [ w2; w1; bias ] ->
+        List.iter (Dsl.output b) [ w2; w1; bias ];
+        Dsl.output b (Dsl.add b (Dsl.add b (Dsl.mul b w2 x2) (Dsl.mul b w1 x)) bias)
+      | _ -> assert false)
+
+let gen_inputs ~seed ~size =
+  let x, y = Datasets.polynomial ~seed ~size ~w2:0.5 ~w1:(-0.4) ~b:0.2 in
+  [ ("x", x); ("y", y) ]
+
+let reference ~size ~bindings ~inputs =
+  let iters = Bench_def.find_binding bindings "iters" in
+  let x = Bench_def.find_input inputs "x" in
+  let y = Bench_def.find_input inputs "y" in
+  let x2 = Array.map (fun v -> v *. v) x in
+  let n = float_of_int size in
+  let w2 = ref 0.0 and w1 = ref 0.0 and bias = ref 0.0 in
+  for _ = 1 to iters do
+    let g2 = ref 0.0 and g1 = ref 0.0 and gb = ref 0.0 in
+    for s = 0 to size - 1 do
+      let err = (!w2 *. x2.(s)) +. (!w1 *. x.(s)) +. !bias -. y.(s) in
+      g2 := !g2 +. (err *. x2.(s));
+      g1 := !g1 +. (err *. x.(s));
+      gb := !gb +. err
+    done;
+    w2 := !w2 -. (lr *. !g2 /. n);
+    w1 := !w1 -. (lr *. !g1 /. n);
+    bias := !bias -. (lr *. !gb /. n)
+  done;
+  let pred = Array.init size (fun s -> (!w2 *. x2.(s)) +. (!w1 *. x.(s)) +. !bias) in
+  [ Array.make size !w2; Array.make size !w1; Array.make size !bias; pred ]
+
+let benchmark : Bench_def.t =
+  {
+    name = "Polynomial";
+    loop_depth = 1;
+    carried = "3";
+    approx = [];
+    count_names = [ "iters" ];
+    build;
+    gen_inputs;
+    reference;
+    output_len = (fun ~size -> [ size; size; size; size ]);
+  }

@@ -1,0 +1,79 @@
+(** Linear SVM by sub-gradient descent on the hinge loss, with an averaged
+    iterate (Pegasos-style): three loop-carried ciphertexts.  The hinge
+    indicator uses the sign approximation, so like K-means the body needs
+    in-body bootstrapping; packing still pays off for the three carried
+    values (Table 5). *)
+
+open Halo
+
+let lr = 0.3
+let lambda = 0.01
+
+let build ~slots ~size =
+  Bench_def.check_pow2 size;
+  Dsl.build ~name:"svm" ~slots ~max_level:16 (fun b ->
+      let x = Dsl.input b "x" ~size in
+      let y = Dsl.input b "y" ~size in
+      let yx = Dsl.mul b y x in
+      let outs =
+        Dsl.for_ b ~count:(Bench_def.dyn "iters")
+          ~init:[ Dsl.const b 0.0; Dsl.const b 0.0; Dsl.const b 0.0 ]
+          (fun b -> function
+            | [ w; bias; wavg ] ->
+              let margin = Dsl.add b (Dsl.mul b w yx) (Dsl.mul b bias y) in
+              (* Hinge active where margin < 1; margins stay within
+                 [-3, 5], so (1 - margin) / 4 lies in the sign domain. *)
+              let arg = Dsl.scale_by b (Dsl.sub b (Dsl.const b 1.0) margin) 0.25 in
+              let s = Halo_approx.Sign_approx.sign_dsl b arg in
+              let ind = Dsl.add b (Dsl.scale_by b s 0.5) (Dsl.const b 0.5) in
+              let step g = Dsl.scale_by b (Dsl.sum_slots b g ~size) (lr /. float_of_int size) in
+              let w' =
+                Dsl.add b
+                  (Dsl.scale_by b w (1.0 -. (lr *. lambda)))
+                  (step (Dsl.mul b ind yx))
+              in
+              let bias' = Dsl.add b bias (step (Dsl.mul b ind y)) in
+              let wavg' =
+                Dsl.add b (Dsl.scale_by b wavg 0.5) (Dsl.scale_by b w' 0.5)
+              in
+              [ w'; bias'; wavg' ]
+            | _ -> assert false)
+      in
+      List.iter (Dsl.output b) outs)
+
+let gen_inputs ~seed ~size =
+  let points, labels = Datasets.clusters_labeled ~seed ~size in
+  [ ("x", points); ("y", labels) ]
+
+let reference ~size ~bindings ~inputs =
+  let iters = Bench_def.find_binding bindings "iters" in
+  let x = Bench_def.find_input inputs "x" in
+  let y = Bench_def.find_input inputs "y" in
+  let n = float_of_int size in
+  let w = ref 0.0 and bias = ref 0.0 and wavg = ref 0.0 in
+  for _ = 1 to iters do
+    let gw = ref 0.0 and gb = ref 0.0 in
+    for s = 0 to size - 1 do
+      let margin = (y.(s) *. x.(s) *. !w) +. (!bias *. y.(s)) in
+      let ind = if margin < 1.0 then 1.0 else 0.0 in
+      gw := !gw +. (ind *. y.(s) *. x.(s));
+      gb := !gb +. (ind *. y.(s))
+    done;
+    w := (!w *. (1.0 -. (lr *. lambda))) +. (lr *. !gw /. n);
+    bias := !bias +. (lr *. !gb /. n);
+    wavg := (0.5 *. !wavg) +. (0.5 *. !w)
+  done;
+  [ Array.make size !w; Array.make size !bias; Array.make size !wavg ]
+
+let benchmark : Bench_def.t =
+  {
+    name = "SVM";
+    loop_depth = 1;
+    carried = "3";
+    approx = [ "sign" ];
+    count_names = [ "iters" ];
+    build;
+    gen_inputs;
+    reference;
+    output_len = (fun ~size -> [ size; size; size ]);
+  }

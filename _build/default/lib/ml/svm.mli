@@ -1,0 +1,5 @@
+(** Linear SVM by hinge-loss sub-gradient descent with an averaged iterate:
+    three loop-carried ciphertexts and in-body bootstrapping; see the
+    implementation header. *)
+
+val benchmark : Bench_def.t

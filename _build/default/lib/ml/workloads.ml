@@ -1,0 +1,55 @@
+let all : Bench_def.t list =
+  [
+    Linear_reg.benchmark;
+    Polynomial_reg.benchmark;
+    Multivariate_reg.benchmark;
+    Logistic_reg.benchmark;
+    Kmeans.benchmark;
+    Svm.benchmark;
+    Pca.benchmark;
+  ]
+
+let flat = List.filter (fun (b : Bench_def.t) -> b.loop_depth = 1) all
+
+let find name =
+  let lc = String.lowercase_ascii name in
+  List.find (fun (b : Bench_def.t) -> String.lowercase_ascii b.name = lc) all
+
+let default_bindings (b : Bench_def.t) ~iters =
+  match b.count_names with
+  | [ single ] -> [ (single, iters) ]
+  | [ outer; inner ] -> [ (outer, iters); (inner, 8) ]
+  | _ -> invalid_arg "default_bindings: unexpected count arity"
+
+let rmse ~expected ~actual ~len =
+  let acc = ref 0.0 in
+  for i = 0 to len - 1 do
+    let d = expected.(i) -. actual.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt (!acc /. float_of_int len)
+
+module R = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend)
+
+let run_rmse (b : Bench_def.t) ~slots ~size ~seed ~iters ~strategy =
+  let program = b.build ~slots ~size in
+  let bindings = default_bindings b ~iters in
+  let compiled = Halo.Strategy.compile ~bindings ~strategy program in
+  let inputs = b.gen_inputs ~seed ~size in
+  let st =
+    Halo_ckks.Ref_backend.create ~seed:(seed + 17) ~slots ~max_level:16
+      ~scale_bits:51 ()
+  in
+  let outputs, stats = R.run st ~bindings ~inputs compiled in
+  let expected = b.reference ~size ~bindings ~inputs in
+  let lens = b.output_len ~size in
+  let worst = ref 0.0 and count = ref 0 and total = ref 0.0 in
+  List.iter2
+    (fun (e, a) len ->
+      let r = rmse ~expected:e ~actual:a ~len in
+      if r > !worst then worst := r;
+      total := !total +. r;
+      incr count)
+    (List.combine expected outputs)
+    lens;
+  (!total /. float_of_int !count, stats)

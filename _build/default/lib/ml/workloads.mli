@@ -1,0 +1,30 @@
+(** Registry of the seven evaluation benchmarks (paper Table 4) and helpers
+    shared by the test suite and the benchmark harness. *)
+
+val all : Bench_def.t list
+(** Linear, Polynomial, Multivariate, Logistic, K-means, SVM, PCA. *)
+
+val flat : Bench_def.t list
+(** The six flat-loop benchmarks (everything except PCA), the set used by
+    Figure 4 and Tables 5–7. *)
+
+val find : string -> Bench_def.t
+(** Lookup by name (case-insensitive); raises [Not_found]. *)
+
+val default_bindings : Bench_def.t -> iters:int -> (string * int) list
+(** Bindings for a benchmark: [iters] for flat loops; PCA maps [iters] to
+    the outer count with 8 inner iterations. *)
+
+val rmse : expected:float array -> actual:float array -> len:int -> float
+
+val run_rmse :
+  Bench_def.t ->
+  slots:int ->
+  size:int ->
+  seed:int ->
+  iters:int ->
+  strategy:Halo.Strategy.t ->
+  float * Halo_runtime.Stats.t
+(** Compile with [strategy], execute on the reference backend, and return
+    the RMSE against the cleartext reference together with execution
+    statistics. *)

@@ -1,0 +1,1 @@
+lib/runtime/backend.ml:

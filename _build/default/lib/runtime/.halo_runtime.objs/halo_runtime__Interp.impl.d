@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Backend Float Halo Halo_cost Hashtbl Ir List Printf Sizes Stats

@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: Backend Halo Stats

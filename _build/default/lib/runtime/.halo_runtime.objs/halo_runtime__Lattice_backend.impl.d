@@ -1,0 +1,1 @@
+lib/runtime/lattice_backend.ml: Bootstrap_oracle Eval Halo_ckks Keys

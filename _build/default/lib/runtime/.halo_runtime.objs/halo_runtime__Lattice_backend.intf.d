@@ -1,0 +1,1 @@
+lib/runtime/lattice_backend.mli: Backend Halo_ckks

@@ -1,0 +1,1 @@
+lib/runtime/stats.ml: Halo_cost Printf

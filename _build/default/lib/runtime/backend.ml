@@ -1,0 +1,28 @@
+(** Backend interface for the interpreter.
+
+    Two implementations ship with the library: [Halo_ckks.Ref_backend]
+    (cleartext-tracking with calibrated noise — scales to the paper's
+    workloads) and {!Lattice_backend} (real RLWE ciphertexts at
+    test-friendly parameters).  Both enforce the same level/scale
+    discipline, so a program that runs on one runs on the other. *)
+
+module type S = sig
+  type ct
+  type state
+
+  val slots : state -> int
+  val max_level : state -> int
+  val level : state -> ct -> int
+  val encrypt : state -> level:int -> float array -> ct
+  val decrypt : state -> ct -> float array
+  val addcc : state -> ct -> ct -> ct
+  val subcc : state -> ct -> ct -> ct
+  val addcp : state -> ct -> float array -> ct
+  val multcc : state -> ct -> ct -> ct
+  val multcp : state -> ct -> float array -> ct
+  val rotate : state -> ct -> offset:int -> ct
+  val rescale : state -> ct -> ct
+  val modswitch : state -> ct -> down:int -> ct
+  val bootstrap : state -> ct -> target:int -> ct
+  val negate : state -> ct -> ct
+end

@@ -1,0 +1,166 @@
+open Halo
+module Cost = Halo_cost.Cost_model
+
+module Make (B : Backend.S) = struct
+  type value = Plain of float array | Cipher of B.ct
+
+  exception Runtime_error of string
+
+  let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+  let replicate ~slots values =
+    let len = Array.length values in
+    if len = 0 then err "empty input vector";
+    if len >= slots then Array.sub values 0 slots
+    else begin
+      let period = Sizes.round_pow2 len in
+      if slots mod period <> 0 then
+        err "input period %d does not divide slot count %d" period slots;
+      Array.init slots (fun i ->
+          let j = i mod period in
+          if j < len then values.(j) else 0.0)
+    end
+
+  let rotate_plain values offset =
+    let n = Array.length values in
+    let shift = ((offset mod n) + n) mod n in
+    Array.init n (fun i -> values.((i + shift) mod n))
+
+  let run st ?(bindings = []) ~inputs (p : Ir.program) =
+    let slots = B.slots st in
+    if slots <> p.slots then
+      err "backend has %d slots but program expects %d" slots p.slots;
+    let stats = Stats.create () in
+    let env : (Ir.var, value) Hashtbl.t = Hashtbl.create 256 in
+    let value_of v =
+      match Hashtbl.find_opt env v with
+      | Some x -> x
+      | None -> err "use of undefined variable %%%d" v
+    in
+    let level_of ct = B.level st ct in
+    let record op ct = Stats.record stats op ~level:(level_of ct) in
+    (* Inputs: replicate across the slots, encrypt the cipher ones. *)
+    List.iter
+      (fun (inp : Ir.input) ->
+        let raw =
+          match List.assoc_opt inp.in_name inputs with
+          | Some r -> r
+          | None -> err "missing input %S" inp.in_name
+        in
+        let data = replicate ~slots raw in
+        let v =
+          match inp.in_status with
+          | Ir.Plain -> Plain data
+          | Ir.Cipher -> Cipher (B.encrypt st ~level:p.max_level data)
+        in
+        Hashtbl.replace env inp.in_var v)
+      p.inputs;
+    let const_data value size =
+      match value with
+      | Ir.Splat x -> Array.make slots x
+      | Ir.Vector xs ->
+        if Array.length xs <> size && size <> Array.length xs then
+          err "constant size mismatch";
+        replicate ~slots xs
+    in
+    let binary kind lhs rhs =
+      match (kind, lhs, rhs) with
+      | Ir.Add, Plain a, Plain b -> Plain (Array.map2 ( +. ) a b)
+      | Ir.Sub, Plain a, Plain b -> Plain (Array.map2 ( -. ) a b)
+      | Ir.Mul, Plain a, Plain b -> Plain (Array.map2 ( *. ) a b)
+      | Ir.Add, Cipher a, Cipher b ->
+        record Cost.Addcc a;
+        Cipher (B.addcc st a b)
+      | Ir.Sub, Cipher a, Cipher b ->
+        record Cost.Subcc a;
+        Cipher (B.subcc st a b)
+      | Ir.Mul, Cipher a, Cipher b ->
+        record Cost.Multcc a;
+        Cipher (B.multcc st a b)
+      | Ir.Add, Cipher a, Plain b | Ir.Add, Plain b, Cipher a ->
+        record Cost.Addcp a;
+        Cipher (B.addcp st a b)
+      | Ir.Sub, Cipher a, Plain b ->
+        record Cost.Addcp a;
+        Cipher (B.addcp st a (Array.map Float.neg b))
+      | Ir.Sub, Plain a, Cipher b ->
+        record Cost.Addcp b;
+        Cipher (B.addcp st (B.negate st b) a)
+      | Ir.Mul, Cipher a, Plain b | Ir.Mul, Plain b, Cipher a ->
+        record Cost.Multcp a;
+        Cipher (B.multcp st a b)
+    in
+    let rec exec_block (b : Ir.block) args =
+      List.iter2 (fun prm v -> Hashtbl.replace env prm v) b.params args;
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.op with
+          | Ir.Const { value; size } ->
+            Hashtbl.replace env (Ir.result i) (Plain (const_data value size))
+          | Ir.Binary { kind; lhs; rhs } ->
+            Hashtbl.replace env (Ir.result i)
+              (binary kind (value_of lhs) (value_of rhs))
+          | Ir.Rotate { src; offset } ->
+            let v =
+              match value_of src with
+              | Plain a -> Plain (rotate_plain a offset)
+              | Cipher c ->
+                if offset = 0 then Cipher c
+                else begin
+                  record Cost.Rotate c;
+                  Cipher (B.rotate st c ~offset)
+                end
+            in
+            Hashtbl.replace env (Ir.result i) v
+          | Ir.Rescale { src } ->
+            (match value_of src with
+             | Plain _ -> err "rescale of plaintext"
+             | Cipher c ->
+               record Cost.Rescale c;
+               Hashtbl.replace env (Ir.result i) (Cipher (B.rescale st c)))
+          | Ir.Modswitch { src; down } ->
+            (match value_of src with
+             | Plain _ -> err "modswitch of plaintext"
+             | Cipher c ->
+               record Cost.Modswitch c;
+               Hashtbl.replace env (Ir.result i) (Cipher (B.modswitch st c ~down)))
+          | Ir.Bootstrap { src; target } ->
+            (match value_of src with
+             | Plain _ -> err "bootstrap of plaintext"
+             | Cipher c ->
+               Stats.record_bootstrap stats ~target;
+               Hashtbl.replace env (Ir.result i) (Cipher (B.bootstrap st c ~target)))
+          | Ir.Pack _ | Ir.Unpack _ ->
+            err "composite pack/unpack reached the interpreter; compile with lowering"
+          | Ir.For fo ->
+            let n =
+              try Ir.eval_count ~bindings fo.count
+              with Not_found ->
+                err "missing binding for iteration count %s"
+                  (Ir.count_to_string fo.count)
+            in
+            let rec iterate k args =
+              if k = 0 then args
+              else begin
+                exec_block fo.body args;
+                iterate (k - 1) (List.map value_of fo.body.yields)
+              end
+            in
+            let final = iterate n (List.map value_of fo.inits) in
+            List.iter2 (fun r v -> Hashtbl.replace env r v) i.results final)
+        b.instrs
+    in
+    let input_values =
+      List.map (fun (inp : Ir.input) -> value_of inp.in_var) p.inputs
+    in
+    exec_block p.body input_values;
+    let outputs =
+      List.map
+        (fun v ->
+          match value_of v with
+          | Plain a -> a
+          | Cipher c -> B.decrypt st c)
+        p.body.yields
+    in
+    (outputs, stats)
+end

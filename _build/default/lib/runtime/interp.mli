@@ -1,0 +1,27 @@
+(** The interpreter: executes a compiled (normalized, pack-lowered) program
+    against a backend, with dynamic iteration-count bindings and latency
+    accounting.
+
+    Plaintext values flow as cleartext slot vectors; mixed operations map to
+    [addcp]/[multcp]; loop-carried values are rebound each iteration.  Input
+    vectors shorter than the slot count are replicated (period padded to a
+    power of two), the layout the paper's packing optimization relies on. *)
+
+module Make (B : Backend.S) : sig
+  type value = Plain of float array | Cipher of B.ct
+
+  exception Runtime_error of string
+
+  val replicate : slots:int -> float array -> float array
+  (** Pad to the next power-of-two length and tile across the slots. *)
+
+  val run :
+    B.state ->
+    ?bindings:(string * int) list ->
+    inputs:(string * float array) list ->
+    Halo.Ir.program ->
+    float array list * Stats.t
+  (** Outputs are decrypted slot vectors (cleartext outputs pass through).
+      Raises {!Runtime_error} on missing inputs/bindings or on a composite
+      [pack]/[unpack] (compile with lowering enabled). *)
+end

@@ -1,0 +1,24 @@
+(** Adapter exposing the real RNS-CKKS evaluator ({!Halo_ckks.Eval}) through
+    the {!Backend.S} interface.  The state is the key material; bootstrap is
+    the decrypt–re-encrypt oracle (see the substitution table in DESIGN.md). *)
+
+open Halo_ckks
+
+type ct = Eval.ct
+type state = Keys.t
+
+let slots (keys : Keys.t) = keys.params.slots
+let max_level (keys : Keys.t) = keys.params.max_level
+let level _keys ct = Eval.level ct
+let encrypt keys ~level values = Eval.encrypt keys ~level values
+let decrypt keys ct = Eval.decrypt keys ct
+let addcc = Eval.addcc
+let subcc = Eval.subcc
+let addcp = Eval.addcp
+let multcc = Eval.multcc
+let multcp = Eval.multcp
+let rotate keys ct ~offset = Eval.rotate keys ct ~offset
+let rescale = Eval.rescale
+let modswitch keys ct ~down = Eval.modswitch keys ct ~down
+let bootstrap keys ct ~target = Bootstrap_oracle.bootstrap keys ct ~target
+let negate = Eval.negate

@@ -1,0 +1,5 @@
+(** The real RNS-CKKS evaluator exposed through the {!Backend.S} interface;
+    the state is the key material and bootstrap is the oracle (DESIGN.md
+    substitution table; {!Halo_ckks.Bootstrap_real} is the full pipeline). *)
+
+include Backend.S with type state = Halo_ckks.Keys.t and type ct = Halo_ckks.Eval.ct

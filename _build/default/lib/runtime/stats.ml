@@ -1,0 +1,64 @@
+type t = {
+  mutable addcc : int;
+  mutable addcp : int;
+  mutable subcc : int;
+  mutable multcc : int;
+  mutable multcp : int;
+  mutable rotate : int;
+  mutable rescale : int;
+  mutable modswitch : int;
+  mutable bootstrap : int;
+  mutable total_latency_us : float;
+  mutable bootstrap_latency_us : float;
+}
+
+let create () =
+  {
+    addcc = 0;
+    addcp = 0;
+    subcc = 0;
+    multcc = 0;
+    multcp = 0;
+    rotate = 0;
+    rescale = 0;
+    modswitch = 0;
+    bootstrap = 0;
+    total_latency_us = 0.0;
+    bootstrap_latency_us = 0.0;
+  }
+
+let record t (op : Halo_cost.Cost_model.op) ~level =
+  (match op with
+   | Halo_cost.Cost_model.Addcc -> t.addcc <- t.addcc + 1
+   | Addcp -> t.addcp <- t.addcp + 1
+   | Subcc -> t.subcc <- t.subcc + 1
+   | Multcc -> t.multcc <- t.multcc + 1
+   | Multcp -> t.multcp <- t.multcp + 1
+   | Rotate -> t.rotate <- t.rotate + 1
+   | Rescale -> t.rescale <- t.rescale + 1
+   | Modswitch -> t.modswitch <- t.modswitch + 1
+   | Encode -> ());
+  t.total_latency_us <-
+    t.total_latency_us +. Halo_cost.Cost_model.latency_us op ~level
+
+let record_bootstrap t ~target =
+  t.bootstrap <- t.bootstrap + 1;
+  let l = Halo_cost.Cost_model.bootstrap_latency_us ~target in
+  t.total_latency_us <- t.total_latency_us +. l;
+  t.bootstrap_latency_us <- t.bootstrap_latency_us +. l
+
+let total_ops t =
+  t.addcc + t.addcp + t.subcc + t.multcc + t.multcp + t.rotate + t.rescale
+  + t.modswitch + t.bootstrap
+
+let compute_latency_us t = t.total_latency_us -. t.bootstrap_latency_us
+
+let to_string t =
+  Printf.sprintf
+    "addcc=%d addcp=%d subcc=%d multcc=%d multcp=%d rotate=%d rescale=%d \
+     modswitch=%d bootstrap=%d latency=%.0fus (bootstrap %.0fus, %.1f%%)"
+    t.addcc t.addcp t.subcc t.multcc t.multcp t.rotate t.rescale t.modswitch
+    t.bootstrap t.total_latency_us t.bootstrap_latency_us
+    (if t.total_latency_us > 0.0 then
+       100.0 *. t.bootstrap_latency_us /. t.total_latency_us
+     else 0.0)

@@ -1,0 +1,33 @@
+(** Execution statistics: dynamic operation counts and modeled latency.
+
+    Latency is charged per executed operation from the cost model calibrated
+    to the paper's Tables 2–3 (see [lib/costmodel]); [bootstrap_latency_us]
+    is kept separately because Figure 4 reports the bootstrap share of the
+    end-to-end time. *)
+
+type t = {
+  mutable addcc : int;
+  mutable addcp : int;
+  mutable subcc : int;
+  mutable multcc : int;
+  mutable multcp : int;
+  mutable rotate : int;
+  mutable rescale : int;
+  mutable modswitch : int;
+  mutable bootstrap : int;
+  mutable total_latency_us : float;
+  mutable bootstrap_latency_us : float;
+}
+
+val create : unit -> t
+
+val record : t -> Halo_cost.Cost_model.op -> level:int -> unit
+(** Count one primitive op at the given operand level. *)
+
+val record_bootstrap : t -> target:int -> unit
+
+val total_ops : t -> int
+val compute_latency_us : t -> float
+(** Non-bootstrap latency. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_analyses.ml: Alcotest Array Depth Dsl Float Halo Halo_approx Halo_ckks Halo_ml Halo_runtime Ir Linalg List Noise_budget Option Parser Printf QCheck QCheck_alcotest Random Rotations Strategy

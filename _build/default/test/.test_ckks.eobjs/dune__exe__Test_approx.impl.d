@@ -1,0 +1,1 @@
+test/test_approx.ml: Alcotest Array Dsl Float Halo Halo_approx Halo_ckks Halo_runtime Ir List Peel QCheck QCheck_alcotest Strategy

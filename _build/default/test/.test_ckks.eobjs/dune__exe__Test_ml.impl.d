@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array Float Halo Halo_ckks Halo_ml Halo_runtime Ir List Printf Strategy

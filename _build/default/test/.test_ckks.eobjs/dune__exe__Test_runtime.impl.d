@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Dsl Float Halo Halo_ckks Halo_runtime Ir List Printf QCheck QCheck_alcotest Strategy

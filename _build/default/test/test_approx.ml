@@ -1,0 +1,232 @@
+(* Tests for the approximation library: numerical accuracy of the fitted
+   polynomials and equivalence between the cleartext and homomorphic
+   evaluations. *)
+
+open Halo
+module A = Halo_approx
+module R = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend)
+
+let ref_state ?(slots = 64) () =
+  Halo_ckks.Ref_backend.create ~slots ~max_level:16 ~scale_bits:51 ()
+
+let run_unary ?(max_level = 16) f x =
+  let p =
+    Dsl.build ~name:"unary" ~slots:64 ~max_level (fun b ->
+        let v = Dsl.input b "x" ~size:8 in
+        Dsl.output b (f b v))
+    |> Strategy.compile ~strategy:Strategy.Type_matched
+  in
+  let outs, _ = R.run (ref_state ()) ~inputs:[ ("x", x) ] p in
+  Array.sub (List.hd outs) 0 8
+
+(* ------------------------------------------------------------------ *)
+(* Chebyshev                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cheb_fit_exp () =
+  let coeffs = A.Chebyshev.fit ~f:exp ~a:(-1.0) ~b:1.0 ~degree:12 in
+  for i = -10 to 10 do
+    let x = float_of_int i /. 10.0 in
+    let y = A.Chebyshev.eval_clear ~coeffs ~a:(-1.0) ~b:1.0 x in
+    if Float.abs (y -. exp x) > 1e-9 then
+      Alcotest.failf "exp fit off at %g: %g" x (y -. exp x)
+  done
+
+let test_cheb_dsl_matches_clear () =
+  let coeffs = A.Chebyshev.fit ~f:(fun x -> sin (3.0 *. x)) ~a:(-1.0) ~b:1.0 ~degree:15 in
+  let xs = Array.init 8 (fun i -> -0.9 +. (0.25 *. float_of_int i)) in
+  let enc = run_unary (fun b v -> A.Chebyshev.eval_dsl b ~coeffs ~a:(-1.0) ~b:1.0 v) xs in
+  Array.iteri
+    (fun i x ->
+      let clear = A.Chebyshev.eval_clear ~coeffs ~a:(-1.0) ~b:1.0 x in
+      if Float.abs (enc.(i) -. clear) > 1e-3 then
+        Alcotest.failf "slot %d: %g vs %g" i enc.(i) clear)
+    xs
+
+let test_cheb_depth () =
+  Alcotest.(check int) "degree 96 depth" 9 (A.Chebyshev.depth ~degree:96);
+  Alcotest.(check int) "degree 15 depth" 6 (A.Chebyshev.depth ~degree:15)
+
+let test_cheb_fit_prop =
+  QCheck.Test.make ~name:"chebyshev interpolates smooth functions" ~count:20
+    QCheck.(pair (float_range 0.5 3.0) (float_range (-0.5) 0.5))
+    (fun (freq, phase) ->
+      let f x = cos ((freq *. x) +. phase) in
+      let coeffs = A.Chebyshev.fit ~f ~a:(-1.0) ~b:1.0 ~degree:20 in
+      List.for_all
+        (fun x -> Float.abs (A.Chebyshev.eval_clear ~coeffs ~a:(-1.0) ~b:1.0 x -. f x) < 1e-6)
+        [ -0.99; -0.5; 0.0; 0.3; 0.77; 1.0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Sign                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sign_accuracy () =
+  for i = -100 to 100 do
+    let x = float_of_int i /. 100.0 in
+    (* The composite leaves a small dead zone around zero; outside it the
+       approximation is within a few thousandths of +-1. *)
+    if Float.abs x > 0.05 then begin
+      let s = A.Sign_approx.sign_clear x in
+      let expect = if x > 0.0 then 1.0 else -1.0 in
+      if Float.abs (s -. expect) > 5e-3 then
+        Alcotest.failf "sign(%g) = %g" x s
+    end
+  done
+
+let test_sign_odd () =
+  List.iter
+    (fun x ->
+      let s = A.Sign_approx.sign_clear x and s' = A.Sign_approx.sign_clear (-.x) in
+      if Float.abs (s +. s') > 1e-9 then Alcotest.failf "sign not odd at %g" x)
+    [ 0.0; 0.1; 0.33; 0.8; 1.0 ]
+
+let test_sign_degrees () =
+  (* The paper's composite degrees {15, 15, 27} (Section 7). *)
+  Alcotest.(check int) "f7 degree" 16 (Array.length (A.Sign_approx.f_poly 7));
+  Alcotest.(check int) "f13 degree" 28 (Array.length (A.Sign_approx.f_poly 13));
+  Alcotest.(check int) "evaluation depth" 16 A.Sign_approx.depth
+
+let test_sign_dsl () =
+  let xs = [| -0.9; -0.4; -0.1; 0.1; 0.2; 0.5; 0.8; 1.0 |] in
+  let enc = run_unary (fun b v -> A.Sign_approx.sign_dsl b v) xs in
+  Array.iteri
+    (fun i x ->
+      let clear = A.Sign_approx.sign_clear x in
+      if Float.abs (enc.(i) -. clear) > 1e-3 then
+        Alcotest.failf "slot %d (x=%g): %g vs %g" i x enc.(i) clear)
+    xs
+
+let test_compare_dsl () =
+  let xs = [| 0.3; 0.8; 0.1; 0.9; 0.62; 0.2; 0.7; 0.4 |] in
+  let ys = Array.make 8 0.5 in
+  let p =
+    Dsl.build ~name:"cmp" ~slots:64 ~max_level:16 (fun b ->
+        let x = Dsl.input b "x" ~size:8 in
+        let y = Dsl.input b "y" ~size:8 in
+        Dsl.output b (A.Sign_approx.compare_dsl b x y))
+    |> Strategy.compile ~strategy:Strategy.Type_matched
+  in
+  let outs, _ = R.run (ref_state ()) ~inputs:[ ("x", xs); ("y", ys) ] p in
+  Array.iteri
+    (fun i x ->
+      let expect = if x > 0.5 then 1.0 else 0.0 in
+      if Float.abs ((List.hd outs).(i) -. expect) > 0.01 then
+        Alcotest.failf "compare slot %d (x=%g): %g" i x (List.hd outs).(i))
+    xs
+
+(* ------------------------------------------------------------------ *)
+(* Sigmoid                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sigmoid_accuracy () =
+  for i = -80 to 80 do
+    let x = float_of_int i /. 10.0 in
+    let err = Float.abs (A.Sigmoid_approx.sigmoid_clear x -. A.Sigmoid_approx.sigmoid_exact x) in
+    if err > 1e-9 then Alcotest.failf "sigmoid off at %g by %g" x err
+  done
+
+let test_sigmoid_dsl () =
+  let xs = [| -6.0; -3.0; -1.0; -0.2; 0.2; 1.0; 3.0; 6.0 |] in
+  let enc = run_unary (fun b v -> A.Sigmoid_approx.sigmoid_dsl b v) xs in
+  Array.iteri
+    (fun i x ->
+      if Float.abs (enc.(i) -. A.Sigmoid_approx.sigmoid_exact x) > 1e-3 then
+        Alcotest.failf "sigmoid slot %d (x=%g): %g" i x enc.(i))
+    xs
+
+(* ------------------------------------------------------------------ *)
+(* Iterative square root                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sqrt_convergence () =
+  List.iter
+    (fun x ->
+      let err = Float.abs (A.Sqrt_iter.sqrt_clear ~iterations:10 x -. sqrt x) in
+      if err > 1e-5 then Alcotest.failf "sqrt(%g) error %g" x err)
+    [ 0.1; 0.3; 0.5; 0.9; 1.0 ]
+
+let test_inv_sqrt_convergence () =
+  List.iter
+    (fun x ->
+      let err =
+        Float.abs (A.Sqrt_iter.inv_sqrt_clear ~iterations:10 ~y0:1.0 x -. (1.0 /. sqrt x))
+      in
+      if err > 1e-5 then Alcotest.failf "invsqrt(%g) error %g" x err)
+    [ 0.3; 0.7; 1.0; 1.5; 2.0 ]
+
+let test_sqrt_dsl_nested_loop () =
+  (* sqrt_dsl emits a structured loop: it must survive the full pipeline
+     (this is the PCA inner-loop pattern). *)
+  let p =
+    Dsl.build ~name:"sqrt" ~slots:64 ~max_level:16 (fun b ->
+        let x = Dsl.input b "x" ~size:8 in
+        Dsl.output b
+          (A.Sqrt_iter.sqrt_dsl b
+             ~count:(Ir.Dyn { name = "n"; add = 0; div = 1; rem = false })
+             x))
+    |> Strategy.compile ~strategy:Strategy.Halo
+  in
+  let xs = [| 0.2; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 |] in
+  let outs, _ = R.run (ref_state ()) ~bindings:[ ("n", 8) ] ~inputs:[ ("x", xs) ] p in
+  Array.iteri
+    (fun i x ->
+      if Float.abs ((List.hd outs).(i) -. sqrt x) > 1e-3 then
+        Alcotest.failf "sqrt slot %d (x=%g): %g" i x (List.hd outs).(i))
+    xs
+
+let test_inv_sqrt_peels () =
+  (* The plaintext initial guess must trigger Solution A-1. *)
+  let traced =
+    Dsl.build ~name:"invsqrt" ~slots:64 ~max_level:16 (fun b ->
+        let x = Dsl.input b "x" ~size:8 in
+        Dsl.output b
+          (A.Sqrt_iter.inv_sqrt_dsl b
+             ~count:(Ir.Dyn { name = "n"; add = 0; div = 1; rem = false })
+             ~y0:1.0 x))
+  in
+  let peeled = Peel.program traced in
+  let count = ref None in
+  Ir.iter_blocks
+    (fun blk ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.op with Ir.For fo -> count := Some fo.count | _ -> ())
+        blk.instrs)
+    peeled.body;
+  match !count with
+  | Some (Ir.Dyn { add = -1; _ }) -> ()
+  | Some c -> Alcotest.failf "unexpected count %s" (Ir.count_to_string c)
+  | None -> Alcotest.fail "loop disappeared"
+
+let () =
+  Alcotest.run "halo_approx"
+    [
+      ( "chebyshev",
+        [
+          Alcotest.test_case "fit exp" `Quick test_cheb_fit_exp;
+          Alcotest.test_case "dsl matches clear" `Quick test_cheb_dsl_matches_clear;
+          Alcotest.test_case "depth formula" `Quick test_cheb_depth;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ test_cheb_fit_prop ] );
+      ( "sign",
+        [
+          Alcotest.test_case "accuracy" `Quick test_sign_accuracy;
+          Alcotest.test_case "odd symmetry" `Quick test_sign_odd;
+          Alcotest.test_case "paper degrees" `Quick test_sign_degrees;
+          Alcotest.test_case "dsl evaluation" `Quick test_sign_dsl;
+          Alcotest.test_case "encrypted comparison" `Quick test_compare_dsl;
+        ] );
+      ( "sigmoid",
+        [
+          Alcotest.test_case "accuracy" `Quick test_sigmoid_accuracy;
+          Alcotest.test_case "dsl evaluation" `Quick test_sigmoid_dsl;
+        ] );
+      ( "sqrt",
+        [
+          Alcotest.test_case "sqrt converges" `Quick test_sqrt_convergence;
+          Alcotest.test_case "inv sqrt converges" `Quick test_inv_sqrt_convergence;
+          Alcotest.test_case "nested-loop sqrt" `Quick test_sqrt_dsl_nested_loop;
+          Alcotest.test_case "inv sqrt peels" `Quick test_inv_sqrt_peels;
+        ] );
+    ]

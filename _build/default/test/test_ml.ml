@@ -1,0 +1,212 @@
+(* Integration tests: the seven evaluation benchmarks compile under every
+   strategy, execute on the reference backend, and stay close to their
+   cleartext references; bootstrap-count relationships follow the paper's
+   Table 5 patterns. *)
+
+open Halo
+module W = Halo_ml.Workloads
+module Stats = Halo_runtime.Stats
+
+let slots = 1024
+let size = 64
+let iters = 8
+
+let boots b strategy =
+  let _, stats = W.run_rmse b ~slots ~size ~seed:1 ~iters ~strategy in
+  stats.Stats.bootstrap
+
+let rmse_of b strategy =
+  let r, _ = W.run_rmse b ~slots ~size ~seed:1 ~iters ~strategy in
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Every benchmark under every strategy                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_strategies (b : Halo_ml.Bench_def.t) () =
+  List.iter
+    (fun s ->
+      let bound =
+        (* Sign-based benchmarks carry the polynomial approximation error. *)
+        if b.approx = [] then 1e-3 else 2e-2
+      in
+      let r = rmse_of b s in
+      if Float.is_nan r || r > bound then
+        Alcotest.failf "%s under %s: rmse %g over bound %g" b.name
+          (Strategy.to_string s) r bound)
+    Strategy.all
+
+(* ------------------------------------------------------------------ *)
+(* Table 5 shape: bootstrap-count relationships                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_packing_reduces_multivariate () =
+  let b = W.find "Multivariate" in
+  let tm = boots b Strategy.Type_matched in
+  let pk = boots b Strategy.Packing in
+  (* Nine carried ciphertexts fold into one bootstrap per iteration. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "9x reduction (%d -> %d)" tm pk)
+    true
+    (pk * 8 <= tm)
+
+let test_unrolling_reduces_linear () =
+  let b = W.find "Linear" in
+  let pk = boots b Strategy.Packing in
+  let pu = boots b Strategy.Packing_unrolling in
+  Alcotest.(check bool) (Printf.sprintf "unroll helps (%d -> %d)" pk pu) true (pu < pk)
+
+let test_deep_benchmarks_unaffected_by_unroll () =
+  let b = W.find "Logistic" in
+  Alcotest.(check int) "logistic: unrolling no-op"
+    (boots b Strategy.Packing)
+    (boots b Strategy.Packing_unrolling)
+
+let test_tuning_reduces_latency_only () =
+  let b = W.find "Logistic" in
+  let _, pu = W.run_rmse b ~slots ~size ~seed:1 ~iters ~strategy:Strategy.Packing_unrolling in
+  let _, halo = W.run_rmse b ~slots ~size ~seed:1 ~iters ~strategy:Strategy.Halo in
+  Alcotest.(check int) "same bootstrap count" pu.Stats.bootstrap halo.Stats.bootstrap;
+  Alcotest.(check bool) "lower bootstrap latency" true
+    (halo.Stats.bootstrap_latency_us < pu.Stats.bootstrap_latency_us)
+
+let test_type_matched_counts () =
+  (* Type-matched bootstraps every loop-carried ciphertext once per
+     iteration (Solution A-2); measure the per-iteration count as the
+     difference between consecutive iteration counts, which cancels the
+     peeled iteration and any epilogue bootstraps. *)
+  let expect name per_iter =
+    let b = W.find name in
+    let at iters =
+      let _, stats = W.run_rmse b ~slots ~size ~seed:1 ~iters ~strategy:Strategy.Type_matched in
+      stats.Stats.bootstrap
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "%s bootstraps per iteration" name)
+      per_iter
+      (at (iters + 1) - at iters)
+  in
+  expect "Linear" 2;
+  expect "Polynomial" 3;
+  expect "Multivariate" 9
+
+(* ------------------------------------------------------------------ *)
+(* References converge to the generating models                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_linear_reference_converges () =
+  let b = W.find "Linear" in
+  let inputs = b.gen_inputs ~seed:3 ~size:256 in
+  let outs = b.reference ~size:256 ~bindings:[ ("iters", 60) ] ~inputs in
+  let w = (List.nth outs 0).(0) and bias = (List.nth outs 1).(0) in
+  Alcotest.(check bool) (Printf.sprintf "w=%.3f" w) true (Float.abs (w -. 0.7) < 0.05);
+  Alcotest.(check bool) (Printf.sprintf "b=%.3f" bias) true (Float.abs (bias +. 0.3) < 0.05)
+
+let test_kmeans_reference_separates () =
+  let b = W.find "K-means" in
+  let inputs = b.gen_inputs ~seed:3 ~size:256 in
+  let outs = b.reference ~size:256 ~bindings:[ ("iters", 30) ] ~inputs in
+  let c1 = (List.nth outs 0).(0) and c2 = (List.nth outs 1).(0) in
+  Alcotest.(check bool) (Printf.sprintf "c1=%.2f c2=%.2f" c1 c2) true
+    (c1 > 0.3 && c2 < -0.3)
+
+let test_pca_reference_unit_norm () =
+  let b = W.find "PCA" in
+  let inputs = b.gen_inputs ~seed:3 ~size:128 in
+  let outs = b.reference ~size:128 ~bindings:[ ("outer", 6); ("inner", 8) ] ~inputs in
+  let v = List.hd outs in
+  let norm = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0.0 v) in
+  Alcotest.(check (float 1e-6)) "unit eigenvector" 1.0 norm
+
+(* ------------------------------------------------------------------ *)
+(* PCA nested loop specifics                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_pca_nested_structure () =
+  let b = W.find "PCA" in
+  let p = b.build ~slots ~size in
+  let depth = ref 0 in
+  let rec loop_depth (blk : Ir.block) d =
+    if d > !depth then depth := d;
+    List.iter
+      (fun (i : Ir.instr) ->
+        match i.op with Ir.For fo -> loop_depth fo.body (d + 1) | _ -> ())
+      blk.instrs
+  in
+  loop_depth p.body 0;
+  Alcotest.(check int) "nesting depth 2" 2 !depth
+
+let test_pca_iteration_scaling () =
+  (* Bootstrap count grows linearly with both loop counts (Table 8's
+     Type-matched/HALO columns are iteration-proportional). *)
+  let b = W.find "PCA" in
+  let program = b.build ~slots ~size in
+  let compiled = Strategy.compile ~strategy:Strategy.Type_matched program in
+  let run outer inner =
+    let bindings = [ ("outer", outer); ("inner", inner) ] in
+    let inputs = b.gen_inputs ~seed:1 ~size in
+    let st = Halo_ckks.Ref_backend.create ~slots ~max_level:16 ~scale_bits:51 () in
+    let module R = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend) in
+    let _, stats = R.run st ~bindings ~inputs compiled in
+    stats.Stats.bootstrap
+  in
+  let b22 = run 2 2 and b42 = run 4 2 and b24 = run 2 4 in
+  Alcotest.(check bool) "outer scaling" true (b42 > b22);
+  Alcotest.(check bool) "inner scaling" true (b24 > b22)
+
+(* ------------------------------------------------------------------ *)
+(* Dataset sanity                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_datasets_deterministic () =
+  let a1, b1 = Halo_ml.Datasets.linear ~seed:5 ~size:32 ~w:0.5 ~b:0.1 in
+  let a2, b2 = Halo_ml.Datasets.linear ~seed:5 ~size:32 ~w:0.5 ~b:0.1 in
+  Alcotest.(check (array (float 0.0))) "x deterministic" a1 a2;
+  Alcotest.(check (array (float 0.0))) "y deterministic" b1 b2
+
+let test_datasets_bounded () =
+  let feats = Halo_ml.Datasets.iris_like ~seed:2 ~size:64 in
+  Array.iter
+    (Array.iter (fun v ->
+         if v < -1.0 || v > 1.0 then Alcotest.failf "iris feature %g out of range" v))
+    feats;
+  let pts = Halo_ml.Datasets.clusters ~seed:2 ~size:64 in
+  Array.iter
+    (fun v -> if Float.abs v > 1.0 then Alcotest.failf "cluster point %g" v)
+    pts
+
+let bench_cases =
+  List.map
+    (fun (b : Halo_ml.Bench_def.t) ->
+      Alcotest.test_case (b.name ^ " under all strategies") `Slow (test_all_strategies b))
+    W.all
+
+let () =
+  Alcotest.run "halo_ml"
+    [
+      ("end_to_end", bench_cases);
+      ( "table5_shape",
+        [
+          Alcotest.test_case "packing: multivariate 9->1" `Slow test_packing_reduces_multivariate;
+          Alcotest.test_case "unrolling: linear" `Slow test_unrolling_reduces_linear;
+          Alcotest.test_case "deep loops unaffected" `Slow test_deep_benchmarks_unaffected_by_unroll;
+          Alcotest.test_case "tuning keeps counts" `Slow test_tuning_reduces_latency_only;
+          Alcotest.test_case "type-matched exact counts" `Slow test_type_matched_counts;
+        ] );
+      ( "references",
+        [
+          Alcotest.test_case "linear converges" `Quick test_linear_reference_converges;
+          Alcotest.test_case "kmeans separates" `Quick test_kmeans_reference_separates;
+          Alcotest.test_case "pca unit norm" `Quick test_pca_reference_unit_norm;
+        ] );
+      ( "pca",
+        [
+          Alcotest.test_case "nested structure" `Quick test_pca_nested_structure;
+          Alcotest.test_case "iteration scaling" `Slow test_pca_iteration_scaling;
+        ] );
+      ( "datasets",
+        [
+          Alcotest.test_case "deterministic" `Quick test_datasets_deterministic;
+          Alcotest.test_case "bounded" `Quick test_datasets_bounded;
+        ] );
+    ]
