@@ -3,7 +3,8 @@
    halo_cli compile prog.halo --strategy halo --bind K=40
    halo_cli run     prog.halo --strategy halo --bind K=40 [--seed 7]
    halo_cli inspect prog.halo
-   halo_cli bench   linear --strategy halo --iters 40 *)
+   halo_cli bench   linear --strategy halo --iters 40
+   halo_cli verify  --seeds 50 [--seed 7] [--tol 1e-3] *)
 
 open Halo
 open Cmdliner
@@ -218,9 +219,100 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Run one of the paper's seven benchmarks.")
     Term.(const run $ name_arg $ strategy_arg $ iters_arg $ size_arg)
 
+let verify_cmd =
+  let module Oracle = Halo_verify.Oracle in
+  let module Pipeline = Halo_verify.Pipeline in
+  let print_failures r =
+    List.iter
+      (fun f -> Printf.printf "    %s\n" (Oracle.failure_to_string f))
+      r.Oracle.failures
+  in
+  let run seeds seed_opt start tol verbose =
+    match seed_opt with
+    | Some seed ->
+      (* Single-seed reproduction mode: print the generated program, every
+         strategy's per-pass report, and any failure in full. *)
+      let r = Oracle.run_seed ~tol seed in
+      Printf.printf "seed %d (bindings: %s)\n" seed
+        (if r.bindings = [] then "none"
+         else
+           String.concat ", "
+             (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) r.bindings));
+      print_string (Printer.program_to_string r.program);
+      List.iter
+        (fun (s, reports) ->
+          Printf.printf "  %s: %d passes checked\n" (Strategy.to_string s)
+            (List.length reports);
+          List.iter
+            (fun rep -> Printf.printf "    %s\n" (Pipeline.report_to_string rep))
+            reports)
+        r.pass_reports;
+      if Oracle.ok r then begin
+        Printf.printf "seed %d: OK (all strategies agree)\n" seed;
+        0
+      end
+      else begin
+        Printf.printf "seed %d: FAILED\n" seed;
+        print_failures r;
+        1
+      end
+    | None ->
+      let reports =
+        Oracle.fuzz ~tol
+          ~progress:(fun r ->
+            if not (Oracle.ok r) then begin
+              Printf.printf "seed %d: FAILED\n" r.Oracle.seed;
+              print_failures r
+            end
+            else if verbose then Printf.printf "seed %d: ok\n" r.Oracle.seed)
+          ~seeds:(List.init (max 0 seeds) (fun i -> start + i))
+          ()
+      in
+      print_endline (Oracle.summarize reports);
+      if List.for_all Oracle.ok reports then begin
+        print_endline "verification: OK (no invariant violations, no divergences)";
+        0
+      end
+      else begin
+        print_endline
+          "verification: FAILED (reproduce with: halo_cli verify --seed N)";
+        1
+      end
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "n"; "seeds" ] ~docv:"N" ~doc:"Number of fuzz seeds to run.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Reproduce a single seed with a full per-pass report.")
+  in
+  let start_arg =
+    Arg.(value & opt int 0 & info [ "start" ] ~docv:"S" ~doc:"First seed.")
+  in
+  let tol_arg =
+    Arg.(
+      value & opt float Halo_verify.Oracle.default_tol
+      & info [ "tol" ] ~docv:"TOL" ~doc:"Cross-strategy output tolerance.")
+  in
+  let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ]) in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Fuzz the compiler: generate seeded random programs, compile under \
+          every strategy with per-pass invariant checks and semantic \
+          fingerprints, and differentially execute all strategies against \
+          each other on the reference backend.")
+    Term.(const run $ seeds_arg $ seed_arg $ start_arg $ tol_arg $ verbose_arg)
+
 let () =
   let info =
     Cmd.info "halo_cli" ~version:"1.0.0"
       ~doc:"Loop-aware bootstrapping management for RNS-CKKS programs."
   in
-  exit (Cmd.eval' (Cmd.group info [ compile_cmd; inspect_cmd; run_cmd; bench_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ compile_cmd; inspect_cmd; run_cmd; bench_cmd; verify_cmd ]))

@@ -50,7 +50,18 @@ let program ?dacapo_config (p : Ir.program) =
         let num_e =
           Sizes.round_pow2 (List.fold_left (fun a v -> max a (size_of v)) 1 srcs)
         in
-        if Sizes.round_pow2 k * num_e > p.slots then fo
+        (* Raising the boundary to [packed_boundary] demands that every
+           cipher init arrives with that much level headroom; a result of an
+           earlier boundary-1 loop does not, so such loops stay unpacked. *)
+        let inits_fit =
+          List.for_all
+            (fun v ->
+              match Hashtbl.find_opt env v with
+              | Some (Tcipher { level; _ }) -> level >= packed_boundary
+              | _ -> true)
+            fo.inits
+        in
+        if (not inits_fit) || Sizes.round_pow2 k * num_e > p.slots then fo
         else begin
           let target =
             match head with

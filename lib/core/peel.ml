@@ -30,6 +30,16 @@ let program (p : Ir.program) =
                   (Status.block_statuses env
                      ~param_statuses:[]
                      { Ir.params = []; instrs = peeled_instrs; yields = [] });
+                (* Substituting the loop's inits into the copy can flip a
+                   nested loop from cipher-carried to plain-init/cipher-yield
+                   (the enclosing carried variable was stably cipher, its
+                   init is plain), so the copies themselves may need
+                   peeling: re-process them. *)
+                let peeled_instrs =
+                  (process_block
+                     { Ir.params = []; instrs = peeled_instrs; yields = [] })
+                    .instrs
+                in
                 let fo' =
                   { fo with inits = peeled_yields; count = decrement fo.count }
                 in

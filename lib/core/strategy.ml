@@ -17,47 +17,89 @@ let of_string = function
   | "halo" -> Some Halo
   | _ -> None
 
-let compile ?(bindings = []) ?dacapo_config ?(lower = true) ~strategy p =
-  let p = Dce.program p in
-  (* Loop-invariant code (including constants) is hoisted before anything
-     else: it shrinks every loop body's level consumption, which benefits
-     all strategies — including the DaCapo baseline, whose fully unrolled
-     code would otherwise replicate the invariants. *)
-  let p = Licm.program p in
-  let p = Cse.program p in
-  let p =
+type milestone = Structure | Leveled | Typed
+
+let milestone_rank = function Structure -> 0 | Leveled -> 1 | Typed -> 2
+
+type pass = {
+  pass_name : string;
+  milestone : milestone option;
+  run : Ir.program -> Ir.program;
+}
+
+let passes ?(bindings = []) ?dacapo_config ?(lower = true) ~strategy () =
+  let pass ?milestone pass_name run = { pass_name; milestone; run } in
+  let prologue =
+    [
+      pass "dce" Dce.program;
+      (* Loop-invariant code (including constants) is hoisted before anything
+         else: it shrinks every loop body's level consumption, which benefits
+         all strategies — including the DaCapo baseline, whose fully unrolled
+         code would otherwise replicate the invariants. *)
+      pass "licm" Licm.program;
+      pass "cse" Cse.program;
+    ]
+  in
+  let placement =
     match strategy with
     | Dacapo ->
       (* Baseline: full unrolling, then placement over straight-line code.
          Loop_codegen degenerates to exactly that once no loop remains. *)
-      let p = Full_unroll.program ~bindings p in
-      let p = Dce.program p in
-      Loop_codegen.program ?dacapo_config p
+      [
+        pass "full-unroll" (Full_unroll.program ~bindings);
+        pass "dce-unrolled" Dce.program;
+        pass ~milestone:Leveled "loop-codegen" (Loop_codegen.program ?dacapo_config);
+      ]
     | Type_matched ->
-      let p = Peel.program p in
-      Loop_codegen.program ?dacapo_config p
+      [
+        pass "peel" Peel.program;
+        pass ~milestone:Leveled "loop-codegen" (Loop_codegen.program ?dacapo_config);
+      ]
     | Packing ->
-      let p = Peel.program p in
-      let p = Loop_codegen.program ?dacapo_config p in
-      Packing.program ?dacapo_config p
+      [
+        pass "peel" Peel.program;
+        pass ~milestone:Leveled "loop-codegen" (Loop_codegen.program ?dacapo_config);
+        pass "packing" (Packing.program ?dacapo_config);
+      ]
     | Packing_unrolling ->
-      let p = Peel.program p in
-      let p = Loop_codegen.program ?dacapo_config p in
-      let p = Packing.program ?dacapo_config p in
-      Unroll.program p
+      [
+        pass "peel" Peel.program;
+        pass ~milestone:Leveled "loop-codegen" (Loop_codegen.program ?dacapo_config);
+        pass "packing" (Packing.program ?dacapo_config);
+        pass "unroll" Unroll.program;
+      ]
     | Halo ->
-      let p = Peel.program p in
-      let p = Loop_codegen.program ?dacapo_config p in
-      let p = Packing.program ?dacapo_config p in
-      let p = Unroll.program p in
-      Tuning.program p
+      [
+        pass "peel" Peel.program;
+        pass ~milestone:Leveled "loop-codegen" (Loop_codegen.program ?dacapo_config);
+        pass "packing" (Packing.program ?dacapo_config);
+        pass "unroll" Unroll.program;
+        pass "tuning" Tuning.program;
+      ]
   in
-  let p = if lower then Lower_pack.program p else p in
-  (* Lowering materializes mask constants inside loop bodies; hoist and
-     deduplicate them before the final normalization. *)
-  let p = Licm.program p in
-  let p = Cse.program p in
-  let p = Normalize.program p in
+  let epilogue =
+    (if lower then [ pass "lower-pack" Lower_pack.program ] else [])
+    (* Lowering materializes mask constants inside loop bodies; hoist and
+       deduplicate them before the final normalization. *)
+    @ [
+        pass "licm-lowered" Licm.program;
+        pass "cse-lowered" Cse.program;
+        pass ~milestone:Typed "normalize" Normalize.program;
+      ]
+  in
+  prologue @ placement @ epilogue
+
+let compile ?(bindings = []) ?dacapo_config ?(lower = true) ?observer ~strategy p =
+  let step p ps =
+    let after = ps.run p in
+    (match observer with
+     | Some f -> f ~pass:ps ~before:p ~after
+     | None -> ());
+    after
+  in
+  let p =
+    List.fold_left step p (passes ~bindings ?dacapo_config ~lower ~strategy ())
+  in
   match Typecheck.verify p with
   | Ok () -> p
   | Error msg ->

@@ -19,15 +19,52 @@ val all : t list
 val to_string : t -> string
 val of_string : string -> t option
 
+(** {1 Pass pipeline}
+
+    Each strategy is an explicit list of named passes.  [Halo_verify.Pipeline]
+    routes compilation through this list to validate the IR after every pass
+    and attribute any broken invariant to the offending pass by name. *)
+
+type milestone = Structure | Leveled | Typed
+(** The strongest invariant a pass's {e output} is guaranteed to satisfy:
+    - [Structure]: well-formed SSA with scoped references (holds throughout);
+    - [Leveled]: additionally satisfies the level-walk discipline of
+      {!Levels} (boundaries set, bootstraps placed);
+    - [Typed]: additionally passes the strict {!Typecheck.verify} (scales
+      managed, levels aligned). *)
+
+val milestone_rank : milestone -> int
+(** [Structure < Leveled < Typed]. *)
+
+type pass = {
+  pass_name : string;  (** Unique within one pipeline; used for attribution. *)
+  milestone : milestone option;
+      (** The milestone this pass {e establishes}.  [None] means the pass
+          preserves whatever milestone already held. *)
+  run : Ir.program -> Ir.program;
+}
+
+val passes :
+  ?bindings:(string * int) list ->
+  ?dacapo_config:Dacapo.config ->
+  ?lower:bool ->
+  strategy:t ->
+  unit ->
+  pass list
+(** The exact pass sequence [compile] folds over, in order. *)
+
 val compile :
   ?bindings:(string * int) list ->
   ?dacapo_config:Dacapo.config ->
   ?lower:bool ->
+  ?observer:(pass:pass -> before:Ir.program -> after:Ir.program -> unit) ->
   strategy:t ->
   Ir.program ->
   Ir.program
 (** [bindings] resolves dynamic iteration counts; only the [Dacapo] strategy
     needs them (raises [Not_found] when missing).  [lower] (default [true])
-    expands pack/unpack into primitive operations.  The result verifies
-    under {!Typecheck.verify}; compilation raises [Typecheck.Type_error] if
-    it cannot. *)
+    expands pack/unpack into primitive operations.  [observer] is invoked
+    after every pass with the program before and after it — the hook the
+    checked pipeline ([Halo_verify.Pipeline.compile ~verify:true]) uses to
+    validate between passes.  The result verifies under {!Typecheck.verify};
+    compilation raises [Typecheck.Type_error] if it cannot. *)

@@ -1,0 +1,161 @@
+open Halo
+module R = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend)
+
+type failure =
+  | Compile_error of {
+      strategy : Strategy.t;
+      pass_name : string option;
+      msg : string;
+    }
+  | Run_error of { strategy : Strategy.t; msg : string }
+  | Divergence of {
+      strategy : Strategy.t;
+      baseline : Strategy.t;
+      output : int;
+      slot : int;
+      got : float;
+      expected : float;
+    }
+
+let failure_to_string = function
+  | Compile_error { strategy; pass_name; msg } ->
+    Printf.sprintf "%s: compile failed%s: %s"
+      (Strategy.to_string strategy)
+      (match pass_name with
+       | Some p -> Printf.sprintf " in pass %S" p
+       | None -> "")
+      msg
+  | Run_error { strategy; msg } ->
+    Printf.sprintf "%s: execution failed: %s" (Strategy.to_string strategy) msg
+  | Divergence { strategy; baseline; output; slot; got; expected } ->
+    Printf.sprintf "%s diverges from %s: output %d slot %d: %g vs %g"
+      (Strategy.to_string strategy)
+      (Strategy.to_string baseline)
+      output slot got expected
+
+type seed_report = {
+  seed : int;
+  program : Ir.program;
+  bindings : (string * int) list;
+  pass_reports : (Strategy.t * Pipeline.pass_report list) list;
+  failures : failure list;
+}
+
+let ok r = r.failures = []
+
+let default_tol = 1e-3
+
+let run_seed ?(tol = default_tol) ?(strategies = Strategy.all) seed =
+  let g = Gen.generate seed in
+  let inputs = Pipeline.fixed_inputs g.prog in
+  let failures = ref [] in
+  let pass_reports = ref [] in
+  let outputs =
+    List.filter_map
+      (fun strategy ->
+        match
+          Pipeline.compile ~bindings:g.bindings ~verify:true ~strategy g.prog
+        with
+        | exception Pipeline.Verification_failure { pass_name; detail; _ } ->
+          failures :=
+            Compile_error { strategy; pass_name = Some pass_name; msg = detail }
+            :: !failures;
+          None
+        | exception Typecheck.Type_error msg ->
+          failures :=
+            Compile_error { strategy; pass_name = None; msg } :: !failures;
+          None
+        | exception e ->
+          failures :=
+            Compile_error { strategy; pass_name = None; msg = Printexc.to_string e }
+            :: !failures;
+          None
+        | compiled, reports ->
+          pass_reports := (strategy, reports) :: !pass_reports;
+          let st =
+            Halo_ckks.Ref_backend.create ~slots:g.prog.slots
+              ~max_level:g.prog.max_level ~scale_bits:51 ()
+          in
+          (match R.run st ~bindings:g.bindings ~inputs compiled with
+           | outs, _ -> Some (strategy, outs)
+           | exception R.Runtime_error msg ->
+             failures := Run_error { strategy; msg } :: !failures;
+             None
+           | exception e ->
+             failures :=
+               Run_error { strategy; msg = Printexc.to_string e } :: !failures;
+             None))
+      strategies
+  in
+  (* Pairwise agreement against the first strategy that ran (DaCapo when the
+     full set is used): transitivity makes all-pairs checks redundant. *)
+  (match outputs with
+   | [] -> ()
+   | (baseline, base_outs) :: rest ->
+     List.iter
+       (fun (strategy, outs) ->
+         if List.length outs <> List.length base_outs then
+           failures :=
+             Run_error
+               {
+                 strategy;
+                 msg =
+                   Printf.sprintf "output arity %d, baseline has %d"
+                     (List.length outs) (List.length base_outs);
+               }
+             :: !failures
+         else
+           List.iteri
+             (fun output exp ->
+               let got = List.nth outs output in
+               let n = min (Array.length exp) (Array.length got) in
+               let worst = ref (-1) and worst_d = ref tol in
+               for slot = 0 to n - 1 do
+                 let d = Float.abs (exp.(slot) -. got.(slot)) in
+                 if d > !worst_d then begin
+                   worst := slot;
+                   worst_d := d
+                 end
+               done;
+               if !worst >= 0 then
+                 failures :=
+                   Divergence
+                     {
+                       strategy;
+                       baseline;
+                       output;
+                       slot = !worst;
+                       got = got.(!worst);
+                       expected = exp.(!worst);
+                     }
+                   :: !failures)
+             base_outs)
+       rest);
+  {
+    seed;
+    program = g.prog;
+    bindings = g.bindings;
+    pass_reports = List.rev !pass_reports;
+    failures = List.rev !failures;
+  }
+
+let fuzz ?tol ?strategies ?progress ~seeds () =
+  List.map
+    (fun seed ->
+      let r = run_seed ?tol ?strategies seed in
+      (match progress with Some f -> f r | None -> ());
+      r)
+    seeds
+
+let summarize reports =
+  let failed = List.filter (fun r -> not (ok r)) reports in
+  let count p = List.length (List.concat_map (fun r -> List.filter p r.failures) reports) in
+  let compile_errors = count (function Compile_error _ -> true | _ -> false) in
+  let run_errors = count (function Run_error _ -> true | _ -> false) in
+  let divergences = count (function Divergence _ -> true | _ -> false) in
+  Printf.sprintf
+    "%d seeds: %d ok, %d failing (%d invariant/compile errors, %d run errors, \
+     %d output divergences)"
+    (List.length reports)
+    (List.length reports - List.length failed)
+    (List.length failed) compile_errors run_errors divergences

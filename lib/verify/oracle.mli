@@ -1,0 +1,54 @@
+(** Differential-execution fuzz oracle.
+
+    For each seed, {!run_seed} generates a program ({!Gen}), compiles it under
+    every strategy through the checked pipeline ({!Pipeline.compile}
+    [~verify:true]), executes each compiled artifact on the reference CKKS
+    backend with the shared fixed inputs, and asserts pairwise output
+    agreement within CKKS tolerance.  Any invariant violation, crash or
+    divergence is reported per strategy, attributed to a pass where known. *)
+
+open Halo
+
+type failure =
+  | Compile_error of {
+      strategy : Strategy.t;
+      pass_name : string option;  (** offending pass, when attributable *)
+      msg : string;
+    }
+  | Run_error of { strategy : Strategy.t; msg : string }
+  | Divergence of {
+      strategy : Strategy.t;
+      baseline : Strategy.t;
+      output : int;
+      slot : int;  (** worst slot *)
+      got : float;
+      expected : float;
+    }
+
+val failure_to_string : failure -> string
+
+type seed_report = {
+  seed : int;
+  program : Ir.program;
+  bindings : (string * int) list;
+  pass_reports : (Strategy.t * Pipeline.pass_report list) list;
+  failures : failure list;
+}
+
+val ok : seed_report -> bool
+
+val default_tol : float
+(** [1e-3]: generated programs keep slot values in [[-1, 1]] and the
+    reference backend's calibrated noise stays well below this bound. *)
+
+val run_seed : ?tol:float -> ?strategies:Strategy.t list -> int -> seed_report
+
+val fuzz :
+  ?tol:float ->
+  ?strategies:Strategy.t list ->
+  ?progress:(seed_report -> unit) ->
+  seeds:int list ->
+  unit ->
+  seed_report list
+
+val summarize : seed_report list -> string

@@ -1,0 +1,293 @@
+open Halo
+
+exception Verification_failure of {
+  strategy : string;
+  pass_name : string;
+  detail : string;
+}
+
+let fail ~strategy ~pass_name fmt =
+  Printf.ksprintf
+    (fun detail -> raise (Verification_failure { strategy; pass_name; detail }))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Cleartext evaluation: the semantic fingerprint                      *)
+(* ------------------------------------------------------------------ *)
+
+exception Eval_error of string
+
+let eval_err fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+let replicate ~slots values =
+  let len = Array.length values in
+  if len = 0 then eval_err "empty vector";
+  if len >= slots then Array.sub values 0 slots
+  else begin
+    let period = Sizes.round_pow2 len in
+    if slots mod period <> 0 then
+      eval_err "period %d does not divide slot count %d" period slots;
+    Array.init slots (fun i ->
+        let j = i mod period in
+        if j < len then values.(j) else 0.0)
+  end
+
+let rotate values offset =
+  let n = Array.length values in
+  let shift = ((offset mod n) + n) mod n in
+  Array.init n (fun i -> values.((i + shift) mod n))
+
+(* Executes a program over plain slot vectors, ignoring levels, scales and
+   encryption status entirely: rescale, modswitch and bootstrap are identity,
+   and composite pack/unpack follow exactly the mask-multiply-rotate-add
+   recipe that [Lower_pack] emits.  Because the fingerprint is insensitive to
+   everything a pass is allowed to change (scale management, bootstrap
+   placement, loop structure), any drift between two pipeline stages is a
+   genuine semantic bug in the pass between them. *)
+let eval ?(bindings = []) ~inputs (p : Ir.program) =
+  let slots = p.slots in
+  let env : (Ir.var, float array) Hashtbl.t = Hashtbl.create 256 in
+  let value_of v =
+    match Hashtbl.find_opt env v with
+    | Some x -> x
+    | None -> eval_err "use of undefined variable %%%d" v
+  in
+  List.iter
+    (fun (inp : Ir.input) ->
+      let raw =
+        match List.assoc_opt inp.in_name inputs with
+        | Some r -> r
+        | None -> eval_err "missing input %S" inp.in_name
+      in
+      Hashtbl.replace env inp.in_var (replicate ~slots raw))
+    p.inputs;
+  let binary kind a b =
+    let f =
+      match kind with Ir.Add -> ( +. ) | Ir.Sub -> ( -. ) | Ir.Mul -> ( *. )
+    in
+    Array.map2 f a b
+  in
+  let rec exec_block (b : Ir.block) args =
+    List.iter2 (fun prm v -> Hashtbl.replace env prm v) b.params args;
+    List.iter
+      (fun (i : Ir.instr) ->
+        let result v = Hashtbl.replace env (Ir.result i) v in
+        match i.op with
+        | Ir.Const { value = Ir.Splat x; _ } -> result (Array.make slots x)
+        | Ir.Const { value = Ir.Vector xs; _ } -> result (replicate ~slots xs)
+        | Ir.Binary { kind; lhs; rhs } ->
+          result (binary kind (value_of lhs) (value_of rhs))
+        | Ir.Rotate { src; offset } -> result (rotate (value_of src) offset)
+        | Ir.Rescale { src } | Ir.Modswitch { src; _ } | Ir.Bootstrap { src; _ }
+          ->
+          result (value_of src)
+        | Ir.Pack { srcs; num_e } ->
+          let arrs = Array.of_list (List.map value_of srcs) in
+          let segments = Sizes.round_pow2 (Array.length arrs) in
+          let period = segments * num_e in
+          result
+            (Array.init slots (fun j ->
+                 let seg = j mod period / num_e in
+                 if seg < Array.length arrs then arrs.(seg).(j) else 0.0))
+        | Ir.Unpack { src; index; num_e; count } ->
+          let a = value_of src in
+          let segments = Sizes.round_pow2 count in
+          let period = segments * num_e in
+          let masked =
+            Array.init slots (fun j ->
+                if j mod period / num_e = index then a.(j) else 0.0)
+          in
+          let positioned =
+            if index = 0 then masked else rotate masked (index * num_e)
+          in
+          let rec repl v step =
+            let v = Array.map2 ( +. ) v (rotate v (-step)) in
+            if step * 2 >= period then v else repl v (step * 2)
+          in
+          result (if period <= num_e then positioned else repl positioned num_e)
+        | Ir.For fo ->
+          let n =
+            try Ir.eval_count ~bindings fo.count
+            with Not_found ->
+              eval_err "missing binding for iteration count %s"
+                (Ir.count_to_string fo.count)
+          in
+          let rec iterate k args =
+            if k = 0 then args
+            else begin
+              exec_block fo.body args;
+              iterate (k - 1) (List.map value_of fo.body.yields)
+            end
+          in
+          let final = iterate n (List.map value_of fo.inits) in
+          List.iter2 (fun r v -> Hashtbl.replace env r v) i.results final)
+      b.instrs
+  in
+  exec_block p.body
+    (List.map (fun (inp : Ir.input) -> value_of inp.in_var) p.inputs);
+  List.map value_of p.body.yields
+
+(* Deterministic pseudo-random inputs in [-0.9, 0.9]: the magnitude bound
+   keeps generated programs (whose combinators are contraction maps, see
+   [Gen]) numerically stable across any iteration count. *)
+let fixed_inputs (p : Ir.program) =
+  List.mapi
+    (fun idx (inp : Ir.input) ->
+      ( inp.in_name,
+        Array.init inp.in_size (fun j ->
+            let h =
+              (1103515245 * (((idx + 1) * 7919) + j) + 12345) land 0x3FFFFFFF
+            in
+            (float_of_int h /. float_of_int 0x3FFFFFFF *. 1.8) -. 0.9) ))
+    p.inputs
+
+let fingerprint ?bindings ?inputs (p : Ir.program) =
+  let inputs = match inputs with Some i -> i | None -> fixed_inputs p in
+  eval ?bindings ~inputs p
+
+(* ------------------------------------------------------------------ *)
+(* Checked pass running                                                *)
+(* ------------------------------------------------------------------ *)
+
+type pass_report = {
+  pass_name : string;
+  milestone : Strategy.milestone;
+  ops : int;
+  drift : float option;
+}
+
+type state = {
+  strategy : string;
+  bindings : (string * int) list;
+  inputs : (string * float array) list;
+  tol : float;
+  mutable milestone : Strategy.milestone;
+  mutable last_fp : float array list option;
+  mutable reports : pass_report list;
+}
+
+let try_fingerprint st p =
+  match eval ~bindings:st.bindings ~inputs:st.inputs p with
+  | fp -> Some fp
+  | exception _ ->
+    (* Unevaluable stages (missing bindings, mid-transform shapes) simply
+       leave no fingerprint; comparison resumes at the next evaluable one. *)
+    None
+
+let max_deviation a b =
+  List.fold_left2
+    (fun acc xs ys ->
+      let n = min (Array.length xs) (Array.length ys) in
+      let worst = ref acc in
+      for i = 0 to n - 1 do
+        let d = Float.abs (xs.(i) -. ys.(i)) in
+        if d > !worst then worst := d
+      done;
+      !worst)
+    0.0 a b
+
+let init_state ?(bindings = []) ?inputs ?(tol = 1e-6) ~strategy p =
+  (match Ir_check.structural p with
+   | [] -> ()
+   | vs ->
+     fail ~strategy ~pass_name:"input" "%s" (Ir_check.violations_to_string vs));
+  let inputs = match inputs with Some i -> i | None -> fixed_inputs p in
+  let st =
+    {
+      strategy;
+      bindings;
+      inputs;
+      tol;
+      milestone = Strategy.Structure;
+      last_fp = None;
+      reports = [];
+    }
+  in
+  st.last_fp <- try_fingerprint st p;
+  st
+
+let observe st ~(pass : Strategy.pass) ~before:_ ~after =
+  (match pass.milestone with
+   | Some m when Strategy.milestone_rank m > Strategy.milestone_rank st.milestone
+     ->
+     st.milestone <- m
+   | _ -> ());
+  (match Ir_check.at st.milestone after with
+   | [] -> ()
+   | vs ->
+     fail ~strategy:st.strategy ~pass_name:pass.pass_name "%s"
+       (Ir_check.violations_to_string vs));
+  let fp = try_fingerprint st after in
+  let drift =
+    match (st.last_fp, fp) with
+    | Some a, Some b ->
+      if List.length a <> List.length b then
+        fail ~strategy:st.strategy ~pass_name:pass.pass_name
+          "output arity changed: %d before, %d after" (List.length a)
+          (List.length b);
+      let d = max_deviation a b in
+      if d > st.tol then
+        fail ~strategy:st.strategy ~pass_name:pass.pass_name
+          "semantic fingerprint drifted by %.3e (tolerance %.1e)" d st.tol;
+      Some d
+    | _ -> None
+  in
+  (match fp with Some _ -> st.last_fp <- fp | None -> ());
+  st.reports <-
+    {
+      pass_name = pass.pass_name;
+      milestone = st.milestone;
+      ops = Ir.count_ops after.Ir.body;
+      drift;
+    }
+    :: st.reports
+
+let run_passes st ~(passes : Strategy.pass list) p =
+  List.fold_left
+    (fun p (pass : Strategy.pass) ->
+      let after =
+        (* A pass crashing mid-transform is attributed just like a pass
+           emitting invalid IR would be. *)
+        match pass.run p with
+        | after -> after
+        | exception (Verification_failure _ as e) -> raise e
+        | exception Typecheck.Type_error m ->
+          fail ~strategy:st.strategy ~pass_name:pass.pass_name
+            "pass raised: %s" m
+        | exception e ->
+          fail ~strategy:st.strategy ~pass_name:pass.pass_name
+            "pass raised: %s" (Printexc.to_string e)
+      in
+      observe st ~pass ~before:p ~after;
+      after)
+    p passes
+
+let check_passes ?bindings ?inputs ?tol ?(strategy = "custom")
+    ~(passes : Strategy.pass list) p =
+  let st = init_state ?bindings ?inputs ?tol ~strategy p in
+  let q = run_passes st ~passes p in
+  (q, List.rev st.reports)
+
+let compile ?(bindings = []) ?dacapo_config ?lower ?(verify = true) ?tol
+    ~strategy p =
+  if not verify then
+    (Strategy.compile ~bindings ?dacapo_config ?lower ~strategy p, [])
+  else begin
+    let name = Strategy.to_string strategy in
+    let st = init_state ~bindings ?tol ~strategy:name p in
+    let passes = Strategy.passes ~bindings ?dacapo_config ?lower ~strategy () in
+    let q = run_passes st ~passes p in
+    (* Mirror [Strategy.compile]'s final full verification. *)
+    (match Typecheck.verify q with
+     | Ok () -> ()
+     | Error msg ->
+       fail ~strategy:name ~pass_name:"final-verify"
+         "compiled program fails verification: %s" msg);
+    (q, List.rev st.reports)
+  end
+
+let report_to_string r =
+  Printf.sprintf "%-14s %4d ops%s" r.pass_name r.ops
+    (match r.drift with
+     | None -> ""
+     | Some d -> Printf.sprintf "  drift %.1e" d)

@@ -1,0 +1,79 @@
+(** Checked pass runner.
+
+    [compile ~verify:true] routes compilation through the same pass list as
+    {!Halo.Strategy.compile} but validates the IR after {e every} pass (at the
+    strength the pipeline has established so far, see
+    {!Halo.Strategy.milestone}) and compares a semantic fingerprint — the
+    program's outputs under a cleartext evaluator on fixed inputs — across
+    consecutive evaluable stages.  The first broken invariant or fingerprint
+    drift raises {!Verification_failure} naming the offending pass. *)
+
+open Halo
+
+exception Verification_failure of {
+  strategy : string;
+  pass_name : string;
+  detail : string;
+}
+
+exception Eval_error of string
+
+val eval :
+  ?bindings:(string * int) list ->
+  inputs:(string * float array) list ->
+  Ir.program ->
+  float array list
+(** Cleartext reference evaluation: levels, scales and encryption status are
+    ignored ([rescale]/[modswitch]/[bootstrap] are identity) and composite
+    [pack]/[unpack] follow the exact mask-and-rotate recipe of
+    {!Halo.Lower_pack}, so the result is invariant under every legal compiler
+    transformation.  Raises {!Eval_error} on malformed programs or missing
+    inputs/bindings. *)
+
+val fixed_inputs : Ir.program -> (string * float array) list
+(** Deterministic pseudo-random inputs in [[-0.9, 0.9]], keyed on input
+    order, shared by the fingerprinter and the differential oracle. *)
+
+val fingerprint :
+  ?bindings:(string * int) list ->
+  ?inputs:(string * float array) list ->
+  Ir.program ->
+  float array list
+(** [eval] on {!fixed_inputs} (or the given inputs). *)
+
+type pass_report = {
+  pass_name : string;
+  milestone : Strategy.milestone;  (** strongest invariant checked *)
+  ops : int;  (** operation count after the pass *)
+  drift : float option;
+      (** max fingerprint deviation vs the previous evaluable stage, when
+          both stages were evaluable *)
+}
+
+val report_to_string : pass_report -> string
+
+val compile :
+  ?bindings:(string * int) list ->
+  ?dacapo_config:Dacapo.config ->
+  ?lower:bool ->
+  ?verify:bool ->
+  ?tol:float ->
+  strategy:Strategy.t ->
+  Ir.program ->
+  Ir.program * pass_report list
+(** Like {!Halo.Strategy.compile}, returning the per-pass reports.  With
+    [verify] (default [true]) every pass output is validated; [tol] (default
+    [1e-6]) bounds acceptable fingerprint drift.  Raises
+    {!Verification_failure} attributing the first violation to a pass by
+    name; [~verify:false] is exactly [Strategy.compile] (empty report). *)
+
+val check_passes :
+  ?bindings:(string * int) list ->
+  ?inputs:(string * float array) list ->
+  ?tol:float ->
+  ?strategy:string ->
+  passes:Strategy.pass list ->
+  Ir.program ->
+  Ir.program * pass_report list
+(** Run an explicit pass list under the same checking, e.g. to test that a
+    deliberately broken pass is caught and attributed. *)

@@ -624,6 +624,63 @@ let test_random_roundtrip =
       let text = Printer.program_to_string p in
       Printer.program_to_string (Parser.parse_program text) = text)
 
+(* Structural program equality up to a renaming of variables, built by
+   walking both programs in lockstep and growing the binding map at each
+   binding occurrence (inputs, block parameters, instruction results). *)
+let equal_modulo_renaming (p : Ir.program) (q : Ir.program) =
+  let map : (Ir.var, Ir.var) Hashtbl.t = Hashtbl.create 64 in
+  let bind a b =
+    match Hashtbl.find_opt map a with
+    | Some b' -> b = b'
+    | None ->
+      Hashtbl.add map a b;
+      true
+  in
+  let same v w = Hashtbl.find_opt map v = Some w in
+  let all2 f a b = List.length a = List.length b && List.for_all2 f a b in
+  let rec eq_block (a : Ir.block) (b : Ir.block) =
+    all2 bind a.params b.params
+    && all2 eq_instr a.instrs b.instrs
+    && all2 same a.yields b.yields
+  and eq_instr (i : Ir.instr) (j : Ir.instr) =
+    eq_op i.op j.op && all2 bind i.results j.results
+  and eq_op (a : Ir.op) (b : Ir.op) =
+    match (a, b) with
+    | Ir.Const { value = va; size = sa }, Ir.Const { value = vb; size = sb } ->
+      va = vb && sa = sb
+    | Ir.Binary x, Ir.Binary y ->
+      x.kind = y.kind && same x.lhs y.lhs && same x.rhs y.rhs
+    | Ir.Rotate x, Ir.Rotate y -> same x.src y.src && x.offset = y.offset
+    | Ir.Rescale x, Ir.Rescale y -> same x.src y.src
+    | Ir.Modswitch x, Ir.Modswitch y -> same x.src y.src && x.down = y.down
+    | Ir.Bootstrap x, Ir.Bootstrap y -> same x.src y.src && x.target = y.target
+    | Ir.Pack x, Ir.Pack y -> x.num_e = y.num_e && all2 same x.srcs y.srcs
+    | Ir.Unpack x, Ir.Unpack y ->
+      same x.src y.src && x.index = y.index && x.num_e = y.num_e
+      && x.count = y.count
+    | Ir.For x, Ir.For y ->
+      x.count = y.count && x.boundary = y.boundary
+      && all2 same x.inits y.inits && eq_block x.body y.body
+    | _ -> false
+  in
+  p.prog_name = q.prog_name && p.slots = q.slots && p.max_level = q.max_level
+  && all2
+       (fun (a : Ir.input) (b : Ir.input) ->
+         a.in_name = b.in_name && a.in_status = b.in_status
+         && a.in_size = b.in_size && bind a.in_var b.in_var)
+       p.inputs q.inputs
+  && eq_block p.body q.body
+
+let test_gen_roundtrip =
+  QCheck.Test.make
+    ~name:"fuzz-generated programs round-trip, re-validate and match modulo renaming"
+    ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let p = (Halo_verify.Gen.generate seed).prog in
+      let parsed = Parser.parse_program (Printer.program_to_string p) in
+      Halo_verify.Ir_check.structural parsed = [] && equal_modulo_renaming p parsed)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -693,5 +750,12 @@ let () =
           Alcotest.test_case "licm shrinks code" `Quick test_licm_shrinks_code_size;
           Alcotest.test_case "run-length constants" `Quick test_rle_roundtrip;
         ] );
-      ("properties", qsuite [ test_random_programs_compile; test_random_packing_no_worse; test_random_roundtrip ]);
+      ( "properties",
+        qsuite
+          [
+            test_random_programs_compile;
+            test_random_packing_no_worse;
+            test_random_roundtrip;
+            test_gen_roundtrip;
+          ] );
     ]

@@ -241,6 +241,66 @@ let test_stats_bootstrap_latency () =
      and no peeling is needed. *)
   Alcotest.(check int) "1 per iteration" 5 stats.Stats.bootstrap
 
+let test_replicate_edges () =
+  (* Non-power-of-two inputs tile with a power-of-two period, zero-padded. *)
+  let tiled = R.replicate ~slots:16 [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (array (float 0.0)))
+    "period-4 tiling"
+    [| 1.; 2.; 3.; 0.; 1.; 2.; 3.; 0.; 1.; 2.; 3.; 0.; 1.; 2.; 3.; 0. |]
+    tiled;
+  (* Inputs at least as long as the slot count are truncated. *)
+  Alcotest.(check (array (float 0.0)))
+    "truncation"
+    [| 0.; 1.; 2.; 3. |]
+    (R.replicate ~slots:4 (Array.init 6 float_of_int));
+  (match R.replicate ~slots:16 [||] with
+   | _ -> Alcotest.fail "expected Runtime_error on empty input"
+   | exception R.Runtime_error _ -> ());
+  (* A 5-element input pads to period 8, which does not divide 12 slots. *)
+  match R.replicate ~slots:12 [| 1.; 2.; 3.; 4.; 5. |] with
+  | _ -> Alcotest.fail "expected Runtime_error on non-dividing period"
+  | exception R.Runtime_error _ -> ()
+
+let test_missing_binding () =
+  let p = Strategy.compile ~strategy:Strategy.Halo (geometric_program ()) in
+  let x = Array.make 8 0.5 in
+  match R.run (ref_state ()) ~inputs:[ ("x", x) ] p with
+  | _ -> Alcotest.fail "expected Runtime_error for missing binding"
+  | exception R.Runtime_error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "message mentions the binding (%s)" msg)
+      true
+      (String.length msg > 0)
+
+let test_stats_latency_accounting () =
+  (* Totals must be rebuilt from the cost model op by op: total latency is
+     exactly the sum of per-op latencies plus bootstrap latency, and the
+     compute/bootstrap split is exact. *)
+  let module Cost = Halo_cost.Cost_model in
+  let s = Stats.create () in
+  Stats.record s Cost.Multcc ~level:5;
+  Stats.record s Cost.Rotate ~level:3;
+  Stats.record s Cost.Rescale ~level:5;
+  Stats.record_bootstrap s ~target:10;
+  Stats.record s Cost.Addcp ~level:10;
+  let compute =
+    Cost.latency_us Cost.Multcc ~level:5
+    +. Cost.latency_us Cost.Rotate ~level:3
+    +. Cost.latency_us Cost.Rescale ~level:5
+    +. Cost.latency_us Cost.Addcp ~level:10
+  in
+  let boot = Cost.bootstrap_latency_us ~target:10 in
+  Alcotest.(check (float 1e-9)) "bootstrap latency" boot s.Stats.bootstrap_latency_us;
+  Alcotest.(check (float 1e-9)) "total = compute + bootstrap" (compute +. boot)
+    s.Stats.total_latency_us;
+  Alcotest.(check (float 1e-9)) "compute split" compute (Stats.compute_latency_us s);
+  Alcotest.(check int) "ops counted" 5 (Stats.total_ops s);
+  (* Encode costs latency but is not a ciphertext op. *)
+  Stats.record s Cost.Encode ~level:5;
+  Alcotest.(check int) "encode not counted" 5 (Stats.total_ops s);
+  Alcotest.(check bool) "encode latency added" true
+    (s.Stats.total_latency_us > compute +. boot)
+
 let test_missing_input () =
   let p =
     Dsl.build ~name:"miss" ~slots:64 ~max_level:16 (fun b ->
@@ -321,7 +381,10 @@ let () =
         [
           Alcotest.test_case "op counting" `Quick test_stats_counting;
           Alcotest.test_case "bootstrap latency split" `Quick test_stats_bootstrap_latency;
+          Alcotest.test_case "latency accounting is exact" `Quick test_stats_latency_accounting;
           Alcotest.test_case "missing input" `Quick test_missing_input;
+          Alcotest.test_case "missing binding" `Quick test_missing_binding;
+          Alcotest.test_case "replication edge cases" `Quick test_replicate_edges;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ test_qcheck_interp_linear ]);
     ]
