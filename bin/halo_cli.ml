@@ -1,10 +1,11 @@
 (* Command-line driver for the HALO compiler.
 
    halo_cli compile prog.halo --strategy halo --bind K=40
-   halo_cli run     prog.halo --strategy halo --bind K=40 [--seed 7]
+   halo_cli run     prog.halo --strategy halo --bind K=40 [--seed 7] [--guard]
    halo_cli inspect prog.halo
    halo_cli bench   linear --strategy halo --iters 40
-   halo_cli verify  --seeds 50 [--seed 7] [--tol 1e-3] *)
+   halo_cli verify  --seeds 50 [--seed 7] [--tol 1e-3] [--fault-rate 0.02]
+   halo_cli soak    linear --trials 20 --fault-rate 0.05 [--no-retry] *)
 
 open Halo
 open Cmdliner
@@ -74,6 +75,10 @@ let handle f =
     1
   | exception Sys_error m ->
     Printf.eprintf "%s\n" m;
+    1
+  | exception
+      ((Halo_error.Backend_error _ | Halo_error.Interp_error _) as e) ->
+    Printf.eprintf "runtime error: %s\n" (Halo_error.to_string e);
     1
 
 (* ------------------------------------------------------------------ *)
@@ -154,7 +159,7 @@ let inspect_cmd =
   Cmd.v (Cmd.info "inspect" ~doc:"Print program statistics.") Term.(const run $ file_arg)
 
 let run_cmd =
-  let run file strategy bindings seed =
+  let run file strategy bindings seed guard =
     handle (fun () ->
         let p = load file in
         let compiled = Strategy.compile ~bindings ~strategy p in
@@ -166,12 +171,21 @@ let run_cmd =
                 Array.init i.in_size (fun _ -> Random.State.float rng 2.0 -. 1.0) ))
             p.inputs
         in
-        let module Ref = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend) in
-        let st =
-          Halo_ckks.Ref_backend.create ~slots:p.slots ~max_level:p.max_level
-            ~scale_bits:51 ()
+        let outs, stats, verdict =
+          if guard then
+            let o, s, v =
+              Halo_runtime.Guard.run_ref ~bindings ~inputs compiled
+            in
+            (o, s, Some v)
+          else
+            let module Ref = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend) in
+            let st =
+              Halo_ckks.Ref_backend.create ~slots:p.slots
+                ~max_level:p.max_level ~scale_bits:51 ()
+            in
+            let o, s = Ref.run st ~bindings ~inputs compiled in
+            (o, s, None)
         in
-        let outs, stats = Ref.run st ~bindings ~inputs compiled in
         Printf.printf "ran %S with seeded random inputs (seed %d)\n" p.prog_name seed;
         List.iteri
           (fun k out ->
@@ -182,12 +196,25 @@ let run_cmd =
             done;
             Printf.printf "%s]\n" (if Array.length out > show then "; ..." else ""))
           outs;
-        Printf.printf "  %s\n" (Halo_runtime.Stats.to_string stats))
+        Printf.printf "  %s\n" (Halo_runtime.Stats.to_string stats);
+        match verdict with
+        | Some v ->
+          Printf.printf "  noise guard: %s\n"
+            (Halo_runtime.Guard.verdict_to_string v)
+        | None -> ())
   in
   let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED") in
+  let guard_arg =
+    Arg.(
+      value & flag
+      & info [ "guard" ]
+          ~doc:
+            "Also run noiselessly and check the observed error against the \
+             static noise bound.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute with random inputs on the reference backend.")
-    Term.(const run $ file_arg $ strategy_arg $ bindings_arg $ seed_arg)
+    Term.(const run $ file_arg $ strategy_arg $ bindings_arg $ seed_arg $ guard_arg)
 
 let bench_cmd =
   let run name strategy iters size =
@@ -227,12 +254,12 @@ let verify_cmd =
       (fun f -> Printf.printf "    %s\n" (Oracle.failure_to_string f))
       r.Oracle.failures
   in
-  let run seeds seed_opt start tol verbose =
+  let run seeds seed_opt start tol fault_rate verbose =
     match seed_opt with
     | Some seed ->
       (* Single-seed reproduction mode: print the generated program, every
          strategy's per-pass report, and any failure in full. *)
-      let r = Oracle.run_seed ~tol seed in
+      let r = Oracle.run_seed ~tol ~fault_rate seed in
       Printf.printf "seed %d (bindings: %s)\n" seed
         (if r.bindings = [] then "none"
          else
@@ -258,7 +285,7 @@ let verify_cmd =
       end
     | None ->
       let reports =
-        Oracle.fuzz ~tol
+        Oracle.fuzz ~tol ~fault_rate
           ~progress:(fun r ->
             if not (Oracle.ok r) then begin
               Printf.printf "seed %d: FAILED\n" r.Oracle.seed;
@@ -298,6 +325,15 @@ let verify_cmd =
       value & opt float Halo_verify.Oracle.default_tol
       & info [ "tol" ] ~docv:"TOL" ~doc:"Cross-strategy output tolerance.")
   in
+  let fault_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:
+            "Also re-execute each clean artifact under seeded fault \
+             injection with the resilient runtime and require recovery to \
+             the fault-free outputs.")
+  in
   let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ]) in
   Cmd.v
     (Cmd.info "verify"
@@ -306,7 +342,163 @@ let verify_cmd =
           every strategy with per-pass invariant checks and semantic \
           fingerprints, and differentially execute all strategies against \
           each other on the reference backend.")
-    Term.(const run $ seeds_arg $ seed_arg $ start_arg $ tol_arg $ verbose_arg)
+    Term.(
+      const run $ seeds_arg $ seed_arg $ start_arg $ tol_arg $ fault_rate_arg
+      $ verbose_arg)
+
+let soak_cmd =
+  let module Faults = Halo_runtime.Faults in
+  let module Resilient = Halo_runtime.Resilient in
+  let module Guard = Halo_runtime.Guard in
+  let module Stats = Halo_runtime.Stats in
+  let module Faulty = Halo_runtime.Faults.Make (Halo_ckks.Ref_backend) in
+  let module Recover = Halo_runtime.Resilient.Make (Faulty) in
+  let module Ref = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend) in
+  let run name strategy iters size trials seed fault_rate boot_rate spike_rate
+      no_retry max_attempts verbose =
+    let b =
+      try Some (Halo_ml.Workloads.find name) with Not_found -> None
+    in
+    match b with
+    | None ->
+      Printf.eprintf "unknown benchmark %S (expected %s)\n" name
+        (String.concat ", "
+           (List.map (fun (b : Halo_ml.Bench_def.t) -> b.name)
+              Halo_ml.Workloads.all));
+      1
+    | Some b ->
+      let slots = 16 * size in
+      let bindings = Halo_ml.Workloads.default_bindings b ~iters in
+      let compiled =
+        Strategy.compile ~bindings ~strategy (b.build ~slots ~size)
+      in
+      let boot_rate = match boot_rate with Some r -> r | None -> fault_rate in
+      let policy =
+        if no_retry then Resilient.no_retry
+        else { Resilient.default_policy with max_attempts }
+      in
+      Printf.printf
+        "soak %s under %s: %d trials, %d iterations, %d samples, fault rate \
+         %g (bootstrap %g, spike %g)%s\n"
+        b.name
+        (Strategy.to_string strategy)
+        trials iters size fault_rate boot_rate spike_rate
+        (if no_retry then " [retries disabled]" else "");
+      let recovered = ref 0 in
+      let total = Stats.create () in
+      for trial = 0 to trials - 1 do
+        let inputs = b.gen_inputs ~seed:(seed + trial) ~size in
+        (* Fault-free reference: the exact semantics, from a noiseless
+           backend, used both as the recovery target and as the guard's
+           reference. *)
+        let clean, _ =
+          Ref.run
+            (Halo_ckks.Ref_backend.create ~enc_noise:0.0 ~mult_noise:0.0
+               ~boot_noise:0.0 ~rescale_noise:0.0 ~slots
+               ~max_level:compiled.max_level ~scale_bits:51 ())
+            ~bindings ~inputs compiled
+        in
+        let stats = Stats.create () in
+        let st =
+          Faulty.wrap
+            ~on_fault:(fun _ -> Stats.record_fault stats)
+            (Faults.config ~transient_prob:fault_rate ~bootstrap_prob:boot_rate
+               ~spike_prob:spike_rate
+               ~seed:((seed * 7919) + trial)
+               ())
+            (Halo_ckks.Ref_backend.create ~seed:(1000 + trial) ~slots
+               ~max_level:compiled.max_level ~scale_bits:51 ())
+        in
+        let report outcome detail =
+          if verbose || outcome <> "recovered" then
+            Printf.printf "  trial %2d: %s (%d faults, %d retries, %d \
+                           restores)%s\n"
+              trial outcome stats.Stats.injected_faults stats.Stats.retries
+              stats.Stats.checkpoint_restores detail
+        in
+        (match Recover.run ~policy ~stats st ~bindings ~inputs compiled with
+         | Recover.Complete { outputs; _ } -> (
+           match Guard.check compiled ~reference:clean ~observed:outputs with
+           | Guard.Breach _ as v ->
+             report "guard breach" (" " ^ Guard.verdict_to_string v)
+           | v ->
+             incr recovered;
+             report "recovered" (" guard: " ^ Guard.verdict_to_string v))
+         | Recover.Degraded d ->
+           report "degraded" (" " ^ Recover.degraded_to_string d));
+        total.Stats.injected_faults <-
+          total.Stats.injected_faults + stats.Stats.injected_faults;
+        total.Stats.retries <- total.Stats.retries + stats.Stats.retries;
+        total.Stats.checkpoint_restores <-
+          total.Stats.checkpoint_restores + stats.Stats.checkpoint_restores;
+        total.Stats.backoff_us <- total.Stats.backoff_us +. stats.Stats.backoff_us
+      done;
+      Printf.printf
+        "recovered %d/%d trials (%.1f%%); %d faults injected, %d retries, %d \
+         checkpoint restores, %.1fms simulated backoff\n"
+        !recovered trials
+        (100.0 *. float_of_int !recovered /. float_of_int (max 1 trials))
+        total.Stats.injected_faults total.Stats.retries
+        total.Stats.checkpoint_restores
+        (total.Stats.backoff_us /. 1000.0);
+      if !recovered = trials then 0 else 1
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+  in
+  let iters_arg = Arg.(value & opt int 8 & info [ "iters" ] ~docv:"N") in
+  let size_arg = Arg.(value & opt int 32 & info [ "size" ] ~docv:"N") in
+  let trials_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "trials" ] ~docv:"N" ~doc:"Independent fault-injected runs.")
+  in
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED") in
+  let fault_rate_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Per-op transient fault probability.")
+  in
+  let boot_rate_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "boot-rate" ] ~docv:"P"
+          ~doc:
+            "Additional per-bootstrap failure probability (defaults to the \
+             fault rate).")
+  in
+  let spike_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "spike-rate" ] ~docv:"P"
+          ~doc:"Silent noise-spike probability (caught by the guard only).")
+  in
+  let no_retry_arg =
+    Arg.(
+      value & flag
+      & info [ "no-retry" ]
+          ~doc:"Disable retries: the first fault degrades the trial.")
+  in
+  let max_attempts_arg =
+    Arg.(
+      value & opt int Resilient.default_policy.Resilient.max_attempts
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:"Retry budget per instruction.")
+  in
+  let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ]) in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Stress a benchmark under seeded fault injection: N independent \
+          trials on the reference backend with transient, bootstrap and \
+          noise-spike faults, recovered by the resilient runtime and \
+          checked against the noise-budget guard.  Exits non-zero unless \
+          every trial recovers.")
+    Term.(
+      const run $ name_arg $ strategy_arg $ iters_arg $ size_arg $ trials_arg
+      $ seed_arg $ fault_rate_arg $ boot_rate_arg $ spike_rate_arg
+      $ no_retry_arg $ max_attempts_arg $ verbose_arg)
 
 let () =
   let info =
@@ -315,4 +507,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ compile_cmd; inspect_cmd; run_cmd; bench_cmd; verify_cmd ]))
+       (Cmd.group info
+          [ compile_cmd; inspect_cmd; run_cmd; bench_cmd; verify_cmd; soak_cmd ]))

@@ -8,10 +8,12 @@ type state = {
   enc_noise : float;
   mult_noise : float;
   boot_noise : float;
+  rescale_noise : float;
 }
 
 let create ?(seed = 0xB00) ?(enc_noise = 1e-7) ?(mult_noise = 1e-8)
-    ?(boot_noise = 1e-5) ~slots ~max_level ~scale_bits () =
+    ?(boot_noise = 1e-5) ?(rescale_noise = Float.ldexp 1.0 (-25)) ~slots
+    ~max_level ~scale_bits () =
   {
     slots;
     max_level;
@@ -20,11 +22,21 @@ let create ?(seed = 0xB00) ?(enc_noise = 1e-7) ?(mult_noise = 1e-8)
     enc_noise;
     mult_noise;
     boot_noise;
+    rescale_noise;
   }
 
+let name = "ref"
 let slots st = st.slots
 let max_level st = st.max_level
 let level _st ct = ct.ct_level
+
+let fail op ?level fmt =
+  Printf.ksprintf
+    (fun reason ->
+      raise
+        (Halo_error.Backend_error
+           { site = Halo_error.site ?level ~backend:name op; reason }))
+    fmt
 
 let gaussian st sigma =
   let u1 = Random.State.float st.rng 1.0 +. 1e-12 in
@@ -39,23 +51,20 @@ let pad st values =
     out
   end
 
-let check_level name ct low =
+let check_level op ct low =
   if ct.ct_level < low then
-    invalid_arg (Printf.sprintf "Ref_backend.%s: level %d below %d" name ct.ct_level low)
+    fail op ~level:ct.ct_level "level %d below %d" ct.ct_level low
 
-let check_match name a b =
+let check_match op a b =
   if a.ct_level <> b.ct_level then
-    invalid_arg
-      (Printf.sprintf "Ref_backend.%s: level mismatch (%d vs %d)" name a.ct_level
-         b.ct_level);
+    fail op ~level:a.ct_level "level mismatch (%d vs %d)" a.ct_level b.ct_level;
   if Float.abs (a.scale_bits -. b.scale_bits) > 0.5 then
-    invalid_arg
-      (Printf.sprintf "Ref_backend.%s: scale mismatch (%g vs %g bits)" name
-         a.scale_bits b.scale_bits)
+    fail op ~level:a.ct_level "scale mismatch (%g vs %g bits)" a.scale_bits
+      b.scale_bits
 
 let encrypt st ~level values =
   if level < 1 || level > st.max_level then
-    invalid_arg "Ref_backend.encrypt: level out of range";
+    fail "encrypt" ~level "level out of range (max %d)" st.max_level;
   let data = Array.map (fun v -> v +. gaussian st st.enc_noise) (pad st values) in
   { data; ct_level = level; scale_bits = st.default_scale_bits }
 
@@ -77,9 +86,8 @@ let multcc st a b =
   (* The paper (section 2.2): multiplication constrains only the operand
      levels; scales multiply. *)
   if a.ct_level <> b.ct_level then
-    invalid_arg
-      (Printf.sprintf "Ref_backend.multcc: level mismatch (%d vs %d)" a.ct_level
-         b.ct_level);
+    fail "multcc" ~level:a.ct_level "level mismatch (%d vs %d)" a.ct_level
+      b.ct_level;
   check_level "multcc" a 1;
   let noisy v = v +. (Float.abs v *. gaussian st st.mult_noise) in
   {
@@ -107,7 +115,7 @@ let rescale st a =
   check_level "rescale" a 2;
   (* Dropping one prime divides the scale by ~2^scale_bits and adds rounding
      error at the scale's resolution. *)
-  let data = Array.map (fun v -> v +. gaussian st (Float.ldexp 1.0 (-25))) a.data in
+  let data = Array.map (fun v -> v +. gaussian st st.rescale_noise) a.data in
   {
     data;
     ct_level = a.ct_level - 1;
@@ -115,13 +123,14 @@ let rescale st a =
   }
 
 let modswitch _st a ~down =
-  if down < 0 then invalid_arg "Ref_backend.modswitch: negative";
+  if down < 0 then fail "modswitch" ~level:a.ct_level "negative drop %d" down;
   check_level "modswitch" a (down + 1);
   { a with ct_level = a.ct_level - down }
 
 let bootstrap st a ~target =
   if target < 1 || target > st.max_level then
-    invalid_arg "Ref_backend.bootstrap: target out of range";
+    fail "bootstrap" ~level:a.ct_level "target %d out of range (max %d)" target
+      st.max_level;
   {
     data = Array.map (fun v -> v +. gaussian st st.boot_noise) a.data;
     ct_level = target;

@@ -7,7 +7,10 @@
     scaling to the paper's workloads (4096 slots, 40-iteration training
     loops), which the real lattice backend cannot reach without the authors'
     GPU library.  The lattice backend ({!Eval}) is used by the test suite to
-    validate that programs run unchanged on genuine RLWE ciphertexts. *)
+    validate that programs run unchanged on genuine RLWE ciphertexts.
+
+    Level/scale discipline violations raise {!Halo_error.Backend_error}
+    with operation and level context. *)
 
 type ct = private {
   data : float array;
@@ -22,6 +25,7 @@ val create :
   ?enc_noise:float ->
   ?mult_noise:float ->
   ?boot_noise:float ->
+  ?rescale_noise:float ->
   slots:int ->
   max_level:int ->
   scale_bits:int ->
@@ -30,8 +34,12 @@ val create :
 (** Noise magnitudes are standard deviations in slot-value units:
     [enc_noise] at encryption (default [1e-7]), [mult_noise] relative error
     per multiplication (default [1e-8]), [boot_noise] per bootstrap
-    (default [1e-5], matching the oracle's default). *)
+    (default [1e-5], matching the oracle's default), [rescale_noise]
+    rounding error per rescale (default [2^-25]).  With all four set to
+    [0.] the backend is exactly deterministic regardless of RNG position,
+    which the resilience tests use for bit-identical replay checks. *)
 
+val name : string
 val slots : state -> int
 val max_level : state -> int
 val level : state -> ct -> int

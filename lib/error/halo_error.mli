@@ -1,0 +1,70 @@
+(** Typed runtime errors shared by the backends, the interpreter and the
+    fault-tolerant execution layer.
+
+    Every failure carries a {!site}: the operation being executed, the SSA
+    variable receiving its result (when known), the operand level (when
+    known) and the backend it happened on.  This replaces the bare
+    [invalid_arg] / string payloads the runtime used to raise, so a fuzz or
+    soak failure is attributable without re-running under a debugger.
+
+    The exceptions split into two families:
+
+    - {b Permanent} errors — {!Backend_error}, {!Interp_error} — indicate a
+      malformed program or a genuine bug; the retry machinery never retries
+      them.
+    - {b Transient} faults — {!Transient}, {!Bootstrap_failure} — model
+      recoverable backend glitches (injected by [Halo_runtime.Faults] or, in
+      a production deployment, raised by an accelerator driver); the
+      [Halo_runtime.Resilient] wrapper retries them with bounded backoff and
+      converts budget exhaustion into {!Retry_exhausted}. *)
+
+type site = {
+  op : string;  (** operation name, e.g. ["multcc"] or ["rescale"] *)
+  var : int option;  (** SSA variable receiving the result, when known *)
+  level : int option;  (** operand ciphertext level, when known *)
+  backend : string option;  (** backend name ({!val:Halo_runtime.Backend.S.name}) *)
+}
+
+val site : ?var:int -> ?level:int -> ?backend:string -> string -> site
+val site_to_string : site -> string
+
+exception Backend_error of { site : site; reason : string }
+(** A backend rejected an operation (level/scale discipline violation,
+    out-of-range argument).  Permanent. *)
+
+exception Interp_error of { site : site option; reason : string }
+(** The interpreter rejected the program (missing input/binding, malformed
+    constant, composite op reaching execution).  Permanent.  [site] is
+    [None] for failures outside any instruction (program setup). *)
+
+exception Transient of { site : site; index : int; attempt : int }
+(** A transient operation failure.  [index] is the global backend-op index
+    at which it fired; [attempt] counts faults injected at this op name so
+    far (1-based), so a log line identifies both when and how often a site
+    has misbehaved.  Retryable. *)
+
+exception Bootstrap_failure of { site : site; index : int; attempt : int }
+(** A failed bootstrap — kept distinct from {!Transient} because bootstrap
+    is orders of magnitude more expensive and deployments may want a
+    different retry policy for it.  Retryable. *)
+
+exception Retry_exhausted of {
+  site : site;
+  attempts : int;  (** attempts spent at the failing site *)
+  iteration : int option;
+      (** enclosing loop iteration (0-based) when the site was inside a
+          [For] body *)
+}
+(** Raised by the resilient runtime when a site keeps faulting past its
+    retry budget; caught at the top of [Resilient.run] and converted into a
+    structured degraded report. *)
+
+val is_transient : exn -> bool
+(** [true] exactly for {!Transient} and {!Bootstrap_failure}. *)
+
+val describe : exn -> string option
+(** Human-readable rendering of the exceptions above; [None] otherwise.
+    Registered with [Printexc.register_printer]. *)
+
+val to_string : exn -> string
+(** {!describe} with a [Printexc.to_string] fallback. *)

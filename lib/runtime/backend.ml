@@ -4,11 +4,20 @@
     (cleartext-tracking with calibrated noise — scales to the paper's
     workloads) and {!Lattice_backend} (real RLWE ciphertexts at
     test-friendly parameters).  Both enforce the same level/scale
-    discipline, so a program that runs on one runs on the other. *)
+    discipline, so a program that runs on one runs on the other.
+
+    Discipline violations raise {!Halo_error.Backend_error} carrying the
+    backend's {!name}, the operation and the operand level; decorators such
+    as {!Faults} may additionally raise the transient-fault exceptions of
+    {!Halo_error}, which the resilient runtime retries. *)
 
 module type S = sig
   type ct
   type state
+
+  val name : string
+  (** Short identifier used in error sites and reports, e.g. ["ref"],
+      ["lattice"], ["faulty+ref"]. *)
 
   val slots : state -> int
   val max_level : state -> int

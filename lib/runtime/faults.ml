@@ -1,0 +1,168 @@
+type kind = Transient_op | Bootstrap_abort | Noise_spike
+
+type event = { at : int; kind : kind }
+
+type config = {
+  seed : int;
+  transient_prob : float;
+  bootstrap_prob : float;
+  spike_prob : float;
+  spike_magnitude : float;
+  schedule : event list;
+  fault_io : bool;
+}
+
+let config ?(transient_prob = 0.) ?(bootstrap_prob = 0.) ?(spike_prob = 0.)
+    ?(spike_magnitude = 1e-4) ?(schedule = []) ?(fault_io = false) ~seed () =
+  {
+    seed;
+    transient_prob;
+    bootstrap_prob;
+    spike_prob;
+    spike_magnitude;
+    schedule;
+    fault_io;
+  }
+
+module Make (B : Backend.S) = struct
+  type ct = B.ct
+
+  type state = {
+    base : B.state;
+    cfg : config;
+    rng : Random.State.t;
+    on_fault : kind -> unit;
+    mutable idx : int;
+    mutable n_transient : int;
+    mutable n_bootstrap : int;
+    mutable n_spike : int;
+    attempts : (string, int) Hashtbl.t;
+        (* faults injected so far, per op name: the [attempt] error context *)
+  }
+
+  let name = "faulty+" ^ B.name
+
+  let wrap ?(on_fault = fun _ -> ()) cfg base =
+    {
+      base;
+      cfg;
+      rng = Random.State.make [| 0xFA17; cfg.seed |];
+      on_fault;
+      idx = 0;
+      n_transient = 0;
+      n_bootstrap = 0;
+      n_spike = 0;
+      attempts = Hashtbl.create 16;
+    }
+
+  let inner st = st.base
+  let ops_seen st = st.idx
+  let injected_transient st = st.n_transient
+  let injected_bootstrap st = st.n_bootstrap
+  let injected_spikes st = st.n_spike
+  let injected st = st.n_transient + st.n_bootstrap + st.n_spike
+
+  let slots st = B.slots st.base
+  let max_level st = B.max_level st.base
+  let level st ct = B.level st.base ct
+
+  let draw st p = p > 0.0 && Random.State.float st.rng 1.0 < p
+
+  let scheduled st i k =
+    List.exists (fun (e : event) -> e.at = i && e.kind = k) st.cfg.schedule
+
+  let fire st ~op ~level ~index ~bootstrap =
+    let attempt =
+      (match Hashtbl.find_opt st.attempts op with Some n -> n | None -> 0) + 1
+    in
+    Hashtbl.replace st.attempts op attempt;
+    let site = Halo_error.site ?level ~backend:name op in
+    if bootstrap then begin
+      st.n_bootstrap <- st.n_bootstrap + 1;
+      st.on_fault Bootstrap_abort;
+      raise (Halo_error.Bootstrap_failure { site; index; attempt })
+    end
+    else begin
+      st.n_transient <- st.n_transient + 1;
+      st.on_fault Transient_op;
+      raise (Halo_error.Transient { site; index; attempt })
+    end
+
+  (* A ct-producing compute op: advance the op index, possibly fault before
+     executing (ciphertexts are immutable, so nothing is left half-done),
+     possibly corrupt the result with a silent noise spike afterwards. *)
+  let guard st ~op ?level k =
+    let i = st.idx in
+    st.idx <- i + 1;
+    let transient = scheduled st i Transient_op || draw st st.cfg.transient_prob in
+    let boot_fault =
+      String.equal op "bootstrap"
+      && (scheduled st i Bootstrap_abort || draw st st.cfg.bootstrap_prob)
+    in
+    if boot_fault then fire st ~op ~level ~index:i ~bootstrap:true;
+    if transient then fire st ~op ~level ~index:i ~bootstrap:false;
+    let r = k () in
+    if scheduled st i Noise_spike || draw st st.cfg.spike_prob then begin
+      st.n_spike <- st.n_spike + 1;
+      st.on_fault Noise_spike;
+      let n = B.slots st.base in
+      let m = st.cfg.spike_magnitude in
+      let spike =
+        Array.init n (fun _ -> (Random.State.float st.rng 2.0 -. 1.0) *. m)
+      in
+      B.addcp st.base r spike
+    end
+    else r
+
+  (* Encryption/decryption fault only when [fault_io] is set (they execute
+     outside the interpreter's retry protection), and never spike. *)
+  let io_guard st ~op ?level k =
+    if not st.cfg.fault_io then k ()
+    else begin
+      let i = st.idx in
+      st.idx <- i + 1;
+      if scheduled st i Transient_op || draw st st.cfg.transient_prob then
+        fire st ~op ~level ~index:i ~bootstrap:false;
+      k ()
+    end
+
+  let encrypt st ~level values =
+    io_guard st ~op:"encrypt" ~level (fun () -> B.encrypt st.base ~level values)
+
+  let decrypt st ct =
+    io_guard st ~op:"decrypt" ~level:(level st ct) (fun () ->
+        B.decrypt st.base ct)
+
+  let addcc st a b =
+    guard st ~op:"addcc" ~level:(level st a) (fun () -> B.addcc st.base a b)
+
+  let subcc st a b =
+    guard st ~op:"subcc" ~level:(level st a) (fun () -> B.subcc st.base a b)
+
+  let addcp st a v =
+    guard st ~op:"addcp" ~level:(level st a) (fun () -> B.addcp st.base a v)
+
+  let multcc st a b =
+    guard st ~op:"multcc" ~level:(level st a) (fun () -> B.multcc st.base a b)
+
+  let multcp st a v =
+    guard st ~op:"multcp" ~level:(level st a) (fun () -> B.multcp st.base a v)
+
+  let rotate st ct ~offset =
+    guard st ~op:"rotate" ~level:(level st ct) (fun () ->
+        B.rotate st.base ct ~offset)
+
+  let rescale st a =
+    guard st ~op:"rescale" ~level:(level st a) (fun () -> B.rescale st.base a)
+
+  let modswitch st ct ~down =
+    guard st ~op:"modswitch" ~level:(level st ct) (fun () ->
+        B.modswitch st.base ct ~down)
+
+  let bootstrap st ct ~target =
+    guard st ~op:"bootstrap" ~level:(level st ct) (fun () ->
+        B.bootstrap st.base ct ~target)
+
+  let negate st a =
+    guard st ~op:"negate" ~level:(level st a) (fun () -> B.negate st.base a)
+end

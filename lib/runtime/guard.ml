@@ -1,0 +1,76 @@
+open Halo
+
+type verdict =
+  | Healthy of { observed : float; bound : float }
+  | Breach of { observed : float; bound : float; output : int; slot : int }
+  | Unbounded of { observed : float }
+
+let healthy = function Healthy _ -> true | Breach _ | Unbounded _ -> false
+
+let verdict_to_string = function
+  | Healthy { observed; bound } ->
+    Printf.sprintf "healthy (worst error %.3e within bound %.3e)" observed
+      bound
+  | Breach { observed; bound; output; slot } ->
+    Printf.sprintf
+      "BREACH: output %d slot %d off by %.3e, bound %.3e — silent corruption \
+       or broken noise model"
+      output slot observed bound
+  | Unbounded { observed } ->
+    Printf.sprintf
+      "unbounded: static analysis found noise growth without bootstrap \
+       (observed error %.3e unchecked)"
+      observed
+
+let analyze ?units p = Noise_budget.analyze ?units p
+
+let default_margin = 10.0
+
+let check ?units ?(margin = default_margin) p ~reference ~observed =
+  let report = Noise_budget.analyze ?units p in
+  (* Worst absolute deviation, tracked per output. *)
+  let worst = ref 0.0 and worst_out = ref 0 and worst_slot = ref 0 in
+  let breach = ref None in
+  List.iteri
+    (fun output (exp, got) ->
+      let bound =
+        match List.nth_opt report.Noise_budget.per_output output with
+        | Some b -> b *. margin
+        | None -> report.Noise_budget.worst *. margin
+      in
+      let n = min (Array.length exp) (Array.length got) in
+      for slot = 0 to n - 1 do
+        let d = Float.abs (exp.(slot) -. got.(slot)) in
+        if d > !worst then begin
+          worst := d;
+          worst_out := output;
+          worst_slot := slot
+        end;
+        if d > bound && !breach = None then
+          breach := Some (d, bound, output, slot)
+      done)
+    (List.combine reference observed);
+  if not report.Noise_budget.bounded then Unbounded { observed = !worst }
+  else
+    match !breach with
+    | Some (observed, bound, output, slot) ->
+      Breach { observed; bound; output; slot }
+    | None ->
+      Healthy
+        { observed = !worst; bound = report.Noise_budget.worst *. margin }
+
+module R = Interp.Make (Halo_ckks.Ref_backend)
+
+let run_ref ?units ?margin ?backend_seed ?(scale_bits = 51) ?(bindings = [])
+    ~inputs p =
+  let make ?seed ~noisy () =
+    let noiseless = if noisy then None else Some 0.0 in
+    Halo_ckks.Ref_backend.create ?seed ?enc_noise:noiseless
+      ?mult_noise:noiseless ?boot_noise:noiseless ?rescale_noise:noiseless
+      ~slots:p.Ir.slots ~max_level:p.Ir.max_level ~scale_bits ()
+  in
+  let observed, stats =
+    R.run (make ?seed:backend_seed ~noisy:true ()) ~bindings ~inputs p
+  in
+  let reference, _ = R.run (make ~noisy:false ()) ~bindings ~inputs p in
+  (observed, stats, check ?units ?margin p ~reference ~observed)

@@ -1,12 +1,38 @@
 open Halo
 module Cost = Halo_cost.Cost_model
 
+let op_name : Ir.op -> string = function
+  | Ir.Const _ -> "const"
+  | Ir.Binary { kind = Ir.Add; _ } -> "add"
+  | Ir.Binary { kind = Ir.Sub; _ } -> "sub"
+  | Ir.Binary { kind = Ir.Mul; _ } -> "mul"
+  | Ir.Rotate _ -> "rotate"
+  | Ir.Rescale _ -> "rescale"
+  | Ir.Modswitch _ -> "modswitch"
+  | Ir.Bootstrap _ -> "bootstrap"
+  | Ir.Pack _ -> "pack"
+  | Ir.Unpack _ -> "unpack"
+  | Ir.For _ -> "for"
+
 module Make (B : Backend.S) = struct
   type value = Plain of float array | Cipher of B.ct
 
-  exception Runtime_error of string
+  type protect = {
+    instr : Halo_error.site -> (unit -> unit) -> unit;
+    iteration :
+      loop:Halo_error.site -> index:int -> (unit -> value list) -> value list;
+  }
 
-  let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+  let unprotected =
+    {
+      instr = (fun _ f -> f ());
+      iteration = (fun ~loop:_ ~index:_ f -> f ());
+    }
+
+  let err ?site fmt =
+    Printf.ksprintf
+      (fun reason -> raise (Halo_error.Interp_error { site; reason }))
+      fmt
 
   let replicate ~slots values =
     let len = Array.length values in
@@ -26,16 +52,22 @@ module Make (B : Backend.S) = struct
     let shift = ((offset mod n) + n) mod n in
     Array.init n (fun i -> values.((i + shift) mod n))
 
-  let run st ?(bindings = []) ~inputs (p : Ir.program) =
+  let site_of (i : Ir.instr) =
+    Halo_error.site
+      ?var:(match i.results with v :: _ -> Some v | [] -> None)
+      ~backend:B.name (op_name i.op)
+
+  let run ?(protect = unprotected) ?stats st ?(bindings = []) ~inputs
+      (p : Ir.program) =
     let slots = B.slots st in
     if slots <> p.slots then
-      err "backend has %d slots but program expects %d" slots p.slots;
-    let stats = Stats.create () in
+      err "backend %s has %d slots but program expects %d" B.name slots p.slots;
+    let stats = match stats with Some s -> s | None -> Stats.create () in
     let env : (Ir.var, value) Hashtbl.t = Hashtbl.create 256 in
-    let value_of v =
+    let value_of ?site v =
       match Hashtbl.find_opt env v with
       | Some x -> x
-      | None -> err "use of undefined variable %%%d" v
+      | None -> err ?site "use of undefined variable %%%d" v
     in
     let level_of ct = B.level st ct in
     let record op ct = Stats.record stats op ~level:(level_of ct) in
@@ -55,100 +87,122 @@ module Make (B : Backend.S) = struct
         in
         Hashtbl.replace env inp.in_var v)
       p.inputs;
-    let const_data value size =
-      match value with
-      | Ir.Splat x -> Array.make slots x
-      | Ir.Vector xs ->
-        if Array.length xs <> size && size <> Array.length xs then
-          err "constant size mismatch";
-        replicate ~slots xs
-    in
-    let binary kind lhs rhs =
-      match (kind, lhs, rhs) with
-      | Ir.Add, Plain a, Plain b -> Plain (Array.map2 ( +. ) a b)
-      | Ir.Sub, Plain a, Plain b -> Plain (Array.map2 ( -. ) a b)
-      | Ir.Mul, Plain a, Plain b -> Plain (Array.map2 ( *. ) a b)
-      | Ir.Add, Cipher a, Cipher b ->
-        record Cost.Addcc a;
-        Cipher (B.addcc st a b)
-      | Ir.Sub, Cipher a, Cipher b ->
-        record Cost.Subcc a;
-        Cipher (B.subcc st a b)
-      | Ir.Mul, Cipher a, Cipher b ->
-        record Cost.Multcc a;
-        Cipher (B.multcc st a b)
-      | Ir.Add, Cipher a, Plain b | Ir.Add, Plain b, Cipher a ->
-        record Cost.Addcp a;
-        Cipher (B.addcp st a b)
-      | Ir.Sub, Cipher a, Plain b ->
-        record Cost.Addcp a;
-        Cipher (B.addcp st a (Array.map Float.neg b))
-      | Ir.Sub, Plain a, Cipher b ->
-        record Cost.Addcp b;
-        Cipher (B.addcp st (B.negate st b) a)
-      | Ir.Mul, Cipher a, Plain b | Ir.Mul, Plain b, Cipher a ->
-        record Cost.Multcp a;
-        Cipher (B.multcp st a b)
-    in
     let rec exec_block (b : Ir.block) args =
       List.iter2 (fun prm v -> Hashtbl.replace env prm v) b.params args;
-      List.iter
-        (fun (i : Ir.instr) ->
-          match i.op with
-          | Ir.Const { value; size } ->
-            Hashtbl.replace env (Ir.result i) (Plain (const_data value size))
-          | Ir.Binary { kind; lhs; rhs } ->
-            Hashtbl.replace env (Ir.result i)
-              (binary kind (value_of lhs) (value_of rhs))
-          | Ir.Rotate { src; offset } ->
-            let v =
-              match value_of src with
-              | Plain a -> Plain (rotate_plain a offset)
-              | Cipher c ->
-                if offset = 0 then Cipher c
-                else begin
-                  record Cost.Rotate c;
-                  Cipher (B.rotate st c ~offset)
-                end
+      List.iter (fun (i : Ir.instr) -> exec_instr i) b.instrs
+    and exec_instr (i : Ir.instr) =
+      let site = site_of i in
+      let ierr fmt = err ~site fmt in
+      let value_of v = value_of ~site v in
+      let const_data value size =
+        match value with
+        | Ir.Splat x -> Array.make slots x
+        | Ir.Vector xs ->
+          if Array.length xs <> size then
+            ierr "vector constant has %d elements but declares size %d"
+              (Array.length xs) size;
+          replicate ~slots xs
+      in
+      let binary kind lhs rhs =
+        match (kind, lhs, rhs) with
+        | Ir.Add, Plain a, Plain b -> Plain (Array.map2 ( +. ) a b)
+        | Ir.Sub, Plain a, Plain b -> Plain (Array.map2 ( -. ) a b)
+        | Ir.Mul, Plain a, Plain b -> Plain (Array.map2 ( *. ) a b)
+        | Ir.Add, Cipher a, Cipher b ->
+          record Cost.Addcc a;
+          Cipher (B.addcc st a b)
+        | Ir.Sub, Cipher a, Cipher b ->
+          record Cost.Subcc a;
+          Cipher (B.subcc st a b)
+        | Ir.Mul, Cipher a, Cipher b ->
+          record Cost.Multcc a;
+          Cipher (B.multcc st a b)
+        | Ir.Add, Cipher a, Plain b | Ir.Add, Plain b, Cipher a ->
+          record Cost.Addcp a;
+          Cipher (B.addcp st a b)
+        | Ir.Sub, Cipher a, Plain b ->
+          record Cost.Addcp a;
+          Cipher (B.addcp st a (Array.map Float.neg b))
+        | Ir.Sub, Plain a, Cipher b ->
+          record Cost.Addcp b;
+          Cipher (B.addcp st (B.negate st b) a)
+        | Ir.Mul, Cipher a, Plain b | Ir.Mul, Plain b, Cipher a ->
+          record Cost.Multcp a;
+          Cipher (B.multcp st a b)
+      in
+      match i.op with
+      | Ir.For fo ->
+        (* The loop itself is not an [instr] protection site: faults inside
+           the body surface at the innermost enclosing iteration, whose
+           checkpoint (the loop-carried values at the iteration head) lets
+           the resilient runtime re-execute just that iteration. *)
+        let n =
+          try Ir.eval_count ~bindings fo.count
+          with Not_found ->
+            ierr "missing binding for iteration count %s"
+              (Ir.count_to_string fo.count)
+        in
+        let rec iterate k args =
+          if k = 0 then args
+          else begin
+            (* [args] are the checkpointed loop-carried values: the thunk
+               re-executes the whole iteration from them, and every body
+               variable is recomputed before use (SSA order), so re-entry
+               is safe after a mid-iteration fault. *)
+            let next =
+              protect.iteration ~loop:site ~index:(n - k) (fun () ->
+                  exec_block fo.body args;
+                  List.map value_of fo.body.yields)
             in
-            Hashtbl.replace env (Ir.result i) v
-          | Ir.Rescale { src } ->
-            (match value_of src with
-             | Plain _ -> err "rescale of plaintext"
-             | Cipher c ->
-               record Cost.Rescale c;
-               Hashtbl.replace env (Ir.result i) (Cipher (B.rescale st c)))
-          | Ir.Modswitch { src; down } ->
-            (match value_of src with
-             | Plain _ -> err "modswitch of plaintext"
-             | Cipher c ->
-               record Cost.Modswitch c;
-               Hashtbl.replace env (Ir.result i) (Cipher (B.modswitch st c ~down)))
-          | Ir.Bootstrap { src; target } ->
-            (match value_of src with
-             | Plain _ -> err "bootstrap of plaintext"
-             | Cipher c ->
-               Stats.record_bootstrap stats ~target;
-               Hashtbl.replace env (Ir.result i) (Cipher (B.bootstrap st c ~target)))
-          | Ir.Pack _ | Ir.Unpack _ ->
-            err "composite pack/unpack reached the interpreter; compile with lowering"
-          | Ir.For fo ->
-            let n =
-              try Ir.eval_count ~bindings fo.count
-              with Not_found ->
-                err "missing binding for iteration count %s"
-                  (Ir.count_to_string fo.count)
-            in
-            let rec iterate k args =
-              if k = 0 then args
-              else begin
-                exec_block fo.body args;
-                iterate (k - 1) (List.map value_of fo.body.yields)
-              end
-            in
-            let final = iterate n (List.map value_of fo.inits) in
-            List.iter2 (fun r v -> Hashtbl.replace env r v) i.results final)
-        b.instrs
+            iterate (k - 1) next
+          end
+        in
+        let final = iterate n (List.map value_of fo.inits) in
+        List.iter2 (fun r v -> Hashtbl.replace env r v) i.results final
+      | op ->
+        protect.instr site (fun () ->
+            match op with
+            | Ir.Const { value; size } ->
+              Hashtbl.replace env (Ir.result i) (Plain (const_data value size))
+            | Ir.Binary { kind; lhs; rhs } ->
+              Hashtbl.replace env (Ir.result i)
+                (binary kind (value_of lhs) (value_of rhs))
+            | Ir.Rotate { src; offset } ->
+              let v =
+                match value_of src with
+                | Plain a -> Plain (rotate_plain a offset)
+                | Cipher c ->
+                  if offset = 0 then Cipher c
+                  else begin
+                    record Cost.Rotate c;
+                    Cipher (B.rotate st c ~offset)
+                  end
+              in
+              Hashtbl.replace env (Ir.result i) v
+            | Ir.Rescale { src } ->
+              (match value_of src with
+               | Plain _ -> ierr "rescale of plaintext"
+               | Cipher c ->
+                 record Cost.Rescale c;
+                 Hashtbl.replace env (Ir.result i) (Cipher (B.rescale st c)))
+            | Ir.Modswitch { src; down } ->
+              (match value_of src with
+               | Plain _ -> ierr "modswitch of plaintext"
+               | Cipher c ->
+                 record Cost.Modswitch c;
+                 Hashtbl.replace env (Ir.result i)
+                   (Cipher (B.modswitch st c ~down)))
+            | Ir.Bootstrap { src; target } ->
+              (match value_of src with
+               | Plain _ -> ierr "bootstrap of plaintext"
+               | Cipher c ->
+                 Stats.record_bootstrap stats ~target;
+                 Hashtbl.replace env (Ir.result i)
+                   (Cipher (B.bootstrap st c ~target)))
+            | Ir.Pack _ | Ir.Unpack _ ->
+              ierr "composite pack/unpack reached the interpreter; compile \
+                    with lowering"
+            | Ir.For _ -> assert false)
     in
     let input_values =
       List.map (fun (inp : Ir.input) -> value_of inp.in_var) p.inputs

@@ -5,23 +5,51 @@
     Plaintext values flow as cleartext slot vectors; mixed operations map to
     [addcp]/[multcp]; loop-carried values are rebound each iteration.  Input
     vectors shorter than the slot count are replicated (period padded to a
-    power of two), the layout the paper's packing optimization relies on. *)
+    power of two), the layout the paper's packing optimization relies on.
+
+    Failures raise {!Halo_error.Interp_error} carrying the instruction's
+    result variable and operation name, so a fuzz-oracle or soak failure is
+    attributable without re-running under a debugger. *)
+
+val op_name : Halo.Ir.op -> string
+(** Operation name used in error sites ("add", "rescale", "for", ...). *)
 
 module Make (B : Backend.S) : sig
   type value = Plain of float array | Cipher of B.ct
 
-  exception Runtime_error of string
+  (** Execution hooks used by the fault-tolerant runtime ({!Resilient}).
+
+      [instr site thunk] wraps the execution of one non-loop instruction;
+      invoking [thunk] again after a transient fault re-executes just that
+      instruction (safe: its operands are still bound).
+
+      [iteration ~loop ~index thunk] wraps one loop iteration; the
+      loop-carried values at the iteration head are captured by [thunk], so
+      invoking it again re-executes the iteration from that checkpoint.
+      [index] is 0-based from the first iteration. *)
+  type protect = {
+    instr : Halo_error.site -> (unit -> unit) -> unit;
+    iteration :
+      loop:Halo_error.site -> index:int -> (unit -> value list) -> value list;
+  }
+
+  val unprotected : protect
+  (** Identity hooks: plain execution. *)
 
   val replicate : slots:int -> float array -> float array
   (** Pad to the next power-of-two length and tile across the slots. *)
 
   val run :
+    ?protect:protect ->
+    ?stats:Stats.t ->
     B.state ->
     ?bindings:(string * int) list ->
     inputs:(string * float array) list ->
     Halo.Ir.program ->
     float array list * Stats.t
   (** Outputs are decrypted slot vectors (cleartext outputs pass through).
-      Raises {!Runtime_error} on missing inputs/bindings or on a composite
-      [pack]/[unpack] (compile with lowering enabled). *)
+      Raises {!Halo_error.Interp_error} on missing inputs/bindings, a
+      mis-sized vector constant, or a composite [pack]/[unpack] (compile
+      with lowering enabled).  When [stats] is supplied the counters are
+      accumulated into it (and it is the returned record). *)
 end

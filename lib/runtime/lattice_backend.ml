@@ -1,24 +1,63 @@
 (** Adapter exposing the real RNS-CKKS evaluator ({!Halo_ckks.Eval}) through
     the {!Backend.S} interface.  The state is the key material; bootstrap is
-    the decrypt–re-encrypt oracle (see the substitution table in DESIGN.md). *)
+    the decrypt–re-encrypt oracle (see the substitution table in DESIGN.md).
+
+    [Eval] reports discipline violations with [Invalid_argument]; the
+    adapter converts them into {!Halo_error.Backend_error} so failures on
+    either backend carry the same op/level context. *)
 
 open Halo_ckks
 
 type ct = Eval.ct
 type state = Keys.t
 
+let name = "lattice"
+
+let typed op ?level f =
+  try f ()
+  with Invalid_argument reason ->
+    raise
+      (Halo_error.Backend_error
+         { site = Halo_error.site ?level ~backend:name op; reason })
+
 let slots (keys : Keys.t) = keys.params.slots
 let max_level (keys : Keys.t) = keys.params.max_level
 let level _keys ct = Eval.level ct
-let encrypt keys ~level values = Eval.encrypt keys ~level values
-let decrypt keys ct = Eval.decrypt keys ct
-let addcc = Eval.addcc
-let subcc = Eval.subcc
-let addcp = Eval.addcp
-let multcc = Eval.multcc
-let multcp = Eval.multcp
-let rotate keys ct ~offset = Eval.rotate keys ct ~offset
-let rescale = Eval.rescale
-let modswitch keys ct ~down = Eval.modswitch keys ct ~down
-let bootstrap keys ct ~target = Bootstrap_oracle.bootstrap keys ct ~target
-let negate = Eval.negate
+
+let encrypt keys ~level values =
+  typed "encrypt" ~level (fun () -> Eval.encrypt keys ~level values)
+
+let decrypt keys ct =
+  typed "decrypt" ~level:(Eval.level ct) (fun () -> Eval.decrypt keys ct)
+
+let addcc st a b =
+  typed "addcc" ~level:(Eval.level a) (fun () -> Eval.addcc st a b)
+
+let subcc st a b =
+  typed "subcc" ~level:(Eval.level a) (fun () -> Eval.subcc st a b)
+
+let addcp st a v =
+  typed "addcp" ~level:(Eval.level a) (fun () -> Eval.addcp st a v)
+
+let multcc st a b =
+  typed "multcc" ~level:(Eval.level a) (fun () -> Eval.multcc st a b)
+
+let multcp st a v =
+  typed "multcp" ~level:(Eval.level a) (fun () -> Eval.multcp st a v)
+
+let rotate keys ct ~offset =
+  typed "rotate" ~level:(Eval.level ct) (fun () -> Eval.rotate keys ct ~offset)
+
+let rescale st a =
+  typed "rescale" ~level:(Eval.level a) (fun () -> Eval.rescale st a)
+
+let modswitch keys ct ~down =
+  typed "modswitch" ~level:(Eval.level ct) (fun () ->
+      Eval.modswitch keys ct ~down)
+
+let bootstrap keys ct ~target =
+  typed "bootstrap" ~level:(Eval.level ct) (fun () ->
+      Bootstrap_oracle.bootstrap keys ct ~target)
+
+let negate st a =
+  typed "negate" ~level:(Eval.level a) (fun () -> Eval.negate st a)

@@ -1,0 +1,113 @@
+type policy = {
+  max_attempts : int;
+  max_restores : int;
+  base_backoff_us : float;
+  backoff_factor : float;
+  max_backoff_us : float;
+}
+
+let default_policy =
+  {
+    max_attempts = 5;
+    max_restores = 2;
+    base_backoff_us = 100.0;
+    backoff_factor = 2.0;
+    max_backoff_us = 10_000.0;
+  }
+
+let no_retry = { default_policy with max_attempts = 1; max_restores = 0 }
+
+module Make (B : Backend.S) = struct
+  module I = Interp.Make (B)
+
+  type degraded = {
+    failed : Halo_error.site;
+    attempts : int;
+    iteration : int option;
+    reason : string;
+    stats : Stats.t;
+  }
+
+  type outcome =
+    | Complete of { outputs : float array list; stats : Stats.t }
+    | Degraded of degraded
+
+  let degraded_to_string d =
+    Printf.sprintf
+      "degraded: gave up at %s after %d attempt%s%s; partial stats: %s"
+      (Halo_error.site_to_string d.failed)
+      d.attempts
+      (if d.attempts = 1 then "" else "s")
+      (match d.iteration with
+       | Some i -> Printf.sprintf " in loop iteration %d" i
+       | None -> "")
+      (Stats.to_string d.stats)
+
+  let backoff_us policy attempt =
+    (* attempt 1 failed -> first delay is the base; purely computed, no
+       wall-clock dependence. *)
+    Float.min policy.max_backoff_us
+      (policy.base_backoff_us
+      *. (policy.backoff_factor ** float_of_int (attempt - 1)))
+
+  let run ?(policy = default_policy) ?stats st ?(bindings = []) ~inputs p =
+    let stats = match stats with Some s -> s | None -> Stats.create () in
+    let current_iteration = ref None in
+    let instr site thunk =
+      let rec attempt n =
+        match thunk () with
+        | () -> ()
+        | exception e when Halo_error.is_transient e ->
+          if n >= policy.max_attempts then
+            raise
+              (Halo_error.Retry_exhausted
+                 { site; attempts = n; iteration = !current_iteration })
+          else begin
+            Stats.record_retry stats ~backoff_us:(backoff_us policy n);
+            attempt (n + 1)
+          end
+      in
+      attempt 1
+    in
+    let iteration ~loop:_ ~index thunk =
+      let enclosing = !current_iteration in
+      current_iteration := Some index;
+      let finish v =
+        current_iteration := enclosing;
+        v
+      in
+      (* [thunk] captures the loop-carried values at the iteration head (the
+         checkpoint); re-invoking it re-executes the iteration from there. *)
+      let rec go restores =
+        match thunk () with
+        | v -> finish v
+        | exception (Halo_error.Retry_exhausted _ as e) ->
+          if restores >= policy.max_restores then begin
+            current_iteration := enclosing;
+            raise e
+          end
+          else begin
+            Stats.record_restore stats;
+            go (restores + 1)
+          end
+        | exception e ->
+          current_iteration := enclosing;
+          raise e
+      in
+      go 0
+    in
+    match
+      I.run ~protect:{ I.instr; iteration } ~stats st ~bindings ~inputs p
+    with
+    | outputs, stats -> Complete { outputs; stats }
+    | exception (Halo_error.Retry_exhausted { site; attempts; iteration } as e)
+      ->
+      Degraded
+        {
+          failed = site;
+          attempts;
+          iteration;
+          reason = Halo_error.to_string e;
+          stats;
+        }
+end

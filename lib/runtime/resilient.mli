@@ -1,0 +1,62 @@
+(** Fault-tolerant execution wrapper around {!Interp.Make}.
+
+    Recovery is two-tier, built on the loop structure HALO understands:
+
+    - {b Instruction retry}: a transient fault ({!Halo_error.Transient} or
+      {!Halo_error.Bootstrap_failure}) re-executes just the faulted
+      instruction, up to [max_attempts] times, with bounded exponential
+      backoff.  Backoff is {e simulated} — accumulated into
+      [Stats.backoff_us] rather than slept — so tests and soak runs have no
+      wall-clock dependence and stay fully deterministic.
+    - {b Checkpoint restore}: each [For] head checkpoints the loop-carried
+      values; when an instruction inside an iteration exhausts its retry
+      budget, the iteration is re-executed from the checkpoint (up to
+      [max_restores] times per iteration) instead of restarting the
+      program.
+
+    When both budgets are exhausted the run degrades gracefully: {!run}
+    returns [Degraded] with a structured partial report (failing site,
+    attempts spent, enclosing iteration, statistics so far) instead of
+    raising.  Permanent errors ({!Halo_error.Interp_error},
+    {!Halo_error.Backend_error}) are never retried and propagate. *)
+
+type policy = {
+  max_attempts : int;  (** per instruction execution, >= 1 *)
+  max_restores : int;  (** checkpoint re-executions per loop iteration *)
+  base_backoff_us : float;
+  backoff_factor : float;  (** delay multiplier per consecutive attempt *)
+  max_backoff_us : float;  (** backoff cap *)
+}
+
+val default_policy : policy
+(** 5 attempts, 2 restores per iteration, 100us base doubling up to 10ms. *)
+
+val no_retry : policy
+(** 1 attempt, 0 restores: the first fault degrades immediately. *)
+
+module Make (B : Backend.S) : sig
+  module I : module type of Interp.Make (B)
+
+  type degraded = {
+    failed : Halo_error.site;  (** the site that kept faulting *)
+    attempts : int;
+    iteration : int option;  (** enclosing loop iteration, when inside one *)
+    reason : string;
+    stats : Stats.t;  (** counters accumulated up to the abort *)
+  }
+
+  type outcome =
+    | Complete of { outputs : float array list; stats : Stats.t }
+    | Degraded of degraded
+
+  val degraded_to_string : degraded -> string
+
+  val run :
+    ?policy:policy ->
+    ?stats:Stats.t ->
+    B.state ->
+    ?bindings:(string * int) list ->
+    inputs:(string * float array) list ->
+    Halo.Ir.program ->
+    outcome
+end

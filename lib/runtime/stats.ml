@@ -10,6 +10,10 @@ type t = {
   mutable bootstrap : int;
   mutable total_latency_us : float;
   mutable bootstrap_latency_us : float;
+  mutable injected_faults : int;
+  mutable retries : int;
+  mutable checkpoint_restores : int;
+  mutable backoff_us : float;
 }
 
 let create () =
@@ -25,6 +29,10 @@ let create () =
     bootstrap = 0;
     total_latency_us = 0.0;
     bootstrap_latency_us = 0.0;
+    injected_faults = 0;
+    retries = 0;
+    checkpoint_restores = 0;
+    backoff_us = 0.0;
   }
 
 let record t (op : Halo_cost.Cost_model.op) ~level =
@@ -47,6 +55,14 @@ let record_bootstrap t ~target =
   t.total_latency_us <- t.total_latency_us +. l;
   t.bootstrap_latency_us <- t.bootstrap_latency_us +. l
 
+let record_fault t = t.injected_faults <- t.injected_faults + 1
+
+let record_retry t ~backoff_us =
+  t.retries <- t.retries + 1;
+  t.backoff_us <- t.backoff_us +. backoff_us
+
+let record_restore t = t.checkpoint_restores <- t.checkpoint_restores + 1
+
 let total_ops t =
   t.addcc + t.addcp + t.subcc + t.multcc + t.multcp + t.rotate + t.rescale
   + t.modswitch + t.bootstrap
@@ -62,3 +78,8 @@ let to_string t =
     (if t.total_latency_us > 0.0 then
        100.0 *. t.bootstrap_latency_us /. t.total_latency_us
      else 0.0)
+  ^
+  if t.injected_faults = 0 && t.retries = 0 && t.checkpoint_restores = 0 then ""
+  else
+    Printf.sprintf " faults=%d retries=%d restores=%d backoff=%.0fus"
+      t.injected_faults t.retries t.checkpoint_restores t.backoff_us

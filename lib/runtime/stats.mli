@@ -3,7 +3,12 @@
     Latency is charged per executed operation from the cost model calibrated
     to the paper's Tables 2–3 (see [lib/costmodel]); [bootstrap_latency_us]
     is kept separately because Figure 4 reports the bootstrap share of the
-    end-to-end time. *)
+    end-to-end time.
+
+    The resilience counters ([injected_faults], [retries],
+    [checkpoint_restores], [backoff_us]) are filled in by the
+    fault-injection and retry layers ({!Faults}, {!Resilient}); they stay
+    zero on a plain interpreter run. *)
 
 type t = {
   mutable addcc : int;
@@ -17,6 +22,11 @@ type t = {
   mutable bootstrap : int;
   mutable total_latency_us : float;
   mutable bootstrap_latency_us : float;
+  mutable injected_faults : int;  (** faults injected by {!Faults} *)
+  mutable retries : int;  (** transient-fault retries by {!Resilient} *)
+  mutable checkpoint_restores : int;
+      (** loop iterations re-executed from their checkpoint *)
+  mutable backoff_us : float;  (** total simulated backoff delay *)
 }
 
 val create : unit -> t
@@ -25,6 +35,10 @@ val record : t -> Halo_cost.Cost_model.op -> level:int -> unit
 (** Count one primitive op at the given operand level. *)
 
 val record_bootstrap : t -> target:int -> unit
+
+val record_fault : t -> unit
+val record_retry : t -> backoff_us:float -> unit
+val record_restore : t -> unit
 
 val total_ops : t -> int
 val compute_latency_us : t -> float

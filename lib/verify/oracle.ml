@@ -1,5 +1,7 @@
 open Halo
 module R = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend)
+module Faulty = Halo_runtime.Faults.Make (Halo_ckks.Ref_backend)
+module Recover = Halo_runtime.Resilient.Make (Faulty)
 
 type failure =
   | Compile_error of {
@@ -16,6 +18,7 @@ type failure =
       got : float;
       expected : float;
     }
+  | Fault_recovery of { strategy : Strategy.t; msg : string }
 
 let failure_to_string = function
   | Compile_error { strategy; pass_name; msg } ->
@@ -32,6 +35,9 @@ let failure_to_string = function
       (Strategy.to_string strategy)
       (Strategy.to_string baseline)
       output slot got expected
+  | Fault_recovery { strategy; msg } ->
+    Printf.sprintf "%s: faulty-backend recovery failed: %s"
+      (Strategy.to_string strategy) msg
 
 type seed_report = {
   seed : int;
@@ -45,7 +51,55 @@ let ok r = r.failures = []
 
 let default_tol = 1e-3
 
-let run_seed ?(tol = default_tol) ?(strategies = Strategy.all) seed =
+(* Faulty-backend re-execution: run the compiled artifact once more under
+   seeded fault injection with the resilient runtime, and require the
+   recovered outputs to agree with the fault-free ones.  Checks the whole
+   recovery path (retry + checkpoint restore), not just the compiler. *)
+let check_fault_recovery ~tol ~fault_rate ~seed ~strategy ~bindings ~inputs
+    (compiled : Ir.program) (clean : float array list) =
+  let base =
+    Halo_ckks.Ref_backend.create ~slots:compiled.slots
+      ~max_level:compiled.max_level ~scale_bits:51 ()
+  in
+  let cfg =
+    Halo_runtime.Faults.config ~transient_prob:fault_rate
+      ~bootstrap_prob:fault_rate ~seed:((seed * 7919) + 1) ()
+  in
+  let fst_ = Faulty.wrap cfg base in
+  match Recover.run fst_ ~bindings ~inputs compiled with
+  | exception e ->
+    Some
+      (Fault_recovery { strategy; msg = Halo_error.to_string e })
+  | Recover.Degraded d ->
+    Some (Fault_recovery { strategy; msg = Recover.degraded_to_string d })
+  | Recover.Complete { outputs; _ } ->
+    let worst = ref 0.0 and where = ref (0, 0) in
+    List.iteri
+      (fun output (exp, got) ->
+        let n = min (Array.length exp) (Array.length got) in
+        for slot = 0 to n - 1 do
+          let d = Float.abs (exp.(slot) -. got.(slot)) in
+          if d > !worst then begin
+            worst := d;
+            where := (output, slot)
+          end
+        done)
+      (List.combine clean outputs);
+    if !worst > tol then
+      Some
+        (Fault_recovery
+           {
+             strategy;
+             msg =
+               Printf.sprintf
+                 "recovered run diverges from fault-free run: output %d slot \
+                  %d off by %g (tol %g; %d faults injected)"
+                 (fst !where) (snd !where) !worst tol (Faulty.injected fst_);
+           })
+    else None
+
+let run_seed ?(tol = default_tol) ?(strategies = Strategy.all) ?fault_rate seed
+    =
   let g = Gen.generate seed in
   let inputs = Pipeline.fixed_inputs g.prog in
   let failures = ref [] in
@@ -77,13 +131,20 @@ let run_seed ?(tol = default_tol) ?(strategies = Strategy.all) seed =
               ~max_level:g.prog.max_level ~scale_bits:51 ()
           in
           (match R.run st ~bindings:g.bindings ~inputs compiled with
-           | outs, _ -> Some (strategy, outs)
-           | exception R.Runtime_error msg ->
-             failures := Run_error { strategy; msg } :: !failures;
-             None
+           | outs, _ ->
+             (match fault_rate with
+              | Some rate when rate > 0.0 ->
+                (match
+                   check_fault_recovery ~tol ~fault_rate:rate ~seed ~strategy
+                     ~bindings:g.bindings ~inputs compiled outs
+                 with
+                 | Some f -> failures := f :: !failures
+                 | None -> ())
+              | _ -> ());
+             Some (strategy, outs)
            | exception e ->
              failures :=
-               Run_error { strategy; msg = Printexc.to_string e } :: !failures;
+               Run_error { strategy; msg = Halo_error.to_string e } :: !failures;
              None))
       strategies
   in
@@ -139,10 +200,10 @@ let run_seed ?(tol = default_tol) ?(strategies = Strategy.all) seed =
     failures = List.rev !failures;
   }
 
-let fuzz ?tol ?strategies ?progress ~seeds () =
+let fuzz ?tol ?strategies ?fault_rate ?progress ~seeds () =
   List.map
     (fun seed ->
-      let r = run_seed ?tol ?strategies seed in
+      let r = run_seed ?tol ?strategies ?fault_rate seed in
       (match progress with Some f -> f r | None -> ());
       r)
     seeds
@@ -153,9 +214,10 @@ let summarize reports =
   let compile_errors = count (function Compile_error _ -> true | _ -> false) in
   let run_errors = count (function Run_error _ -> true | _ -> false) in
   let divergences = count (function Divergence _ -> true | _ -> false) in
+  let fault_failures = count (function Fault_recovery _ -> true | _ -> false) in
   Printf.sprintf
     "%d seeds: %d ok, %d failing (%d invariant/compile errors, %d run errors, \
-     %d output divergences)"
+     %d output divergences, %d fault-recovery failures)"
     (List.length reports)
     (List.length reports - List.length failed)
-    (List.length failed) compile_errors run_errors divergences
+    (List.length failed) compile_errors run_errors divergences fault_failures

@@ -5,7 +5,14 @@
     [~verify:true]), executes each compiled artifact on the reference CKKS
     backend with the shared fixed inputs, and asserts pairwise output
     agreement within CKKS tolerance.  Any invariant violation, crash or
-    divergence is reported per strategy, attributed to a pass where known. *)
+    divergence is reported per strategy, attributed to a pass where known.
+
+    With [?fault_rate] set, each artifact that executed cleanly is run once
+    more under seeded fault injection ([Halo_runtime.Faults]) with the
+    resilient runtime ([Halo_runtime.Resilient]); a degraded outcome or a
+    recovered run diverging from the fault-free one is reported as
+    {!Fault_recovery} — so the fuzzer also differentially checks the
+    recovery machinery, not just the compiler. *)
 
 open Halo
 
@@ -24,6 +31,9 @@ type failure =
       got : float;
       expected : float;
     }
+  | Fault_recovery of { strategy : Strategy.t; msg : string }
+      (** fault-injected re-execution degraded or diverged from the
+          fault-free run *)
 
 val failure_to_string : failure -> string
 
@@ -41,11 +51,19 @@ val default_tol : float
 (** [1e-3]: generated programs keep slot values in [[-1, 1]] and the
     reference backend's calibrated noise stays well below this bound. *)
 
-val run_seed : ?tol:float -> ?strategies:Strategy.t list -> int -> seed_report
+val run_seed :
+  ?tol:float ->
+  ?strategies:Strategy.t list ->
+  ?fault_rate:float ->
+  int ->
+  seed_report
+(** [fault_rate] enables the faulty-backend recovery check (per-op transient
+    and per-bootstrap failure probability). *)
 
 val fuzz :
   ?tol:float ->
   ?strategies:Strategy.t list ->
+  ?fault_rate:float ->
   ?progress:(seed_report -> unit) ->
   seeds:int list ->
   unit ->

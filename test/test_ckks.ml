@@ -521,14 +521,14 @@ let test_ref_discipline () =
     (try
        ignore (Ref_backend.addcc st c10 c9);
        false
-     with Invalid_argument _ -> true);
+     with Halo_error.Backend_error _ -> true);
   (* Scale mismatch: un-rescaled product added to a fresh ciphertext. *)
   let prod = Ref_backend.multcc st c10 c10 in
   Alcotest.(check bool) "scale mismatch rejected" true
     (try
        ignore (Ref_backend.addcc st prod c10);
        false
-     with Invalid_argument _ -> true);
+     with Halo_error.Backend_error _ -> true);
   let boosted = Ref_backend.bootstrap st c9 ~target:16 in
   Alcotest.(check int) "bootstrap target" 16 (Ref_backend.level st boosted)
 

@@ -254,23 +254,30 @@ let test_replicate_edges () =
     [| 0.; 1.; 2.; 3. |]
     (R.replicate ~slots:4 (Array.init 6 float_of_int));
   (match R.replicate ~slots:16 [||] with
-   | _ -> Alcotest.fail "expected Runtime_error on empty input"
-   | exception R.Runtime_error _ -> ());
+   | _ -> Alcotest.fail "expected Interp_error on empty input"
+   | exception Halo_error.Interp_error _ -> ());
   (* A 5-element input pads to period 8, which does not divide 12 slots. *)
   match R.replicate ~slots:12 [| 1.; 2.; 3.; 4.; 5. |] with
-  | _ -> Alcotest.fail "expected Runtime_error on non-dividing period"
-  | exception R.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected Interp_error on non-dividing period"
+  | exception Halo_error.Interp_error _ -> ()
 
 let test_missing_binding () =
   let p = Strategy.compile ~strategy:Strategy.Halo (geometric_program ()) in
   let x = Array.make 8 0.5 in
   match R.run (ref_state ()) ~inputs:[ ("x", x) ] p with
-  | _ -> Alcotest.fail "expected Runtime_error for missing binding"
-  | exception R.Runtime_error msg ->
+  | _ -> Alcotest.fail "expected Interp_error for missing binding"
+  | exception Halo_error.Interp_error { site; reason } ->
+    (* The error carries the loop instruction's op name and result var. *)
+    (match site with
+     | Some s ->
+       Alcotest.(check string) "op context" "for" s.Halo_error.op;
+       Alcotest.(check bool) "result var attached" true
+         (s.Halo_error.var <> None)
+     | None -> Alcotest.fail "expected an instruction site");
     Alcotest.(check bool)
-      (Printf.sprintf "message mentions the binding (%s)" msg)
+      (Printf.sprintf "message mentions the binding (%s)" reason)
       true
-      (String.length msg > 0)
+      (String.length reason > 0)
 
 let test_stats_latency_accounting () =
   (* Totals must be rebuilt from the cost model op by op: total latency is
@@ -301,6 +308,43 @@ let test_stats_latency_accounting () =
   Alcotest.(check bool) "encode latency added" true
     (s.Stats.total_latency_us > compute +. boot)
 
+let test_const_size_mismatch () =
+  (* Regression: the interpreter used to compare a vector constant's declared
+     size against itself, so any mismatched constant slipped through.  A
+     3-element vector declared as size 8 must be rejected, with the
+     instruction's op name and result variable attached. *)
+  let p =
+    {
+      Ir.prog_name = "badconst";
+      slots = 64;
+      max_level = 16;
+      inputs = [];
+      body =
+        {
+          Ir.params = [];
+          instrs =
+            [
+              {
+                Ir.results = [ 0 ];
+                op = Ir.Const { value = Ir.Vector [| 1.0; 2.0; 3.0 |]; size = 8 };
+              };
+            ];
+          yields = [ 0 ];
+        };
+      next_var = 1;
+    }
+  in
+  match R.run (ref_state ()) ~inputs:[] p with
+  | _ -> Alcotest.fail "expected Interp_error for mismatched vector constant"
+  | exception Halo_error.Interp_error { site; reason } ->
+    (match site with
+     | Some s ->
+       Alcotest.(check string) "op context" "const" s.Halo_error.op;
+       Alcotest.(check (option int)) "result var" (Some 0) s.Halo_error.var
+     | None -> Alcotest.fail "expected an instruction site");
+    Alcotest.(check string) "reason names both sizes"
+      "vector constant has 3 elements but declares size 8" reason
+
 let test_missing_input () =
   let p =
     Dsl.build ~name:"miss" ~slots:64 ~max_level:16 (fun b ->
@@ -309,8 +353,8 @@ let test_missing_input () =
     |> Strategy.compile ~strategy:Strategy.Type_matched
   in
   match R.run (ref_state ()) ~inputs:[] p with
-  | _ -> Alcotest.fail "expected Runtime_error"
-  | exception R.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected Interp_error"
+  | exception Halo_error.Interp_error _ -> ()
 
 let test_small_iteration_counts () =
   (* K = 1 leaves the peeled copy only (main and remainder loops run zero
@@ -384,6 +428,7 @@ let () =
           Alcotest.test_case "latency accounting is exact" `Quick test_stats_latency_accounting;
           Alcotest.test_case "missing input" `Quick test_missing_input;
           Alcotest.test_case "missing binding" `Quick test_missing_binding;
+          Alcotest.test_case "const size mismatch" `Quick test_const_size_mismatch;
           Alcotest.test_case "replication edge cases" `Quick test_replicate_edges;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ test_qcheck_interp_linear ]);
