@@ -174,6 +174,9 @@ let cheb_eval (keys : Keys.t) coeffs t =
 
 let modraise (keys : Keys.t) (ct : Eval.ct) =
   let params = keys.params in
+  (* to_level drops limbs in whatever domain the ciphertext is resident in
+     (cheap), and centered_coeffs then inverse-transforms only the surviving
+     base limb -- ModRaise is a decrypt-shaped coefficient boundary. *)
   let raise_poly p =
     Rns_poly.of_centered_coeffs params ~level:params.max_level
       (Rns_poly.centered_coeffs params (Rns_poly.to_level params ~level:1 p))

@@ -35,8 +35,10 @@ let encrypt (keys : Keys.t) ~level values =
   let params = keys.params in
   let values = pad_slots params values in
   let m = Encoding.encode_real params ~level ~scale:params.scale values in
+  (* v multiplies both public-key halves: lift it to the NTT domain once. *)
   let v =
-    Rns_poly.of_centered_coeffs params ~level (Sampler.ternary keys.rng ~n:params.n)
+    Rns_poly.to_eval params
+      (Rns_poly.of_centered_coeffs params ~level (Sampler.ternary keys.rng ~n:params.n))
   in
   let e0 =
     Rns_poly.of_centered_coeffs params ~level
@@ -96,9 +98,13 @@ let addcp (keys : Keys.t) a values =
 let multcc (keys : Keys.t) a b =
   check_levels "multcc" a b;
   let p = keys.params in
-  let d0 = Rns_poly.mul p a.c0 b.c0 in
-  let d1 = Rns_poly.add p (Rns_poly.mul p a.c0 b.c1) (Rns_poly.mul p a.c1 b.c0) in
-  let d2 = Rns_poly.mul p a.c1 b.c1 in
+  (* Each operand polynomial feeds two products: lift all four to the NTT
+     domain once so the tensor is pure pointwise arithmetic. *)
+  let a0 = Rns_poly.to_eval p a.c0 and a1 = Rns_poly.to_eval p a.c1 in
+  let b0 = Rns_poly.to_eval p b.c0 and b1 = Rns_poly.to_eval p b.c1 in
+  let d0 = Rns_poly.mul p a0 b0 in
+  let d1 = Rns_poly.add p (Rns_poly.mul p a0 b1) (Rns_poly.mul p a1 b0) in
+  let d2 = Rns_poly.mul p a1 b1 in
   let u0, u1 = Keys.key_switch keys (Keys.relin_key keys) d2 in
   {
     c0 = Rns_poly.add p d0 u0;
@@ -109,7 +115,10 @@ let multcc (keys : Keys.t) a b =
 let multcp (keys : Keys.t) a values =
   let params = keys.params in
   let values = pad_slots params values in
-  let m = Encoding.encode_real params ~level:(level a) ~scale:params.scale values in
+  let m =
+    Rns_poly.to_eval params
+      (Encoding.encode_real params ~level:(level a) ~scale:params.scale values)
+  in
   {
     c0 = Rns_poly.mul params a.c0 m;
     c1 = Rns_poly.mul params a.c1 m;
@@ -138,7 +147,10 @@ let conjugate (keys : Keys.t) a =
 
 let multcp_complex (keys : Keys.t) a values =
   let params = keys.params in
-  let m = Encoding.encode params ~level:(level a) ~scale:params.scale values in
+  let m =
+    Rns_poly.to_eval params
+      (Encoding.encode params ~level:(level a) ~scale:params.scale values)
+  in
   {
     c0 = Rns_poly.mul params a.c0 m;
     c1 = Rns_poly.mul params a.c1 m;
@@ -175,7 +187,10 @@ let multcp_exact (keys : Keys.t) a values ~target =
   let q = float_of_int (Params.modulus_at params ~level:l) in
   let encode_scale = target *. q /. a.scale in
   let values = pad_slots params values in
-  let m = Encoding.encode_real params ~level:l ~scale:encode_scale values in
+  let m =
+    Rns_poly.to_eval params
+      (Encoding.encode_real params ~level:l ~scale:encode_scale values)
+  in
   let product =
     {
       c0 = Rns_poly.mul params a.c0 m;

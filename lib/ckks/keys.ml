@@ -15,6 +15,15 @@ type t = {
   rng : Random.State.t;
 }
 
+(* Per-position loops fan out across the domain pool; tiny rings stay
+   sequential because dispatch would cost more than the arithmetic. *)
+let par (params : Params.t) n f =
+  if params.n >= 512 then Domain_pool.parallel_for ~n f
+  else
+    for i = 0 to n - 1 do
+      f i
+    done
+
 (* Chain accessors: position t is a ciphertext modulus for t < L, the special
    prime for t = L. *)
 let chain_modulus (params : Params.t) t =
@@ -153,45 +162,54 @@ let relin_key keys = keys.relin
 let key_switch keys sk d =
   let params = keys.params in
   let n = params.n in
+  (* Digit decomposition needs centered coefficient-domain residues, so this
+     is one of the two coefficient boundaries of the NTT-resident pipeline
+     (the other is rescale). *)
+  let d = Rns_poly.to_coeff params d in
   let l = Rns_poly.level d in
-  (* Accumulators in the NTT domain, positions 0..l-1 are ciphertext moduli,
-     position l is the special prime. *)
-  let positions = Array.append (Array.init l (fun t -> t)) [| params.max_level |] in
-  let acc0 = Array.map (fun _ -> Array.make n 0) positions in
-  let acc1 = Array.map (fun _ -> Array.make n 0) positions in
-  for i = 0 to l - 1 do
-    let qi = params.moduli.(i) in
-    let centered = Array.map (fun c -> Modarith.center ~m:qi c) (d : Rns_poly.t).res.(i) in
-    Array.iteri
-      (fun pos t ->
-        let q = chain_modulus params t in
-        let d_ntt = ntt_of_centered params t centered in
-        for j = 0 to n - 1 do
-          acc0.(pos).(j) <-
-            Modarith.add ~m:q acc0.(pos).(j)
-              (Modarith.mul ~m:q d_ntt.(j) sk.k0.(i).(t).(j));
-          acc1.(pos).(j) <-
-            Modarith.add ~m:q acc1.(pos).(j)
-              (Modarith.mul ~m:q d_ntt.(j) sk.k1.(i).(t).(j))
-        done)
-      positions
-  done;
-  (* Back to the coefficient domain, then exact division by P. *)
-  let to_coeffs acc =
-    Array.mapi (fun pos t -> Ntt.inverse (chain_ntt params t) acc.(pos)) positions
+  let centered =
+    Array.init l (fun i ->
+        let qi = params.moduli.(i) in
+        Array.map (fun c -> Modarith.center ~m:qi c) (d : Rns_poly.t).res.(i))
   in
-  let u0 = to_coeffs acc0 and u1 = to_coeffs acc1 in
+  (* Positions 0..l-1 are ciphertext moduli, position l is the special
+     prime.  Each position's accumulation, inverse transform and all, is
+     independent of the others: fan them out over the domain pool. *)
+  let positions = Array.append (Array.init l (fun t -> t)) [| params.max_level |] in
+  let np = Array.length positions in
+  let u0 = Array.make np [||] and u1 = Array.make np [||] in
+  par params np (fun pos ->
+      let t = positions.(pos) in
+      let q = chain_modulus params t in
+      let ctx = chain_ntt params t in
+      let a0 = Array.make n 0 and a1 = Array.make n 0 in
+      for i = 0 to l - 1 do
+        let d_ntt = ntt_of_centered params t centered.(i) in
+        let k0 = sk.k0.(i).(t) and k1 = sk.k1.(i).(t) in
+        for j = 0 to n - 1 do
+          let dj = d_ntt.(j) in
+          a0.(j) <- Modarith.add ~m:q a0.(j) (Modarith.mul ~m:q dj k0.(j));
+          a1.(j) <- Modarith.add ~m:q a1.(j) (Modarith.mul ~m:q dj k1.(j))
+        done
+      done;
+      (* Back to the coefficient domain for the exact division by P. *)
+      Ntt.inverse_in_place ctx a0;
+      Ntt.inverse_in_place ctx a1;
+      u0.(pos) <- a0;
+      u1.(pos) <- a1);
   let p = params.special in
   let divide_by_p u =
     let special = u.(l) in
-    let reduce_t t =
-      let q = params.moduli.(t) in
-      let p_inv = Modarith.inv ~m:q (p mod q) in
-      Array.init n (fun j ->
-          let rep = Modarith.center ~m:p special.(j) in
-          let diff = Modarith.sub ~m:q u.(t).(j) (Modarith.reduce ~m:q rep) in
-          Modarith.mul ~m:q diff p_inv)
-    in
-    Rns_poly.of_residues (Array.init l reduce_t)
+    let out = Array.make l [||] in
+    par params l (fun t ->
+        let q = params.moduli.(t) in
+        let p_inv = params.special_inv.(t) in
+        let p_inv_shoup = params.special_inv_shoup.(t) in
+        out.(t) <-
+          Array.init n (fun j ->
+              let rep = Modarith.center ~m:p special.(j) in
+              let diff = Modarith.sub ~m:q u.(t).(j) (Modarith.reduce ~m:q rep) in
+              Modarith.mul_shoup ~m:q diff p_inv p_inv_shoup));
+    Rns_poly.of_residues out
   in
   (divide_by_p u0, divide_by_p u1)

@@ -24,6 +24,23 @@ let inv ~m a =
   if a = 0 then invalid_arg "Modarith.inv: zero";
   pow ~m a (m - 2)
 
+(* Shoup multiplication: for a fixed multiplicand [w < m < 2^31] precompute
+   [w' = floor(w * 2^31 / m)]; then for any [a < 2^31] the quotient estimate
+   [qh = floor(a * w' / 2^31)] satisfies [qh <= floor(a*w/m) <= qh + 1], so
+   [a*w - qh*m] lies in [0, 2m) and one conditional subtraction replaces the
+   hardware division of [mul].  Every intermediate product stays below 2^62
+   and therefore fits the 63-bit native int. *)
+let shoup_shift = 31
+
+let shoup ~m w =
+  if w >= m then invalid_arg "Modarith.shoup: w >= m";
+  (w lsl shoup_shift) / m
+
+let mul_shoup ~m a w w_shoup =
+  let qh = (a * w_shoup) lsr shoup_shift in
+  let r = (a * w) - (qh * m) in
+  if r >= m then r - m else r
+
 let reduce ~m a =
   let r = a mod m in
   if r < 0 then r + m else r

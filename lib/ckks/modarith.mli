@@ -19,6 +19,16 @@ val inv : m:int -> int -> int
 (** Inverse modulo a prime [m] (via Fermat).  Raises [Invalid_argument] on a
     zero argument. *)
 
+val shoup : m:int -> int -> int
+(** [shoup ~m w] is the precomputed Shoup companion [floor (w * 2^31 / m)]
+    of a fixed multiplicand [w < m].  Requires [m < 2^31]. *)
+
+val mul_shoup : m:int -> int -> int -> int -> int
+(** [mul_shoup ~m a w w_shoup] is [a * w mod m] computed without a hardware
+    division, where [w_shoup = shoup ~m w].  Requires [0 <= a < 2^31] and
+    [w < m]; this is the hot-path multiply of the NTT butterflies and of the
+    precomputed-inverse rescale paths. *)
+
 val reduce : m:int -> int -> int
 (** Reduce an arbitrary (possibly negative) integer into [0, m). *)
 

@@ -1,11 +1,23 @@
+(* In-place negacyclic NTT with the psi-twist merged into the twiddle
+   factors (Longa-Naehrig style): the forward transform is a Cooley-Tukey
+   decimation-in-time pass over twiddles psi^bitrev(i) taking natural order
+   to bit-reversed order, the inverse a Gentleman-Sande pass over
+   psi^{-bitrev(i)} taking it back, so neither the pre/post multiplication
+   by psi^i nor an explicit bit-reversal permutation of the data is needed.
+   Every butterfly multiply is a Shoup multiply (precomputed companions,
+   one conditional subtraction) instead of a hardware division. *)
+
 type ctx = {
   q : int;
   n : int;
-  psi_pows : int array; (* psi^i for i < n, psi a primitive 2n-th root *)
-  psi_inv_pows : int array;
-  omega_pows : int array; (* omega^i for i < n, omega = psi^2 *)
-  omega_inv_pows : int array;
+  fwd_tw : int array; (* fwd_tw.(i) = psi^bitrev(i), CT access order *)
+  fwd_tw_shoup : int array;
+  inv_tw : int array; (* inv_tw.(i) = psi^{-bitrev(i)}, GS access order *)
+  inv_tw_shoup : int array;
   n_inv : int;
+  n_inv_shoup : int;
+  slot_exp : int array; (* slot i of the eval domain holds p(psi^slot_exp.(i)) *)
+  idx_of_exp : int array; (* inverse of slot_exp over odd exponents, size 2n *)
 }
 
 let q ctx = ctx.q
@@ -18,80 +30,197 @@ let powers ~m base count =
   done;
   a
 
-let make_ctx ~q ~n =
-  if n land (n - 1) <> 0 then invalid_arg "Ntt: n must be a power of two";
-  if (q - 1) mod (2 * n) <> 0 then invalid_arg "Ntt: q <> 1 mod 2n";
-  let psi = Primes.primitive_root_2n ~q ~n in
-  let psi_inv = Modarith.inv ~m:q psi in
-  let omega = Modarith.mul ~m:q psi psi in
-  let omega_inv = Modarith.inv ~m:q omega in
-  {
-    q;
-    n;
-    psi_pows = powers ~m:q psi n;
-    psi_inv_pows = powers ~m:q psi_inv n;
-    omega_pows = powers ~m:q omega n;
-    omega_inv_pows = powers ~m:q omega_inv n;
-    n_inv = Modarith.inv ~m:q n;
-  }
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
 
-let bit_reverse_permute a =
-  let n = Array.length a in
-  let j = ref 0 in
-  for i = 0 to n - 2 do
-    if i < !j then begin
-      let t = a.(i) in
-      a.(i) <- a.(!j);
-      a.(!j) <- t
-    end;
-    let bit = ref (n lsr 1) in
-    while !j land !bit <> 0 do
-      j := !j lxor !bit;
-      bit := !bit lsr 1
+let bitrev ~bits i =
+  let r = ref 0 in
+  for b = 0 to bits - 1 do
+    if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+  done;
+  !r
+
+(* --- in-place transforms ------------------------------------------------ *)
+
+(* The butterfly loops use unsafe array accesses -- the length check at
+   entry makes every index provably in bounds (j + half <= n and twiddle
+   indices stay below n by construction) -- and branchless reductions:
+   [t + (q land (t asr 62))] adds q back exactly when [t] is negative,
+   with no data-dependent branch for the predictor to miss (the compares
+   are ~50/50 on random residues, so branching costs a misprediction on
+   every other butterfly). *)
+
+let check_len ctx a =
+  if Array.length a <> ctx.n then invalid_arg "Ntt: length mismatch"
+
+let forward_in_place ctx a =
+  check_len ctx a;
+  let q = ctx.q and n = ctx.n in
+  let tw = ctx.fwd_tw and tws = ctx.fwd_tw_shoup in
+  let t = ref n in
+  let m = ref 1 in
+  while !m < n do
+    t := !t lsr 1;
+    let half = !t in
+    for i = 0 to !m - 1 do
+      let j1 = 2 * i * half in
+      let s = Array.unsafe_get tw (!m + i)
+      and s_sh = Array.unsafe_get tws (!m + i) in
+      for j = j1 to j1 + half - 1 do
+        let u = Array.unsafe_get a j in
+        let x = Array.unsafe_get a (j + half) in
+        let qh = (x * s_sh) lsr 31 in
+        let v0 = (x * s) - (qh * q) - q in
+        let v = v0 + (q land (v0 asr 62)) in
+        let su = u + v - q in
+        Array.unsafe_set a j (su + (q land (su asr 62)));
+        let d = u - v in
+        Array.unsafe_set a (j + half) (d + (q land (d asr 62)))
+      done
     done;
-    j := !j lor !bit
+    m := !m lsl 1
   done
 
-(* Iterative Cooley-Tukey cyclic NTT using the given table of root powers
-   (omega for forward, omega^-1 for inverse). *)
-let cyclic ctx pows a =
-  let m = ctx.q and n = ctx.n in
-  bit_reverse_permute a;
-  let len = ref 2 in
-  while !len <= n do
-    let half = !len / 2 in
-    let stride = n / !len in
-    let i = ref 0 in
-    while !i < n do
-      for k = 0 to half - 1 do
-        let w = pows.(k * stride) in
-        let u = a.(!i + k) in
-        let v = Modarith.mul ~m a.(!i + k + half) w in
-        a.(!i + k) <- Modarith.add ~m u v;
-        a.(!i + k + half) <- Modarith.sub ~m u v
+let inverse_in_place ctx a =
+  check_len ctx a;
+  let q = ctx.q and n = ctx.n in
+  let tw = ctx.inv_tw and tws = ctx.inv_tw_shoup in
+  let t = ref 1 in
+  let m = ref n in
+  while !m > 1 do
+    let h = !m lsr 1 in
+    let half = !t in
+    let j1 = ref 0 in
+    for i = 0 to h - 1 do
+      let s = Array.unsafe_get tw (h + i)
+      and s_sh = Array.unsafe_get tws (h + i) in
+      for j = !j1 to !j1 + half - 1 do
+        let u = Array.unsafe_get a j
+        and v = Array.unsafe_get a (j + half) in
+        let su = u + v - q in
+        Array.unsafe_set a j (su + (q land (su asr 62)));
+        let d0 = u - v in
+        let d = d0 + (q land (d0 asr 62)) in
+        let qh = (d * s_sh) lsr 31 in
+        let r0 = (d * s) - (qh * q) - q in
+        Array.unsafe_set a (j + half) (r0 + (q land (r0 asr 62)))
       done;
-      i := !i + !len
+      j1 := !j1 + (2 * half)
     done;
-    len := !len * 2
+    t := half lsl 1;
+    m := h
+  done;
+  let ni = ctx.n_inv and nis = ctx.n_inv_shoup in
+  for j = 0 to n - 1 do
+    let x = Array.unsafe_get a j in
+    let qh = (x * nis) lsr 31 in
+    let r0 = (x * ni) - (qh * q) - q in
+    Array.unsafe_set a j (r0 + (q land (r0 asr 62)))
   done
 
 let forward ctx coeffs =
-  let m = ctx.q in
-  let a = Array.mapi (fun i c -> Modarith.mul ~m c ctx.psi_pows.(i)) coeffs in
-  cyclic ctx ctx.omega_pows a;
+  let a = Array.copy coeffs in
+  forward_in_place ctx a;
   a
 
 let inverse ctx values =
-  let m = ctx.q in
   let a = Array.copy values in
-  cyclic ctx ctx.omega_inv_pows a;
-  Array.mapi
-    (fun i c ->
-      Modarith.mul ~m (Modarith.mul ~m c ctx.psi_inv_pows.(i)) ctx.n_inv)
-    a
+  inverse_in_place ctx a;
+  a
+
+let pointwise_mul ctx a b =
+  let m = ctx.q in
+  Array.init ctx.n (fun i -> Modarith.mul ~m a.(i) b.(i))
+
+let pointwise_mul_in_place ctx a b =
+  check_len ctx a;
+  check_len ctx b;
+  let m = ctx.q in
+  for i = 0 to ctx.n - 1 do
+    Array.unsafe_set a i
+      ((Array.unsafe_get a i * Array.unsafe_get b i) mod m)
+  done
 
 let negacyclic_mul ctx a b =
-  let m = ctx.q in
   let fa = forward ctx a and fb = forward ctx b in
-  let prod = Array.init ctx.n (fun i -> Modarith.mul ~m fa.(i) fb.(i)) in
-  inverse ctx prod
+  pointwise_mul_in_place ctx fa fb;
+  inverse_in_place ctx fa;
+  fa
+
+(* --- context construction ---------------------------------------------- *)
+
+let make_ctx ~q ~n =
+  if n land (n - 1) <> 0 then invalid_arg "Ntt: n must be a power of two";
+  if (q - 1) mod (2 * n) <> 0 then invalid_arg "Ntt: q <> 1 mod 2n";
+  let bits = log2 n in
+  let psi = Primes.primitive_root_2n ~q ~n in
+  let psi_inv = Modarith.inv ~m:q psi in
+  let psi_pows = powers ~m:q psi n in
+  let psi_inv_pows = powers ~m:q psi_inv n in
+  let fwd_tw = Array.init n (fun i -> psi_pows.(bitrev ~bits i)) in
+  let inv_tw = Array.init n (fun i -> psi_inv_pows.(bitrev ~bits i)) in
+  let n_inv = Modarith.inv ~m:q n in
+  let ctx =
+    {
+      q;
+      n;
+      fwd_tw;
+      fwd_tw_shoup = Array.map (fun w -> Modarith.shoup ~m:q w) fwd_tw;
+      inv_tw;
+      inv_tw_shoup = Array.map (fun w -> Modarith.shoup ~m:q w) inv_tw;
+      n_inv;
+      n_inv_shoup = Modarith.shoup ~m:q n_inv;
+      slot_exp = [||];
+      idx_of_exp = [||];
+    }
+  in
+  (* Recover the evaluation ordering empirically: transforming the monomial X
+     puts psi^e_i in slot i; a discrete-log table over the order-2n cyclic
+     group <psi> reads the exponents back.  This keeps the automorphism
+     permutation correct for whatever ordering the butterfly code produces. *)
+  let dlog = Hashtbl.create (2 * n) in
+  let p = ref 1 in
+  for e = 0 to (2 * n) - 1 do
+    Hashtbl.replace dlog !p e;
+    p := Modarith.mul ~m:q !p psi
+  done;
+  let x = Array.make n 0 in
+  if n > 1 then x.(1) <- 1 else x.(0) <- 1;
+  forward_in_place ctx x;
+  let slot_exp =
+    if n > 1 then Array.map (fun v -> Hashtbl.find dlog v) x
+    else [| 1 |]
+  in
+  let idx_of_exp = Array.make (2 * n) (-1) in
+  Array.iteri (fun i e -> idx_of_exp.(e) <- i) slot_exp;
+  { ctx with slot_exp; idx_of_exp }
+
+(* --- evaluation-domain automorphism ------------------------------------ *)
+
+(* The permutation depends only on (n, k): slot orderings are structural, so
+   every ctx with the same n shares it.  A global mutex-guarded cache keeps
+   lookups cheap; callers resolve the permutation once before fanning limbs
+   out to the domain pool. *)
+let perm_cache : (int * int, int array) Hashtbl.t = Hashtbl.create 16
+let perm_mutex = Mutex.create ()
+
+let eval_perm ctx ~k =
+  let two_n = 2 * ctx.n in
+  let k = ((k mod two_n) + two_n) mod two_n in
+  if k land 1 = 0 then invalid_arg "Ntt.eval_perm: k must be odd";
+  Mutex.lock perm_mutex;
+  let perm =
+    match Hashtbl.find_opt perm_cache (ctx.n, k) with
+    | Some p -> p
+    | None ->
+      (* sigma_k(p) evaluated at psi^e is p(psi^{e*k mod 2n}). *)
+      let p =
+        Array.init ctx.n (fun i ->
+            ctx.idx_of_exp.(ctx.slot_exp.(i) * k mod two_n))
+      in
+      Hashtbl.add perm_cache (ctx.n, k) p;
+      p
+  in
+  Mutex.unlock perm_mutex;
+  perm

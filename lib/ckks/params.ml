@@ -8,6 +8,10 @@ type t = {
   sigma : float;
   ntts : Ntt.ctx array;
   ntt_special : Ntt.ctx;
+  rescale_inv : int array array;
+  rescale_inv_shoup : int array array;
+  special_inv : int array;
+  special_inv_shoup : int array;
 }
 
 type spec = { spec_log_n : int; spec_log_q : int; spec_scale_bits : int; spec_max_level : int }
@@ -32,6 +36,27 @@ let make ?(sigma = 3.2) ~log_n ~max_level ~base_bits ~scale_bits () =
   in
   let moduli = Array.of_list (base :: rescale_primes) in
   let ntts = Array.map (fun q -> Ntt.make_ctx ~q ~n) moduli in
+  (* Precomputed inverse tables: rescale_inv.(j).(i) = moduli.(j)^{-1} mod
+     moduli.(i) for i < j (the constants of an exact rescale dropping prime
+     j), special_inv.(t) = special^{-1} mod moduli.(t) (the division by P
+     closing every key switch).  Each carries its Shoup companion so the
+     hot loops never call Modarith.inv (a full Fermat exponentiation) nor a
+     hardware division. *)
+  let rescale_inv =
+    Array.init max_level (fun j ->
+        Array.init j (fun i ->
+            Modarith.inv ~m:moduli.(i) (moduli.(j) mod moduli.(i))))
+  in
+  let rescale_inv_shoup =
+    Array.init max_level (fun j ->
+        Array.init j (fun i -> Modarith.shoup ~m:moduli.(i) rescale_inv.(j).(i)))
+  in
+  let special_inv =
+    Array.map (fun q -> Modarith.inv ~m:q (special mod q)) moduli
+  in
+  let special_inv_shoup =
+    Array.mapi (fun i w -> Modarith.shoup ~m:moduli.(i) w) special_inv
+  in
   {
     n;
     slots = n / 2;
@@ -42,6 +67,10 @@ let make ?(sigma = 3.2) ~log_n ~max_level ~base_bits ~scale_bits () =
     sigma;
     ntts;
     ntt_special = Ntt.make_ctx ~q:special ~n;
+    rescale_inv;
+    rescale_inv_shoup;
+    special_inv;
+    special_inv_shoup;
   }
 
 let test_small_memo = ref None

@@ -21,6 +21,15 @@ type t = private {
   sigma : float;  (** error distribution standard deviation *)
   ntts : Ntt.ctx array;  (** NTT context per ciphertext modulus *)
   ntt_special : Ntt.ctx;
+  rescale_inv : int array array;
+      (** [rescale_inv.(j).(i) = moduli.(j)^-1 mod moduli.(i)] for [i < j]:
+          the constants of an exact rescale dropping prime [j]. *)
+  rescale_inv_shoup : int array array;
+      (** Shoup companions of {!rescale_inv} (see {!Modarith.mul_shoup}). *)
+  special_inv : int array;
+      (** [special_inv.(t) = special^-1 mod moduli.(t)], closing every key
+          switch without a per-call Fermat exponentiation. *)
+  special_inv_shoup : int array;  (** Shoup companions of {!special_inv}. *)
 }
 
 val make :

@@ -2,6 +2,13 @@
     the {!Backend.S} interface.  The state is the key material; bootstrap is
     the decrypt–re-encrypt oracle (see the substitution table in DESIGN.md).
 
+    Ciphertext polynomials flowing through this backend are NTT-resident:
+    multiplies and rotations stay in the evaluation domain and only rescale
+    and decrypt pay an inverse transform (DESIGN.md section 10).  Per-limb
+    kernel loops parallelize across [HALO_DOMAINS] OCaml domains; results
+    are bit-identical for any pool size, so interpreter replay and the
+    resilience checkpoint tests are unaffected by the setting.
+
     [Eval] reports discipline violations with [Invalid_argument]; the
     adapter converts them into {!Halo_error.Backend_error} so failures on
     either backend carry the same op/level context. *)

@@ -1,0 +1,262 @@
+(* Property tests for the optimized CKKS kernel layer: Shoup multiplication,
+   the merged-twist NTT, and the Coeff/Eval domain-tag invariant of
+   Rns_poly.  The invariant under test everywhere: the evaluation domain is
+   an exact ring isomorphism on integers, so any conversion path must yield
+   bit-identical coefficients -- checks compare with [Alcotest.int] or
+   [float 0.0], never with a tolerance. *)
+
+open Halo_ckks
+
+let params () = Params.test_small ()
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+(* ------------------------------------------------------------------ *)
+(* Shoup multiplication                                                *)
+(* ------------------------------------------------------------------ *)
+
+let chain_moduli () =
+  let p = params () in
+  Array.to_list p.moduli @ [ p.special ]
+
+let test_shoup_matches_mul =
+  QCheck.Test.make ~name:"mul_shoup = a * w mod m over the whole chain"
+    ~count:2000
+    QCheck.(triple (int_range 0 max_int) (int_range 0 max_int) (int_range 0 10))
+    (fun (a, w, pick) ->
+      let moduli = chain_moduli () in
+      let m = List.nth moduli (pick mod List.length moduli) in
+      let a = a mod m and w = w mod m in
+      Modarith.mul_shoup ~m a w (Modarith.shoup ~m w) = Modarith.mul ~m a w)
+
+let test_shoup_edges () =
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (a, w) ->
+          Alcotest.(check int)
+            (Printf.sprintf "m=%d a=%d w=%d" m a w)
+            (Modarith.mul ~m a w)
+            (Modarith.mul_shoup ~m a w (Modarith.shoup ~m w)))
+        [ (0, 0); (m - 1, m - 1); (m - 1, 0); (0, m - 1); (1, m - 1); (m - 1, 1) ])
+    (chain_moduli ())
+
+(* ------------------------------------------------------------------ *)
+(* NTT                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rand_vec st ~n ~q = Array.init n (fun _ -> Random.State.full_int st q)
+
+let test_ntt_roundtrip =
+  QCheck.Test.make ~name:"inverse . forward = id (in place)" ~count:50
+    QCheck.(pair (int_range 0 max_int) (int_range 0 3))
+    (fun (seed, pick) ->
+      let n = 1 lsl (4 + pick) in
+      let q = Primes.ntt_prime_below ~n ((1 lsl 28) - 1) in
+      let ctx = Ntt.make_ctx ~q ~n in
+      let st = Random.State.make [| seed |] in
+      let a = rand_vec st ~n ~q in
+      let b = Array.copy a in
+      Ntt.forward_in_place ctx b;
+      Ntt.inverse_in_place ctx b;
+      a = b)
+
+let schoolbook_negacyclic ~q a b =
+  let n = Array.length a in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let k = i + j in
+      let p = Modarith.mul ~m:q a.(i) b.(j) in
+      if k < n then out.(k) <- Modarith.add ~m:q out.(k) p
+      else out.(k - n) <- Modarith.sub ~m:q out.(k - n) p
+    done
+  done;
+  out
+
+let test_negacyclic_vs_schoolbook =
+  QCheck.Test.make ~name:"negacyclic_mul = schoolbook" ~count:30
+    QCheck.(int_range 0 max_int)
+    (fun seed ->
+      let n = 32 in
+      let q = Primes.ntt_prime_below ~n ((1 lsl 28) - 1) in
+      let ctx = Ntt.make_ctx ~q ~n in
+      let st = Random.State.make [| seed |] in
+      let a = rand_vec st ~n ~q and b = rand_vec st ~n ~q in
+      Ntt.negacyclic_mul ctx a b = schoolbook_negacyclic ~q a b)
+
+let test_ntt_length_guard () =
+  let n = 16 in
+  let q = Primes.ntt_prime_below ~n ((1 lsl 20) - 1) in
+  let ctx = Ntt.make_ctx ~q ~n in
+  Alcotest.check_raises "wrong length rejected"
+    (Invalid_argument "Ntt: length mismatch") (fun () ->
+      Ntt.forward_in_place ctx (Array.make (n / 2) 0))
+
+(* ------------------------------------------------------------------ *)
+(* Rescale precomputation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_rescale_tables () =
+  let p = params () in
+  for j = 0 to p.max_level - 1 do
+    for i = 0 to j - 1 do
+      let q = p.moduli.(i) in
+      Alcotest.(check int)
+        (Printf.sprintf "rescale_inv.(%d).(%d)" j i)
+        (Modarith.inv ~m:q (p.moduli.(j) mod q))
+        p.rescale_inv.(j).(i);
+      Alcotest.(check int)
+        (Printf.sprintf "rescale_inv_shoup.(%d).(%d)" j i)
+        (Modarith.shoup ~m:q p.rescale_inv.(j).(i))
+        p.rescale_inv_shoup.(j).(i)
+    done
+  done;
+  Array.iteri
+    (fun t q ->
+      Alcotest.(check int)
+        (Printf.sprintf "special_inv.(%d)" t)
+        (Modarith.inv ~m:q (p.special mod q))
+        p.special_inv.(t))
+    p.moduli
+
+(* ------------------------------------------------------------------ *)
+(* Coeff/Eval domain invariant                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rand_poly st p ~level =
+  Rns_poly.of_residues
+    (Array.init level (fun i -> rand_vec st ~n:p.Params.n ~q:p.Params.moduli.(i)))
+
+let check_res msg (a : Rns_poly.t) (b : Rns_poly.t) =
+  Alcotest.(check bool) msg true (a.res = b.res)
+
+let test_domain_roundtrip =
+  QCheck.Test.make ~name:"to_coeff . to_eval = id" ~count:20
+    QCheck.(int_range 0 max_int)
+    (fun seed ->
+      let p = params () in
+      let st = Random.State.make [| seed |] in
+      let a = rand_poly st p ~level:4 in
+      (Rns_poly.to_coeff p (Rns_poly.to_eval p a)).res = (a : Rns_poly.t).res)
+
+let test_domain_ops_agree () =
+  (* add, mul and automorphism computed NTT-resident must match the same
+     ops computed via coefficient-domain conversions, bit for bit. *)
+  let p = params () in
+  let st = Random.State.make [| 0xd0a1 |] in
+  let a = rand_poly st p ~level:4 and b = rand_poly st p ~level:4 in
+  let ae = Rns_poly.to_eval p a and be = Rns_poly.to_eval p b in
+  check_res "add" (Rns_poly.add p a b)
+    (Rns_poly.to_coeff p (Rns_poly.add p ae be));
+  check_res "mul from coeff vs mul resident"
+    (Rns_poly.to_coeff p (Rns_poly.mul p a b))
+    (Rns_poly.to_coeff p (Rns_poly.mul p ae be));
+  let k = Keys.galois_element p ~offset:3 in
+  check_res "automorphism" (Rns_poly.automorphism p ~k a)
+    (Rns_poly.to_coeff p (Rns_poly.automorphism p ~k ae));
+  let conj = (2 * p.n) - 1 in
+  check_res "conjugation automorphism" (Rns_poly.automorphism p ~k:conj a)
+    (Rns_poly.to_coeff p (Rns_poly.automorphism p ~k:conj ae));
+  check_res "rescale of resident operand" (Rns_poly.rescale_last p a)
+    (Rns_poly.rescale_last p ae)
+
+let test_automorphism_normalization () =
+  let p = params () in
+  let st = Random.State.make [| 0xa2f |] in
+  let a = rand_poly st p ~level:3 in
+  let k = 5 in
+  let shifted = k + (2 * 2 * p.n) and negative = k - (2 * 2 * p.n) in
+  check_res "k + 4n" (Rns_poly.automorphism p ~k a)
+    (Rns_poly.automorphism p ~k:shifted a);
+  check_res "k - 4n" (Rns_poly.automorphism p ~k a)
+    (Rns_poly.automorphism p ~k:negative a)
+
+let test_to_level () =
+  let p = params () in
+  let st = Random.State.make [| 0x71e |] in
+  let a = rand_poly st p ~level:5 in
+  let dropped = Rns_poly.to_level p ~level:2 a in
+  Alcotest.(check int) "level" 2 (Rns_poly.level dropped);
+  check_res "prefix preserved" dropped
+    (Rns_poly.of_residues (Array.sub (a : Rns_poly.t).res 0 2));
+  Alcotest.check_raises "cannot raise"
+    (Invalid_argument "Rns_poly.to_level: cannot raise level") (fun () ->
+      ignore (Rns_poly.to_level p ~level:6 a));
+  Alcotest.check_raises "level < 1"
+    (Invalid_argument "Rns_poly.to_level: level < 1") (fun () ->
+      ignore (Rns_poly.to_level p ~level:0 a))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: NTT-resident pipeline vs forced-coefficient pipeline    *)
+(* ------------------------------------------------------------------ *)
+
+let keys_memo = ref None
+
+let test_keys () =
+  match !keys_memo with
+  | Some k -> k
+  | None ->
+    let k = Keys.keygen (params ()) in
+    keys_memo := Some k;
+    k
+
+(* Rebuild a ciphertext with both parts forced to the coefficient domain:
+   the NTT is exact, so interleaving these forced conversions anywhere in a
+   pipeline must not change a single bit of the result. *)
+let force_coeff (keys : Keys.t) ct =
+  let p = keys.params in
+  Eval.of_parts
+    ~c0:(Rns_poly.to_coeff p (ct : Eval.ct).c0)
+    ~c1:(Rns_poly.to_coeff p ct.c1)
+    ~scale:(Eval.scale ct)
+
+let test_pipeline_domain_equivalence () =
+  let keys = test_keys () in
+  let p = keys.params in
+  let rng = Random.State.make [| 0xcafe |] in
+  let va = Array.init p.slots (fun _ -> Random.State.float rng 1.0 -. 0.5) in
+  let vb = Array.init p.slots (fun _ -> Random.State.float rng 1.0 -. 0.5) in
+  (* Encryption and first-use rotation keygen draw from keys.rng, so share
+     the ciphertexts and warm the rotation key; everything downstream is
+     deterministic and must agree bit for bit across domain choices. *)
+  let ca = Eval.encrypt keys ~level:4 va in
+  let cb = Eval.encrypt keys ~level:4 vb in
+  ignore (Keys.rotation_key keys ~offset:1);
+  let run ~forced =
+    let f ct = if forced then force_coeff keys ct else ct in
+    let s = f (Eval.addcc keys (f ca) (f cb)) in
+    let m = f (Eval.rescale keys (f (Eval.multcc keys s (f cb)))) in
+    let r = f (Eval.rotate keys m ~offset:1) in
+    let d = f (Eval.rescale keys (f (Eval.multcp keys r va))) in
+    Eval.decrypt keys (f (Eval.subcc keys d (f (Eval.negate keys d))))
+  in
+  let resident = run ~forced:false in
+  let forced = run ~forced:true in
+  Array.iteri
+    (fun i x -> Alcotest.(check (float 0.0)) (Printf.sprintf "slot %d" i) x forced.(i))
+    resident
+
+let () =
+  Alcotest.run "halo_kernels"
+    [
+      ( "shoup",
+        Alcotest.test_case "edge cases" `Quick test_shoup_edges
+        :: qsuite [ test_shoup_matches_mul ] );
+      ( "ntt",
+        Alcotest.test_case "length guard" `Quick test_ntt_length_guard
+        :: qsuite [ test_ntt_roundtrip; test_negacyclic_vs_schoolbook ] );
+      ( "params",
+        [ Alcotest.test_case "rescale tables" `Quick test_rescale_tables ] );
+      ( "domains",
+        Alcotest.test_case "ops agree across domains" `Quick test_domain_ops_agree
+        :: Alcotest.test_case "automorphism k mod 2n" `Quick
+             test_automorphism_normalization
+        :: Alcotest.test_case "to_level" `Quick test_to_level
+        :: qsuite [ test_domain_roundtrip ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "resident = forced-coefficient" `Quick
+            test_pipeline_domain_equivalence;
+        ] );
+    ]
