@@ -2,10 +2,13 @@
 
    halo_cli compile prog.halo --strategy halo --bind K=40
    halo_cli run     prog.halo --strategy halo --bind K=40 [--seed 7] [--guard]
+                    [--checkpoint-dir DIR --every N --retain N --guard-every N]
+   halo_cli resume  DIR [--out FILE]
    halo_cli inspect prog.halo
    halo_cli bench   linear --strategy halo --iters 40
    halo_cli verify  --seeds 50 [--seed 7] [--tol 1e-3] [--fault-rate 0.02]
-   halo_cli soak    linear --trials 20 --fault-rate 0.05 [--no-retry] *)
+   halo_cli soak    linear --trials 20 --fault-rate 0.05 [--no-retry]
+   halo_cli soak    linear --trials 20 --kill-after 3   # crash-recovery soak *)
 
 open Halo
 open Cmdliner
@@ -61,9 +64,9 @@ let bindings_arg =
 
 let load path = Parser.parse_program (read_file path)
 
-let handle f =
+let handle_code f =
   match f () with
-  | () -> 0
+  | code -> code
   | exception Typecheck.Type_error m ->
     Printf.eprintf "type error: %s\n" m;
     1
@@ -76,10 +79,15 @@ let handle f =
   | exception Sys_error m ->
     Printf.eprintf "%s\n" m;
     1
+  | exception (Halo_error.Persist_error _ as e) ->
+    Printf.eprintf "persist error: %s\n" (Halo_error.to_string e);
+    1
   | exception
       ((Halo_error.Backend_error _ | Halo_error.Interp_error _) as e) ->
     Printf.eprintf "runtime error: %s\n" (Halo_error.to_string e);
     1
+
+let handle f = handle_code (fun () -> f (); 0)
 
 (* ------------------------------------------------------------------ *)
 
@@ -158,9 +166,83 @@ let inspect_cmd =
   in
   Cmd.v (Cmd.info "inspect" ~doc:"Print program statistics.") Term.(const run $ file_arg)
 
+(* ---- checkpointed execution (run --checkpoint-dir / resume) ---------- *)
+
+module Persist = Halo_persist
+module Ref_run = Halo_persist.Ref_run
+
+let print_outputs outs =
+  List.iteri
+    (fun k out ->
+      let show = min 8 (Array.length out) in
+      Printf.printf "  output %d: [" k;
+      for j = 0 to show - 1 do
+        Printf.printf "%s%.5f" (if j > 0 then "; " else "") out.(j)
+      done;
+      Printf.printf "%s]\n" (if Array.length out > show then "; ..." else ""))
+    outs
+
+(* Hex floats: a bit-exact, diffable rendering of the decrypted outputs,
+   used by the CI crash-resume smoke job and the kill-and-resume tests. *)
+let write_outputs path outs =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun k out ->
+      Buffer.add_string buf (Printf.sprintf "output %d:" k);
+      Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf " %h" x)) out;
+      Buffer.add_char buf '\n')
+    outs;
+  let oc = open_out_bin path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let bit_identical a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : float array) (y : float array) ->
+         Array.length x = Array.length y
+         && Array.for_all2
+              (fun u v ->
+                Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
+              x y)
+       a b
+
+let default_backend_cfg ~slots ~max_level =
+  {
+    Persist.Codec.slots;
+    max_level;
+    scale_bits = 51;
+    seed = 0xB00;
+    enc_noise = 1e-7;
+    mult_noise = 1e-8;
+    boot_noise = 1e-5;
+    rescale_noise = Float.ldexp 1.0 (-25);
+  }
+
+let report_checkpointed ?out (outcome, damaged) =
+  List.iter
+    (fun (f, reason) ->
+      Printf.printf "  warning: discarded damaged journal entry %s (%s)\n" f
+        reason)
+    damaged;
+  match outcome with
+  | Ref_run.Rec.R.Complete { outputs; stats } ->
+    print_outputs outputs;
+    Printf.printf "  %s\n" (Halo_runtime.Stats.to_string stats);
+    (match out with
+     | Some path ->
+       write_outputs path outputs;
+       Printf.printf "  wrote outputs to %s\n" path
+     | None -> ());
+    0
+  | Ref_run.Rec.R.Degraded d ->
+    Printf.printf "  %s\n" (Ref_run.Rec.R.degraded_to_string d);
+    1
+
 let run_cmd =
-  let run file strategy bindings seed guard =
-    handle (fun () ->
+  let run file strategy bindings seed guard checkpoint_dir every retain
+      guard_every kill_after out =
+    handle_code (fun () ->
         let p = load file in
         let compiled = Strategy.compile ~bindings ~strategy p in
         let rng = Random.State.make [| seed |] in
@@ -171,37 +253,61 @@ let run_cmd =
                 Array.init i.in_size (fun _ -> Random.State.float rng 2.0 -. 1.0) ))
             p.inputs
         in
-        let outs, stats, verdict =
+        match checkpoint_dir with
+        | Some dir ->
           if guard then
-            let o, s, v =
-              Halo_runtime.Guard.run_ref ~bindings ~inputs compiled
-            in
-            (o, s, Some v)
-          else
-            let module Ref = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend) in
-            let st =
-              Halo_ckks.Ref_backend.create ~slots:p.slots
-                ~max_level:p.max_level ~scale_bits:51 ()
-            in
-            let o, s = Ref.run st ~bindings ~inputs compiled in
-            (o, s, None)
-        in
-        Printf.printf "ran %S with seeded random inputs (seed %d)\n" p.prog_name seed;
-        List.iteri
-          (fun k out ->
-            let show = min 8 (Array.length out) in
-            Printf.printf "  output %d: [" k;
-            for j = 0 to show - 1 do
-              Printf.printf "%s%.5f" (if j > 0 then "; " else "") out.(j)
-            done;
-            Printf.printf "%s]\n" (if Array.length out > show then "; ..." else ""))
-          outs;
-        Printf.printf "  %s\n" (Halo_runtime.Stats.to_string stats);
-        match verdict with
-        | Some v ->
-          Printf.printf "  noise guard: %s\n"
-            (Halo_runtime.Guard.verdict_to_string v)
-        | None -> ())
+            Printf.printf
+              "note: --guard is a decrypt-time check; with --checkpoint-dir \
+               use --guard-every for the in-loop guard\n";
+          let manifest =
+            {
+              Persist.Codec.prog = compiled;
+              strategy = Strategy.to_string strategy;
+              bindings;
+              inputs;
+              backend =
+                default_backend_cfg ~slots:p.slots ~max_level:compiled.max_level;
+              every_n = every;
+              retain;
+              guard_every;
+            }
+          in
+          Ref_run.start ~dir manifest;
+          Printf.printf "running %S with checkpoints in %s (every %d, retain %d)\n"
+            p.prog_name dir every retain;
+          (match Ref_run.exec ?kill_after ~dir ~resume:false manifest with
+           | result -> report_checkpointed ?out result
+           | exception Ref_run.Simulated_crash { writes } ->
+             Printf.printf "simulated crash after %d checkpoint writes\n" writes;
+             (* the exit status a SIGKILLed process would report *)
+             exit 137)
+        | None ->
+          let outs, stats, verdict =
+            if guard then
+              let o, s, v =
+                Halo_runtime.Guard.run_ref ~bindings ~inputs compiled
+              in
+              (o, s, Some v)
+            else
+              let module Ref = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend) in
+              let st =
+                Halo_ckks.Ref_backend.create ~slots:p.slots
+                  ~max_level:p.max_level ~scale_bits:51 ()
+              in
+              let o, s = Ref.run st ~bindings ~inputs compiled in
+              (o, s, None)
+          in
+          Printf.printf "ran %S with seeded random inputs (seed %d)\n"
+            p.prog_name seed;
+          print_outputs outs;
+          Printf.printf "  %s\n" (Halo_runtime.Stats.to_string stats);
+          (match out with Some path -> write_outputs path outs | None -> ());
+          (match verdict with
+           | Some v ->
+             Printf.printf "  noise guard: %s\n"
+               (Halo_runtime.Guard.verdict_to_string v)
+           | None -> ());
+          0)
   in
   let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED") in
   let guard_arg =
@@ -212,9 +318,101 @@ let run_cmd =
             "Also run noiselessly and check the observed error against the \
              static noise bound.")
   in
+  let checkpoint_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write a durable run manifest and a checkpoint journal to DIR; \
+             a killed run can be continued with $(b,halo_cli resume DIR).")
+  in
+  let every_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "every" ] ~docv:"N"
+          ~doc:"Checkpoint cadence: journal every N-th loop iteration.")
+  in
+  let retain_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "retain" ] ~docv:"N"
+          ~doc:"Journal entries retained per loop (older ones are pruned).")
+  in
+  let guard_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "guard-every" ] ~docv:"N"
+          ~doc:
+            "Check the carried values for corruption every N iterations (0 \
+             disables); trips are counted in the statistics.")
+  in
+  let kill_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"K"
+          ~doc:
+            "Simulate a crash: abort the process (exit 137) right after the \
+             K-th durable checkpoint write.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the outputs as bit-exact hex floats to FILE.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute with random inputs on the reference backend.")
-    Term.(const run $ file_arg $ strategy_arg $ bindings_arg $ seed_arg $ guard_arg)
+    Term.(
+      const run $ file_arg $ strategy_arg $ bindings_arg $ seed_arg $ guard_arg
+      $ checkpoint_dir_arg $ every_arg $ retain_arg $ guard_every_arg
+      $ kill_after_arg $ out_arg)
+
+let resume_cmd =
+  let run dir out kill_after =
+    handle_code (fun () ->
+        let manifest = Ref_run.load ~dir in
+        Printf.printf "resuming %S from %s (strategy %s, every %d, retain %d)\n"
+          manifest.Persist.Codec.prog.prog_name dir manifest.strategy
+          manifest.every_n manifest.retain;
+        match Ref_run.exec ?kill_after ~dir ~resume:true manifest with
+        | result -> report_checkpointed ?out result
+        | exception Ref_run.Simulated_crash { writes } ->
+          Printf.printf "simulated crash after %d checkpoint writes\n" writes;
+          exit 137)
+  in
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"Checkpoint directory written by $(b,run --checkpoint-dir).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the outputs as bit-exact hex floats to FILE.")
+  in
+  let kill_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"K"
+          ~doc:
+            "Simulate another crash after K total checkpoint writes \
+             (restored writes included), for repeated-crash testing.")
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Validate the checkpoint journal in DIR (discarding any corrupt \
+          tail entries with a warning), restore the newest intact \
+          checkpoint of every loop, and continue the run.  Outputs are \
+          bit-identical to an uninterrupted run's.")
+    Term.(const run $ dir_arg $ out_arg $ kill_after_arg)
 
 let bench_cmd =
   let run name strategy iters size =
@@ -346,6 +544,81 @@ let verify_cmd =
       const run $ seeds_arg $ seed_arg $ start_arg $ tol_arg $ fault_rate_arg
       $ verbose_arg)
 
+(* Crash-recovery soak: for each trial, run a benchmark to completion with
+   checkpointing (the baseline), run it again and simulate a kill after a
+   trial-dependent number of checkpoint writes, resume from the journal,
+   and require the resumed outputs and statistics to be bit-identical to
+   the baseline's. *)
+let crash_soak (b : Halo_ml.Bench_def.t) ~strategy ~iters ~size ~trials ~seed
+    ~dir ~kill_after ~verbose =
+  let module Stats = Halo_runtime.Stats in
+  let slots = 16 * size in
+  let bindings = Halo_ml.Workloads.default_bindings b ~iters in
+  let compiled = Strategy.compile ~bindings ~strategy (b.build ~slots ~size) in
+  Printf.printf
+    "crash soak %s under %s: %d trials, %d iterations, kill after %d+trial \
+     checkpoint writes (dirs under %s)\n"
+    b.name (Strategy.to_string strategy) trials iters kill_after dir;
+  let ok = ref 0 in
+  for trial = 0 to trials - 1 do
+    let inputs = b.gen_inputs ~seed:(seed + trial) ~size in
+    let manifest =
+      {
+        Persist.Codec.prog = compiled;
+        strategy = Strategy.to_string strategy;
+        bindings;
+        inputs;
+        backend =
+          {
+            (default_backend_cfg ~slots ~max_level:compiled.max_level) with
+            Persist.Codec.seed = 1000 + trial;
+          };
+        every_n = 1;
+        retain = 4;
+        guard_every = 0;
+      }
+    in
+    let dir_a = Filename.concat dir (Printf.sprintf "trial%d-baseline" trial) in
+    let dir_b = Filename.concat dir (Printf.sprintf "trial%d-crashed" trial) in
+    Ref_run.start ~dir:dir_a manifest;
+    Ref_run.start ~dir:dir_b manifest;
+    let baseline, _ = Ref_run.exec ~dir:dir_a ~resume:false manifest in
+    let crashed =
+      match Ref_run.exec ~kill_after:(kill_after + trial) ~dir:dir_b
+              ~resume:false manifest
+      with
+      | _ -> false (* completed before reaching the kill threshold *)
+      | exception Ref_run.Simulated_crash _ -> true
+    in
+    let resumed, damaged = Ref_run.exec ~dir:dir_b ~resume:true manifest in
+    let report outcome detail =
+      if verbose || outcome <> "recovered" then
+        Printf.printf "  trial %2d: %s%s%s\n" trial outcome
+          (if crashed then "" else " (completed before kill threshold)")
+          detail
+    in
+    (match (baseline, resumed) with
+     | ( Ref_run.Rec.R.Complete { outputs = a; stats = sa },
+         Ref_run.Rec.R.Complete { outputs = c; stats = sc } ) ->
+       let same_out = bit_identical a c in
+       let same_stats = Stats.to_string sa = Stats.to_string sc in
+       if same_out && same_stats && damaged = [] then begin
+         incr ok;
+         report "recovered"
+           (Printf.sprintf " (%d checkpoint writes, outputs bit-identical)"
+              sc.Stats.checkpoint_writes)
+       end
+       else
+         report "FAILED"
+           (Printf.sprintf
+              " (outputs identical: %b, stats identical: %b, damaged \
+               entries: %d)"
+              same_out same_stats (List.length damaged))
+     | _ -> report "FAILED" " (degraded run)")
+  done;
+  Printf.printf "recovered %d/%d crash trials bit-identically\n" !ok trials;
+  if !ok = trials then 0 else 1
+
 let soak_cmd =
   let module Faults = Halo_runtime.Faults in
   let module Resilient = Halo_runtime.Resilient in
@@ -355,7 +628,7 @@ let soak_cmd =
   let module Recover = Halo_runtime.Resilient.Make (Faulty) in
   let module Ref = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend) in
   let run name strategy iters size trials seed fault_rate boot_rate spike_rate
-      no_retry max_attempts verbose =
+      no_retry max_attempts kill_after checkpoint_dir verbose =
     let b =
       try Some (Halo_ml.Workloads.find name) with Not_found -> None
     in
@@ -366,6 +639,19 @@ let soak_cmd =
            (List.map (fun (b : Halo_ml.Bench_def.t) -> b.name)
               Halo_ml.Workloads.all));
       1
+    | Some b when kill_after <> None ->
+      let k = Option.get kill_after in
+      let dir =
+        match checkpoint_dir with
+        | Some d -> d
+        | None ->
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "halo-crash-soak-%d" (Unix.getpid ()))
+      in
+      handle_code (fun () ->
+          crash_soak b ~strategy ~iters ~size ~trials ~seed ~dir ~kill_after:k
+            ~verbose)
     | Some b ->
       let slots = 16 * size in
       let bindings = Halo_ml.Workloads.default_bindings b ~iters in
@@ -486,6 +772,26 @@ let soak_cmd =
       & info [ "max-attempts" ] ~docv:"N"
           ~doc:"Retry budget per instruction.")
   in
+  let kill_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"K"
+          ~doc:
+            "Crash-recovery soak instead of fault injection: each trial \
+             runs with checkpointing, is killed after K+trial durable \
+             checkpoint writes, resumed from the journal, and must \
+             reproduce the uninterrupted run's outputs bit-identically.")
+  in
+  let checkpoint_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Base directory for crash-soak checkpoint state (defaults to a \
+             per-process directory under the system temp dir).")
+  in
   let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ]) in
   Cmd.v
     (Cmd.info "soak"
@@ -493,12 +799,14 @@ let soak_cmd =
          "Stress a benchmark under seeded fault injection: N independent \
           trials on the reference backend with transient, bootstrap and \
           noise-spike faults, recovered by the resilient runtime and \
-          checked against the noise-budget guard.  Exits non-zero unless \
-          every trial recovers.")
+          checked against the noise-budget guard.  With $(b,--kill-after), \
+          stress crash recovery instead.  Exits non-zero unless every \
+          trial recovers.")
     Term.(
       const run $ name_arg $ strategy_arg $ iters_arg $ size_arg $ trials_arg
       $ seed_arg $ fault_rate_arg $ boot_rate_arg $ spike_rate_arg
-      $ no_retry_arg $ max_attempts_arg $ verbose_arg)
+      $ no_retry_arg $ max_attempts_arg $ kill_after_arg $ checkpoint_dir_arg
+      $ verbose_arg)
 
 let () =
   let info =
@@ -508,4 +816,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ compile_cmd; inspect_cmd; run_cmd; bench_cmd; verify_cmd; soak_cmd ]))
+          [
+            compile_cmd;
+            inspect_cmd;
+            run_cmd;
+            resume_cmd;
+            bench_cmd;
+            verify_cmd;
+            soak_cmd;
+          ]))

@@ -49,9 +49,14 @@ let drain job =
   let rec go () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.total then begin
-      (try job.run i
-       with e ->
-         ignore (Atomic.compare_and_set job.error None (Some e)));
+      (* Once a task has failed the job is doomed: claim-and-skip the
+         remaining indices so every drainer quiesces quickly instead of
+         burning cores on work whose result will be discarded.  [completed]
+         still counts the skipped indices -- the caller's wait is on all
+         indices being claimed and finished-or-skipped. *)
+      if Atomic.get job.error = None then (
+        try job.run i
+        with e -> ignore (Atomic.compare_and_set job.error None (Some e)));
       Atomic.incr job.completed;
       go ()
     end
@@ -144,5 +149,15 @@ let parallel_for ~n f =
     while Atomic.get job.completed < n do
       Domain.cpu_relax ()
     done;
+    (* All indices are claimed and finished (or skipped after a failure):
+       the workers have quiesced on this job.  Drop the pool's reference so
+       a failed (or merely large) closure and everything it captured is not
+       pinned until the next parallel call -- an exception must not leak the
+       job, and the pool stays reusable. *)
+    Mutex.lock pool.mutex;
+    (match pool.current with
+     | Some j when j == job -> pool.current <- None
+     | _ -> ());
+    Mutex.unlock pool.mutex;
     match Atomic.get job.error with Some e -> raise e | None -> ()
   end

@@ -17,5 +17,8 @@ val parallel_for : n:int -> (int -> unit) -> unit
     it has more than one worker.  The caller participates in the work, so
     progress never depends on worker scheduling.  [f] must write only
     index-private state.  The first exception raised by any [f i] is
-    re-raised in the caller after all indices finish.  Calls from inside a
-    pool job degrade to a plain sequential loop. *)
+    re-raised in the caller after all workers have quiesced on the job;
+    the remaining indices are claimed and skipped (not run), the job
+    reference is released (no closure leak), and the pool remains fully
+    usable for subsequent calls.  Calls from inside a pool job degrade to
+    a plain sequential loop. *)

@@ -12,7 +12,8 @@ type t = {
   pk1 : Rns_poly.t;
   relin : switch_key;
   rotations : (int, switch_key) Hashtbl.t;
-  rng : Random.State.t;
+  mutable rng : Random.State.t;
+      (* mutable so a restored key set resumes its key-generation stream *)
 }
 
 (* Per-position loops fan out across the domain pool; tiny rings stay
@@ -158,6 +159,50 @@ let rotation_key keys ~offset = galois_key keys (galois_element keys.params ~off
 let conjugation_key keys = galois_key keys ((2 * keys.params.n) - 1)
 
 let relin_key keys = keys.relin
+
+(* --- codec hooks for Halo_persist -------------------------------------- *)
+
+let rng_state keys = Random.State.copy keys.rng
+let set_rng_state keys rng = keys.rng <- Random.State.copy rng
+let switch_key_raw sk = (sk.k0, sk.k1)
+
+let switch_key_of_raw (params : Params.t) ~k0 ~k1 =
+  let l = params.max_level and n = params.n in
+  let check_half name h =
+    if Array.length h <> l then
+      invalid_arg (Printf.sprintf "Keys.switch_key_of_raw: %s has %d digits, expected %d" name (Array.length h) l);
+    Array.iter
+      (fun digit ->
+        if Array.length digit <> l + 1 then
+          invalid_arg (Printf.sprintf "Keys.switch_key_of_raw: %s digit spans %d chain positions, expected %d" name (Array.length digit) (l + 1));
+        Array.iter
+          (fun limb ->
+            if Array.length limb <> n then
+              invalid_arg (Printf.sprintf "Keys.switch_key_of_raw: %s limb length %d, expected %d" name (Array.length limb) n))
+          digit)
+      h
+  in
+  check_half "k0" k0;
+  check_half "k1" k1;
+  { k0; k1 }
+
+let rotation_entries keys =
+  List.sort compare (Hashtbl.fold (fun k sk acc -> (k, sk) :: acc) keys.rotations [])
+
+let of_parts params ~secret ~pk0 ~pk1 ~relin ~rotations ~rng =
+  if Array.length secret <> (params : Params.t).n then
+    invalid_arg "Keys.of_parts: secret length mismatch";
+  let tbl = Hashtbl.create (max 8 (List.length rotations)) in
+  List.iter (fun (k, sk) -> Hashtbl.replace tbl k sk) rotations;
+  {
+    params;
+    secret = { coeffs = secret };
+    pk0;
+    pk1;
+    relin;
+    rotations = tbl;
+    rng = Random.State.copy rng;
+  }
 
 let key_switch keys sk d =
   let params = keys.params in

@@ -21,7 +21,7 @@ type t = private {
   pk1 : Rns_poly.t;
   relin : switch_key;
   rotations : (int, switch_key) Hashtbl.t;  (** keyed by Galois element *)
-  rng : Random.State.t;
+  mutable rng : Random.State.t;
 }
 
 val keygen : ?seed:int -> Params.t -> t
@@ -46,3 +46,35 @@ val relin_key : t -> switch_key
 
 val secret_poly : t -> level:int -> Rns_poly.t
 (** The secret embedded at a ciphertext level, for decryption. *)
+
+(** {2 Codec hooks}
+
+    Raw accessors and constructors used by [Halo_persist] to round-trip key
+    material through the durable artifact store.  [switch_key_of_raw] and
+    [of_parts] validate shapes against the parameter set and raise
+    [Invalid_argument] on any mismatch. *)
+
+val rng_state : t -> Random.State.t
+(** Copy of the key set's RNG (consumed when rotation keys are generated on
+    demand), so a restored key set continues the identical stream. *)
+
+val set_rng_state : t -> Random.State.t -> unit
+
+val switch_key_raw : switch_key -> int array array array * int array array array
+(** [(k0, k1)] with [k0.(digit).(chain_pos)] an NTT-domain residue vector. *)
+
+val switch_key_of_raw :
+  Params.t -> k0:int array array array -> k1:int array array array -> switch_key
+
+val rotation_entries : t -> (int * switch_key) list
+(** Cached rotation keys, keyed by Galois element, in sorted order. *)
+
+val of_parts :
+  Params.t ->
+  secret:int array ->
+  pk0:Rns_poly.t ->
+  pk1:Rns_poly.t ->
+  relin:switch_key ->
+  rotations:(int * switch_key) list ->
+  rng:Random.State.t ->
+  t

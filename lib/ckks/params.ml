@@ -94,3 +94,27 @@ let test_deep () =
 
 let modulus_at p ~level = p.moduli.(level - 1)
 let ntt_at p ~idx = p.ntts.(idx)
+
+(* FNV-1a over the fields that determine ciphertext compatibility.  The NTT
+   contexts and inverse tables are derived from these, so hashing them would
+   add nothing. *)
+let fnv_prime = 0x100000001b3L
+let fnv_seed = 0xcbf29ce484222325L
+
+let fnv_int h v =
+  let rec go h v i =
+    if i = 8 then h
+    else
+      go
+        (Int64.mul (Int64.logxor h (Int64.of_int (v land 0xff))) fnv_prime)
+        (v lsr 8) (i + 1)
+  in
+  go h v 0
+
+let fingerprint p =
+  let h = fnv_int fnv_seed p.n in
+  let h = fnv_int h p.max_level in
+  let h = Array.fold_left fnv_int h p.moduli in
+  let h = fnv_int h p.special in
+  let h = fnv_int h (Int64.to_int (Int64.bits_of_float p.scale) land max_int) in
+  fnv_int h (Int64.to_int (Int64.bits_of_float p.sigma) land max_int)

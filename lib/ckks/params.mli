@@ -60,3 +60,10 @@ val modulus_at : t -> level:int -> int
 (** The prime dropped when rescaling from [level], i.e. [moduli.(level - 1)]. *)
 
 val ntt_at : t -> idx:int -> Ntt.ctx
+
+val fingerprint : t -> int64
+(** FNV-1a hash of the fields that determine ciphertext compatibility
+    ([n], [max_level], the modulus chain, the special prime, the scale and
+    the error width).  The durable artifact store stamps every frame with
+    this value so that bytes written under one parameter set are rejected
+    loudly — never decoded wrongly — under another. *)

@@ -4,7 +4,8 @@ type state = {
   slots : int;
   max_level : int;
   default_scale_bits : float;
-  rng : Random.State.t;
+  mutable rng : Random.State.t;
+      (* mutable so a crash-recovery driver can reinstall a snapshot *)
   enc_noise : float;
   mult_noise : float;
   boot_noise : float;
@@ -29,6 +30,9 @@ let name = "ref"
 let slots st = st.slots
 let max_level st = st.max_level
 let level _st ct = ct.ct_level
+let rng_state st = Random.State.copy st.rng
+let set_rng_state st rng = st.rng <- Random.State.copy rng
+let make_ct ~data ~level ~scale_bits = { data; ct_level = level; scale_bits }
 
 let fail op ?level fmt =
   Printf.ksprintf

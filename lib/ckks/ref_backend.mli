@@ -44,6 +44,18 @@ val slots : state -> int
 val max_level : state -> int
 val level : state -> ct -> int
 
+val rng_state : state -> Random.State.t
+(** A copy of the backend's RNG state.  Checkpointing snapshots this at each
+    loop-iteration head so a resumed run replays the noise stream
+    bit-identically. *)
+
+val set_rng_state : state -> Random.State.t -> unit
+(** Reinstall a snapshot taken by {!rng_state} (the argument is copied). *)
+
+val make_ct : data:float array -> level:int -> scale_bits:float -> ct
+(** Reassemble a ciphertext from its serialized parts (codec hook for
+    [Halo_persist]; takes ownership of [data]). *)
+
 val encrypt : state -> level:int -> float array -> ct
 val decrypt : state -> ct -> float array
 

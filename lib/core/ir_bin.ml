@@ -1,0 +1,260 @@
+exception Decode_error of { offset : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Decode_error { offset; reason } ->
+      Some (Printf.sprintf "Ir_bin.Decode_error at byte %d: %s" offset reason)
+    | _ -> None)
+
+(* --- writer ------------------------------------------------------------ *)
+
+let w_u8 b v = Buffer.add_uint8 b v
+let w_i64 b v = Buffer.add_int64_le b (Int64.of_int v)
+let w_f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let w_str b s =
+  w_i64 b (String.length s);
+  Buffer.add_string b s
+
+let w_list b f xs =
+  w_i64 b (List.length xs);
+  List.iter (f b) xs
+
+let w_opt b f = function
+  | None -> w_u8 b 0
+  | Some v ->
+    w_u8 b 1;
+    f b v
+
+(* --- reader ------------------------------------------------------------ *)
+
+type reader = { src : string; mutable pos : int }
+
+let err r fmt =
+  Printf.ksprintf (fun reason -> raise (Decode_error { offset = r.pos; reason })) fmt
+
+let need r n =
+  if n < 0 || r.pos + n > String.length r.src then
+    err r "truncated: need %d bytes, %d remain" n (String.length r.src - r.pos)
+
+let r_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_i64 r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_le r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_f64 r =
+  need r 8;
+  let v = Int64.float_of_bits (String.get_int64_le r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_str r =
+  let n = r_i64 r in
+  need r n;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_list r f =
+  let n = r_i64 r in
+  if n < 0 then err r "negative list length %d" n;
+  List.init n (fun _ -> f r)
+
+let r_opt r f = match r_u8 r with 0 -> None | 1 -> Some (f r) | t -> err r "bad option tag %d" t
+
+(* --- IR ---------------------------------------------------------------- *)
+
+let w_count b : Ir.count -> unit = function
+  | Ir.Static n ->
+    w_u8 b 0;
+    w_i64 b n
+  | Ir.Dyn { name; add; div; rem } ->
+    w_u8 b 1;
+    w_str b name;
+    w_i64 b add;
+    w_i64 b div;
+    w_u8 b (if rem then 1 else 0)
+
+let r_count r : Ir.count =
+  match r_u8 r with
+  | 0 -> Ir.Static (r_i64 r)
+  | 1 ->
+    let name = r_str r in
+    let add = r_i64 r in
+    let div = r_i64 r in
+    let rem = r_u8 r = 1 in
+    Ir.Dyn { name; add; div; rem }
+  | t -> err r "bad count tag %d" t
+
+let w_const b : Ir.const -> unit = function
+  | Ir.Splat x ->
+    w_u8 b 0;
+    w_f64 b x
+  | Ir.Vector xs ->
+    w_u8 b 1;
+    w_i64 b (Array.length xs);
+    Array.iter (w_f64 b) xs
+
+let r_const r : Ir.const =
+  match r_u8 r with
+  | 0 -> Ir.Splat (r_f64 r)
+  | 1 ->
+    let n = r_i64 r in
+    if n < 0 then err r "negative vector length %d" n;
+    need r (8 * n);
+    Ir.Vector (Array.init n (fun _ -> r_f64 r))
+  | t -> err r "bad const tag %d" t
+
+let rec w_op b : Ir.op -> unit = function
+  | Ir.Const { value; size } ->
+    w_u8 b 0;
+    w_const b value;
+    w_i64 b size
+  | Ir.Binary { kind; lhs; rhs } ->
+    w_u8 b 1;
+    w_u8 b (match kind with Ir.Add -> 0 | Ir.Sub -> 1 | Ir.Mul -> 2);
+    w_i64 b lhs;
+    w_i64 b rhs
+  | Ir.Rotate { src; offset } ->
+    w_u8 b 2;
+    w_i64 b src;
+    w_i64 b offset
+  | Ir.Rescale { src } ->
+    w_u8 b 3;
+    w_i64 b src
+  | Ir.Modswitch { src; down } ->
+    w_u8 b 4;
+    w_i64 b src;
+    w_i64 b down
+  | Ir.Bootstrap { src; target } ->
+    w_u8 b 5;
+    w_i64 b src;
+    w_i64 b target
+  | Ir.Pack { srcs; num_e } ->
+    w_u8 b 6;
+    w_list b w_i64 srcs;
+    w_i64 b num_e
+  | Ir.Unpack { src; index; num_e; count } ->
+    w_u8 b 7;
+    w_i64 b src;
+    w_i64 b index;
+    w_i64 b num_e;
+    w_i64 b count
+  | Ir.For { count; inits; body; boundary } ->
+    w_u8 b 8;
+    w_count b count;
+    w_list b w_i64 inits;
+    w_block b body;
+    w_opt b w_i64 boundary
+
+and w_block b (blk : Ir.block) =
+  w_list b w_i64 blk.params;
+  w_list b w_instr blk.instrs;
+  w_list b w_i64 blk.yields
+
+and w_instr b (i : Ir.instr) =
+  w_list b w_i64 i.results;
+  w_op b i.op
+
+let rec r_op r : Ir.op =
+  match r_u8 r with
+  | 0 ->
+    let value = r_const r in
+    let size = r_i64 r in
+    Ir.Const { value; size }
+  | 1 ->
+    let kind =
+      match r_u8 r with
+      | 0 -> Ir.Add
+      | 1 -> Ir.Sub
+      | 2 -> Ir.Mul
+      | t -> err r "bad binop tag %d" t
+    in
+    let lhs = r_i64 r in
+    let rhs = r_i64 r in
+    Ir.Binary { kind; lhs; rhs }
+  | 2 ->
+    let src = r_i64 r in
+    let offset = r_i64 r in
+    Ir.Rotate { src; offset }
+  | 3 -> Ir.Rescale { src = r_i64 r }
+  | 4 ->
+    let src = r_i64 r in
+    let down = r_i64 r in
+    Ir.Modswitch { src; down }
+  | 5 ->
+    let src = r_i64 r in
+    let target = r_i64 r in
+    Ir.Bootstrap { src; target }
+  | 6 ->
+    let srcs = r_list r r_i64 in
+    let num_e = r_i64 r in
+    Ir.Pack { srcs; num_e }
+  | 7 ->
+    let src = r_i64 r in
+    let index = r_i64 r in
+    let num_e = r_i64 r in
+    let count = r_i64 r in
+    Ir.Unpack { src; index; num_e; count }
+  | 8 ->
+    let count = r_count r in
+    let inits = r_list r r_i64 in
+    let body = r_block r in
+    let boundary = r_opt r r_i64 in
+    Ir.For { count; inits; body; boundary }
+  | t -> err r "bad op tag %d" t
+
+and r_block r : Ir.block =
+  let params = r_list r r_i64 in
+  let instrs = r_list r r_instr in
+  let yields = r_list r r_i64 in
+  { params; instrs; yields }
+
+and r_instr r : Ir.instr =
+  let results = r_list r r_i64 in
+  let op = r_op r in
+  { results; op }
+
+let w_input b (i : Ir.input) =
+  w_str b i.in_name;
+  w_i64 b i.in_var;
+  w_u8 b (match i.in_status with Ir.Plain -> 0 | Ir.Cipher -> 1);
+  w_i64 b i.in_size
+
+let r_input r : Ir.input =
+  let in_name = r_str r in
+  let in_var = r_i64 r in
+  let in_status =
+    match r_u8 r with 0 -> Ir.Plain | 1 -> Ir.Cipher | t -> err r "bad status tag %d" t
+  in
+  let in_size = r_i64 r in
+  { in_name; in_var; in_status; in_size }
+
+let encode (p : Ir.program) =
+  let b = Buffer.create 1024 in
+  w_str b p.prog_name;
+  w_i64 b p.slots;
+  w_i64 b p.max_level;
+  w_list b w_input p.inputs;
+  w_block b p.body;
+  w_i64 b p.next_var;
+  Buffer.contents b
+
+let decode src =
+  let r = { src; pos = 0 } in
+  let prog_name = r_str r in
+  let slots = r_i64 r in
+  let max_level = r_i64 r in
+  let inputs = r_list r r_input in
+  let body = r_block r in
+  let next_var = r_i64 r in
+  if r.pos <> String.length src then
+    err r "trailing garbage: %d bytes past the program" (String.length src - r.pos);
+  { Ir.prog_name; slots; max_level; inputs; body; next_var }

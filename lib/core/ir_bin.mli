@@ -1,0 +1,16 @@
+(** Binary encoding of {!Ir.program} for the durable artifact store.
+
+    The encoding is self-contained (fixed-width little-endian fields, no
+    framing, no checksum): [Halo_persist.Codec] wraps it in a versioned,
+    CRC-checksummed frame before it touches disk.  [decode] validates every
+    tag and length and raises {!Decode_error} on anything unexpected — it
+    never produces a structurally invalid program from bad bytes.
+
+    Round-trip guarantee: [decode (encode p)] is structurally equal to [p],
+    including vector constants bit-for-bit ([Int64.bits_of_float]), dynamic
+    count expressions, loop boundaries, and [next_var]. *)
+
+exception Decode_error of { offset : int; reason : string }
+
+val encode : Ir.program -> string
+val decode : string -> Ir.program

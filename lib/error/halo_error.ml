@@ -34,6 +34,19 @@ exception Retry_exhausted of {
   iteration : int option;
 }
 
+exception Persist_error of {
+  path : string option;
+  offset : int option;
+  expected : string option;
+  got : string option;
+  reason : string;
+}
+
+let persist_error ?path ?offset ?expected ?got fmt =
+  Printf.ksprintf
+    (fun reason -> raise (Persist_error { path; offset; expected; got; reason }))
+    fmt
+
 let is_transient = function
   | Transient _ | Bootstrap_failure _ -> true
   | _ -> false
@@ -62,6 +75,23 @@ let describe = function
          (match iteration with
           | Some i -> Printf.sprintf " (loop iteration %d)" i
           | None -> ""))
+  | Persist_error { path; offset; expected; got; reason } ->
+    let b = Buffer.create 64 in
+    Buffer.add_string b "persist error";
+    (match path with
+     | Some p -> Buffer.add_string b (Printf.sprintf " in %s" p)
+     | None -> ());
+    (match offset with
+     | Some o -> Buffer.add_string b (Printf.sprintf " at byte %d" o)
+     | None -> ());
+    Buffer.add_string b (": " ^ reason);
+    (match (expected, got) with
+     | Some e, Some g ->
+       Buffer.add_string b (Printf.sprintf " (expected %s, got %s)" e g)
+     | Some e, None -> Buffer.add_string b (Printf.sprintf " (expected %s)" e)
+     | None, Some g -> Buffer.add_string b (Printf.sprintf " (got %s)" g)
+     | None, None -> ());
+    Some (Buffer.contents b)
   | _ -> None
 
 let to_string e =

@@ -59,6 +59,29 @@ exception Retry_exhausted of {
     retry budget; caught at the top of [Resilient.run] and converted into a
     structured degraded report. *)
 
+exception Persist_error of {
+  path : string option;  (** file the failure was detected in, when known *)
+  offset : int option;  (** byte offset of the failing field, when known *)
+  expected : string option;  (** what the decoder required, e.g. ["crc 0x1a2b"] *)
+  got : string option;  (** what the bytes actually said *)
+  reason : string;
+}
+(** A durable artifact failed to decode: truncation, checksum mismatch,
+    unknown format version, parameter-fingerprint mismatch, or a malformed
+    field.  Every decoder in [Halo_persist] raises this — never [Failure] and
+    never a silent garbage decode — so callers can distinguish "the store is
+    damaged" from a programming error.  Permanent (never retried). *)
+
+val persist_error :
+  ?path:string ->
+  ?offset:int ->
+  ?expected:string ->
+  ?got:string ->
+  ('a, unit, string, 'b) format4 ->
+  'a
+(** [persist_error fmt ...] raises {!Persist_error} with the formatted
+    reason. *)
+
 val is_transient : exn -> bool
 (** [true] exactly for {!Transient} and {!Bootstrap_failure}. *)
 

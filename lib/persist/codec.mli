@@ -1,0 +1,144 @@
+(** Versioned, checksummed frames and payload codecs for everything a HALO
+    run is made of.
+
+    {2 Frame layout}
+
+    Every artifact on disk is one frame:
+
+    {v
+    offset  size  field
+    0       4     magic "HALO"
+    4       1     format version (currently 1)
+    5       1     kind tag (which payload codec)
+    6       8     fingerprint (LE): Params.fingerprint for lattice
+                  artifacts, the manifest fingerprint for journal entries,
+                  0 when the payload is self-describing
+    14      8     payload length (LE)
+    22      n     payload
+    22+n    4     CRC-32 of bytes [0, 22+n)
+    v}
+
+    {!unframe} validates magic, version, kind, fingerprint, length and CRC
+    — in that order, never reading a payload field first — and raises
+    {!Halo_error.Persist_error} with the file path, byte offset and
+    expected-vs-got values on any mismatch.  A frame written under different
+    parameters, or by a future format version, is rejected loudly; it is
+    never decoded wrongly.
+
+    Decoders additionally validate payload structure against the parameter
+    set (limb lengths, residue ranges, level bounds), so even a frame whose
+    checksum collides cannot produce an out-of-range polynomial. *)
+
+module Params = Halo_ckks.Params
+module Rns_poly = Halo_ckks.Rns_poly
+module Eval = Halo_ckks.Eval
+module Keys = Halo_ckks.Keys
+module Ref_backend = Halo_ckks.Ref_backend
+
+type kind =
+  | Rns_poly_frame
+  | Ref_ct_frame
+  | Lattice_ct_frame
+  | Keys_frame
+  | Program_frame
+  | Manifest_frame
+  | Entry_frame
+
+val format_version : int
+
+val frame : kind:kind -> fingerprint:int64 -> (Buffer.t -> unit) -> string
+(** Serialize a payload writer into a complete frame. *)
+
+val unframe : ?path:string -> kind:kind -> fingerprint:int64 option -> string -> Wire.reader
+(** Validate a frame and return a reader over its payload.  When
+    [fingerprint] is [Some fp] the frame's stamp must match exactly;
+    [None] accepts any stamp (the caller reads it via {!fingerprint_of}). *)
+
+val fingerprint_of : ?path:string -> string -> int64
+(** The fingerprint stamp of a frame (validates magic/version/CRC first). *)
+
+(** {2 Payload codecs} *)
+
+val encode_rns : Buffer.t -> Rns_poly.t -> unit
+val decode_rns : Params.t -> Wire.reader -> Rns_poly.t
+(** Domain-tag aware: an [Eval]-domain polynomial round-trips NTT-resident,
+    with no forced inverse transform.  Validates level bounds, limb lengths
+    and residue ranges against the parameter set. *)
+
+val encode_ref_ct : Buffer.t -> Ref_backend.ct -> unit
+val decode_ref_ct : slots:int -> max_level:int -> Wire.reader -> Ref_backend.ct
+
+val encode_lattice_ct : Buffer.t -> Eval.ct -> unit
+val decode_lattice_ct : Params.t -> Wire.reader -> Eval.ct
+
+val encode_keys : Buffer.t -> Keys.t -> unit
+val decode_keys : Params.t -> Wire.reader -> Keys.t
+
+val encode_program : Buffer.t -> Halo.Ir.program -> unit
+val decode_program : Wire.reader -> Halo.Ir.program
+
+val encode_rng : Buffer.t -> Random.State.t -> unit
+val decode_rng : Wire.reader -> Random.State.t
+(** The RNG state is an opaque [Marshal] blob inside the checksummed frame;
+    it is only unmarshalled after the CRC has validated, and replays
+    bit-identically on the same OCaml version. *)
+
+val encode_stats : Buffer.t -> Halo_runtime.Stats.t -> unit
+val decode_stats : Wire.reader -> Halo_runtime.Stats.t
+
+(** {2 Run manifest} *)
+
+(** Reference-backend construction knobs, stored so a resumed run rebuilds
+    the exact same backend. *)
+type backend_cfg = {
+  slots : int;
+  max_level : int;
+  scale_bits : int;
+  seed : int;
+  enc_noise : float;
+  mult_noise : float;
+  boot_noise : float;
+  rescale_noise : float;
+}
+
+(** Everything [halo_cli resume] needs: the compiled program, its dynamic
+    bindings, the concrete input vectors, the backend configuration and the
+    journaling cadence. *)
+type manifest = {
+  prog : Halo.Ir.program;  (** compiled (post-strategy) program *)
+  strategy : string;  (** for display only; [prog] is already compiled *)
+  bindings : (string * int) list;
+  inputs : (string * float array) list;
+  backend : backend_cfg;
+  every_n : int;  (** checkpoint cadence, in loop iterations *)
+  retain : int;  (** journal entries retained per loop *)
+  guard_every : int;
+      (** in-loop guard cadence; [0] disables the guard.  Stored so a
+          resumed run applies the same cadence and reproduces the same
+          [guard_trips] counter. *)
+}
+
+val encode_manifest : Buffer.t -> manifest -> unit
+val decode_manifest : Wire.reader -> manifest
+
+val manifest_fingerprint : manifest -> int64
+(** Stamp carried by every journal entry, binding entries to the manifest
+    they were written under. *)
+
+(** {2 Checkpoint journal entries} *)
+
+type 'ct carried = Plain of float array | Cipher of 'ct
+
+type 'ct entry = {
+  seq : int;  (** monotone append sequence, continues across resumes *)
+  loop_var : int;  (** SSA result variable of the [For] being checkpointed *)
+  iter : int;  (** 0-based index of the completed iteration *)
+  carried : 'ct carried list;  (** loop-carried values after [iter] *)
+  rng : Random.State.t;  (** backend RNG right after [iter] *)
+  stats : Halo_runtime.Stats.t;  (** counters right after [iter] *)
+}
+
+val encode_entry :
+  enc_ct:(Buffer.t -> 'ct -> unit) -> Buffer.t -> 'ct entry -> unit
+
+val decode_entry : dec_ct:(Wire.reader -> 'ct) -> Wire.reader -> 'ct entry

@@ -1,0 +1,21 @@
+let table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref (Int32.of_int i) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let string ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  let table = Lazy.force table in
+  let crc = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code s.[i]))) 0xFFl) in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl

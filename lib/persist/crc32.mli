@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]), table-driven.
+
+    Every frame the artifact store writes ends in the CRC of everything
+    before it, so a bit flip anywhere — header or body — is detected before
+    a single field is trusted. *)
+
+val string : ?pos:int -> ?len:int -> string -> int32
+(** Checksum of [len] bytes of [s] starting at [pos] (defaults: the whole
+    string). *)

@@ -1,0 +1,88 @@
+module Ref_backend = Halo_ckks.Ref_backend
+module Stats = Halo_runtime.Stats
+module Rec = Recovery.Make (Ref_backend)
+module R = Rec.R
+module I = R.I
+
+exception Simulated_crash of { writes : int }
+
+let manifest_path dir = Filename.concat dir "manifest.halo"
+let journal_dir dir = Filename.concat dir "journal"
+
+let backend_of_cfg (c : Codec.backend_cfg) =
+  Ref_backend.create ~seed:c.seed ~enc_noise:c.enc_noise
+    ~mult_noise:c.mult_noise ~boot_noise:c.boot_noise
+    ~rescale_noise:c.rescale_noise ~slots:c.slots ~max_level:c.max_level
+    ~scale_bits:c.scale_bits ()
+
+let start ~dir (m : Codec.manifest) =
+  (* Journal.open_ creates <dir> and <dir>/journal. *)
+  ignore
+    (Journal.open_ ~dir:(journal_dir dir)
+       ~fingerprint:(Codec.manifest_fingerprint m) ~retain:m.retain);
+  Store.save_manifest ~path:(manifest_path dir) m
+
+let load ~dir = Store.load_manifest ~path:(manifest_path dir)
+
+(* Structural sanity of the carried values: levels in range and every slot
+   finite.  On the reference backend a noise spike or a mis-computation
+   shows up as a non-finite or wildly out-of-range slot long before
+   decrypt; this is the cheap in-loop tripwire, not the full decrypt-time
+   noise-budget guard. *)
+let guard_check ~index:_ values =
+  List.for_all
+    (function
+      | I.Plain a -> Array.for_all Float.is_finite a
+      | I.Cipher (ct : Ref_backend.ct) ->
+        ct.ct_level >= 1 && Array.for_all Float.is_finite ct.data)
+    values
+
+let exec ?kill_after ~dir ~resume (m : Codec.manifest) =
+  let fp = Codec.manifest_fingerprint m in
+  let jdir = journal_dir dir in
+  let journal = Journal.open_ ~dir:jdir ~fingerprint:fp ~retain:m.retain in
+  let st = backend_of_cfg m.backend in
+  let codec =
+    {
+      Rec.enc_ct = Codec.encode_ref_ct;
+      dec_ct =
+        Codec.decode_ref_ct ~slots:m.backend.slots
+          ~max_level:m.backend.max_level;
+      rng_state = (fun () -> Ref_backend.rng_state st);
+      set_rng_state = (fun r -> Ref_backend.set_rng_state st r);
+    }
+  in
+  let scan, damaged =
+    if resume then begin
+      let s = Journal.scan ~dir:jdir ~fingerprint:fp ~dec_ct:codec.dec_ct in
+      (Some s, s.Journal.damaged)
+    end
+    else (None, [])
+  in
+  let stats = Stats.create () in
+  let hooks =
+    Rec.checkpoint_hooks ~codec ~journal ~every_n:m.every_n ~stats ~resume:scan
+  in
+  let hooks =
+    match kill_after with
+    | None -> hooks
+    | Some k ->
+      {
+        hooks with
+        R.sink =
+          (fun ~loop_var ~index v ->
+            hooks.R.sink ~loop_var ~index v;
+            if stats.Stats.checkpoint_writes >= k then
+              raise (Simulated_crash { writes = stats.Stats.checkpoint_writes }));
+      }
+  in
+  let guard =
+    if m.guard_every > 0 then
+      Some { R.guard_every = m.guard_every; guard_check }
+    else None
+  in
+  let outcome =
+    R.run ~checkpoint:hooks ?guard ~stats st ~bindings:m.bindings
+      ~inputs:m.inputs m.prog
+  in
+  (outcome, damaged)

@@ -1,0 +1,48 @@
+(** Checkpointed execution driver for the reference backend: the glue used
+    by [halo_cli run --checkpoint-dir], [halo_cli resume], the crash-recovery
+    soak mode and the test suite.
+
+    A checkpoint directory holds a [manifest.halo] (everything needed to
+    restart: compiled program, bindings, input vectors, backend
+    configuration, cadences) and a [journal/] of checkpoint entries.  All
+    writes are atomic and fsynced ({!Store}), so the directory is valid
+    after a kill at any instant. *)
+
+module Rec : module type of Recovery.Make (Halo_ckks.Ref_backend)
+
+exception Simulated_crash of { writes : int }
+(** Raised (when [kill_after] is set) right after the [writes]-th durable
+    checkpoint append — from the process's point of view an abrupt abort,
+    from the journal's point of view indistinguishable from a SIGKILL,
+    since every preceding append is already fsynced. *)
+
+val manifest_path : string -> string
+(** [<dir>/manifest.halo] *)
+
+val journal_dir : string -> string
+(** [<dir>/journal] *)
+
+val start : dir:string -> Codec.manifest -> unit
+(** Create the directory structure and durably write the manifest.  Must be
+    called once before the first {!exec} on a fresh directory. *)
+
+val load : dir:string -> Codec.manifest
+(** Load and validate the manifest of an existing checkpoint directory. *)
+
+val exec :
+  ?kill_after:int ->
+  dir:string ->
+  resume:bool ->
+  Codec.manifest ->
+  Rec.R.outcome * (string * string) list
+(** Run the manifest's program under the resilient runtime with the journal
+    sink attached (and the in-loop guard, when [manifest.guard_every > 0]).
+
+    With [resume:true] the journal is scanned first: each top-level loop
+    fast-forwards to its newest intact entry, and damaged entries are
+    returned as [(filename, reason)] warnings — never an exception.  With
+    [resume:false] existing entries are ignored (a fresh run re-executes
+    from the start and overwrites the journal by retention).
+
+    [kill_after] simulates a crash by raising {!Simulated_crash} after that
+    many checkpoint appends (counting restored writes on resume). *)

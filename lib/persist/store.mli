@@ -1,0 +1,54 @@
+(** Durable artifact store: atomic file writes and typed load/save wrappers
+    over {!Codec} frames.
+
+    {2 Atomicity protocol}
+
+    Every write goes through {!write_file}: the frame is written to a
+    [.tmp.<pid>] sibling, the temporary file's data is [fsync]ed, the file
+    is [rename]d over the destination (atomic within a POSIX filesystem),
+    and finally the containing directory is [fsync]ed so the rename itself
+    is durable.  A crash at any point leaves either the old file, no file,
+    or a stray [*.tmp.*] that readers ignore — never a half-written
+    artifact under the real name. *)
+
+module Params = Halo_ckks.Params
+module Rns_poly = Halo_ckks.Rns_poly
+module Eval = Halo_ckks.Eval
+module Keys = Halo_ckks.Keys
+
+val write_file : string -> string -> unit
+(** [write_file path bytes] durably and atomically replaces [path]. *)
+
+val read_file : string -> string
+(** Raises {!Halo_error.Persist_error} when the file is missing or
+    unreadable. *)
+
+val fsync_dir : string -> unit
+(** Flush directory metadata (new names / unlinks) to disk.  Best-effort:
+    filesystems that refuse to fsync a directory are ignored. *)
+
+(** {2 Typed artifacts}
+
+    Each saver stamps the frame with the parameter fingerprint; each loader
+    re-derives the expected stamp from its own parameters and rejects the
+    file on mismatch. *)
+
+val save_rns : Params.t -> path:string -> Rns_poly.t -> unit
+val load_rns : Params.t -> path:string -> Rns_poly.t
+
+val save_lattice_ct : Params.t -> path:string -> Eval.ct -> unit
+val load_lattice_ct : Params.t -> path:string -> Eval.ct
+
+val save_keys : Params.t -> path:string -> Keys.t -> unit
+val load_keys : Params.t -> path:string -> Keys.t
+
+val save_program : path:string -> Halo.Ir.program -> unit
+(** Programs are parameter-independent; their frames are stamped 0. *)
+
+val load_program : path:string -> Halo.Ir.program
+
+val save_manifest : path:string -> Codec.manifest -> unit
+(** Stamped with {!Codec.manifest_fingerprint} so journal entries and the
+    manifest that produced them can be cross-checked. *)
+
+val load_manifest : path:string -> Codec.manifest

@@ -1,0 +1,46 @@
+(** Primitive binary fields: fixed-width little-endian writers over
+    [Buffer.t] and a bounds-checked reader that raises
+    {!Halo_error.Persist_error} — with path and byte offset — on any short
+    read or absurd length, so a truncated or corrupt artifact can never
+    allocate garbage or decode silently wrong. *)
+
+(** {2 Writers} *)
+
+val u8 : Buffer.t -> int -> unit
+val i64 : Buffer.t -> int -> unit
+(** OCaml [int], sign-extended to 8 bytes. *)
+
+val f64 : Buffer.t -> float -> unit
+(** IEEE-754 bits; round-trips NaNs and signed zeros bit-exactly. *)
+
+val str : Buffer.t -> string -> unit
+(** Length-prefixed bytes. *)
+
+val int_array : Buffer.t -> int array -> unit
+val float_array : Buffer.t -> float array -> unit
+val list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+
+(** {2 Reader} *)
+
+type reader = {
+  src : string;
+  path : string option;  (** carried into every error *)
+  base : int;  (** offset of [src]'s first byte within the file *)
+  mutable pos : int;
+}
+
+val reader : ?path:string -> ?base:int -> string -> reader
+
+val fail :
+  reader -> ?expected:string -> ?got:string -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Halo_error.Persist_error} at the reader's current offset. *)
+
+val ru8 : reader -> int
+val ri64 : reader -> int
+val rf64 : reader -> float
+val rstr : reader -> string
+val rint_array : reader -> int array
+val rfloat_array : reader -> float array
+val rlist : reader -> (reader -> 'a) -> 'a list
+val expect_end : reader -> what:string -> unit
+(** Fail unless every byte has been consumed. *)

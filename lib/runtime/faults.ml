@@ -33,6 +33,11 @@ module Make (B : Backend.S) = struct
     rng : Random.State.t;
     on_fault : kind -> unit;
     mutable idx : int;
+        (* occurrence index: completed compute ops.  A faulted op does NOT
+           advance it, so its retries keep the same index and the fixed
+           schedule below stays aligned with the clean run's op stream. *)
+    mutable pending : event list;
+        (* unconsumed schedule entries: each fires exactly once *)
     mutable n_transient : int;
     mutable n_bootstrap : int;
     mutable n_spike : int;
@@ -49,6 +54,7 @@ module Make (B : Backend.S) = struct
       rng = Random.State.make [| 0xFA17; cfg.seed |];
       on_fault;
       idx = 0;
+      pending = cfg.schedule;
       n_transient = 0;
       n_bootstrap = 0;
       n_spike = 0;
@@ -68,8 +74,22 @@ module Make (B : Backend.S) = struct
 
   let draw st p = p > 0.0 && Random.State.float st.rng 1.0 < p
 
+  (* Consume (at most) one matching schedule entry: an entry fires exactly
+     once, even when the faulted op is re-executed by the retry layer at the
+     same occurrence index.  Duplicate entries at the same index therefore
+     fault successive attempts of that op. *)
   let scheduled st i k =
-    List.exists (fun (e : event) -> e.at = i && e.kind = k) st.cfg.schedule
+    let rec take acc = function
+      | [] -> None
+      | (e : event) :: rest ->
+        if e.at = i && e.kind = k then Some (List.rev_append acc rest)
+        else take (e :: acc) rest
+    in
+    match take [] st.pending with
+    | Some rest ->
+      st.pending <- rest;
+      true
+    | None -> false
 
   let fire st ~op ~level ~index ~bootstrap =
     let attempt =
@@ -88,12 +108,13 @@ module Make (B : Backend.S) = struct
       raise (Halo_error.Transient { site; index; attempt })
     end
 
-  (* A ct-producing compute op: advance the op index, possibly fault before
-     executing (ciphertexts are immutable, so nothing is left half-done),
-     possibly corrupt the result with a silent noise spike afterwards. *)
+  (* A ct-producing compute op: possibly fault before executing
+     (ciphertexts are immutable, so nothing is left half-done), possibly
+     corrupt the result with a silent noise spike afterwards.  The
+     occurrence index advances only when the op completes, so a retried
+     execution keeps its index. *)
   let guard st ~op ?level k =
     let i = st.idx in
-    st.idx <- i + 1;
     let transient = scheduled st i Transient_op || draw st st.cfg.transient_prob in
     let boot_fault =
       String.equal op "bootstrap"
@@ -102,6 +123,7 @@ module Make (B : Backend.S) = struct
     if boot_fault then fire st ~op ~level ~index:i ~bootstrap:true;
     if transient then fire st ~op ~level ~index:i ~bootstrap:false;
     let r = k () in
+    st.idx <- i + 1;
     if scheduled st i Noise_spike || draw st st.cfg.spike_prob then begin
       st.n_spike <- st.n_spike + 1;
       st.on_fault Noise_spike;
@@ -120,10 +142,11 @@ module Make (B : Backend.S) = struct
     if not st.cfg.fault_io then k ()
     else begin
       let i = st.idx in
-      st.idx <- i + 1;
       if scheduled st i Transient_op || draw st st.cfg.transient_prob then
         fire st ~op ~level ~index:i ~bootstrap:false;
-      k ()
+      let r = k () in
+      st.idx <- i + 1;
+      r
     end
 
   let encrypt st ~level values =

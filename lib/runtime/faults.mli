@@ -13,11 +13,19 @@
       (applied generically via the underlying backend's [addcp]), which no
       retry can see: only the {!Guard} catches it at decrypt.
 
-    Every wrapped compute op advances a global op index and draws from a
-    dedicated RNG seeded by {!config}'s [seed], so the same seed yields the
-    same fault schedule on the same execution — and a retried op re-draws,
-    modeling a glitch that clears.  A fixed [schedule] forces specific
-    faults at specific op indices for reproduction in tests. *)
+    Every wrapped compute op draws from a dedicated RNG seeded by
+    {!config}'s [seed], so the same seed yields the same fault schedule on
+    the same execution — and a retried op re-draws, modeling a glitch that
+    clears.
+
+    {b Fixed-schedule semantics}: [at] is an {e occurrence index} — the
+    number of compute ops {e completed} before the op — not an attempt
+    count.  A faulted op does not advance the index, so its retries keep
+    the same index and a retry never shifts later schedule entries onto
+    different ops.  Each schedule entry fires {e exactly once}; duplicate
+    entries at the same index fault successive attempts of that op (e.g.
+    two [{at = 5; kind = Transient_op}] entries fault op 5's first attempt
+    and its first retry). *)
 
 type kind = Transient_op | Bootstrap_abort | Noise_spike
 
@@ -57,7 +65,8 @@ module Make (B : Backend.S) : sig
 
   val inner : state -> B.state
   val ops_seen : state -> int
-  (** Global op index: compute ops executed (or faulted) so far. *)
+  (** Occurrence index: compute ops {e completed} so far (faulted attempts
+      do not count). *)
 
   val injected : state -> int
   val injected_transient : state -> int

@@ -21,12 +21,15 @@ module Make (B : Backend.S) = struct
     instr : Halo_error.site -> (unit -> unit) -> unit;
     iteration :
       loop:Halo_error.site -> index:int -> (unit -> value list) -> value list;
+    loop_enter :
+      loop:Halo_error.site -> count:int -> value list -> int * value list;
   }
 
   let unprotected =
     {
       instr = (fun _ f -> f ());
       iteration = (fun ~loop:_ ~index:_ f -> f ());
+      loop_enter = (fun ~loop:_ ~count:_ args -> (0, args));
     }
 
   let err ?site fmt =
@@ -157,7 +160,15 @@ module Make (B : Backend.S) = struct
             iterate (k - 1) next
           end
         in
-        let final = iterate n (List.map value_of fo.inits) in
+        (* [loop_enter] lets a recovery driver fast-forward the loop: it
+           returns the number of iterations already completed (restored from
+           a durable checkpoint) and the carried values to resume from. *)
+        let start, entry_args =
+          protect.loop_enter ~loop:site ~count:n (List.map value_of fo.inits)
+        in
+        if start < 0 || start > n then
+          ierr "loop_enter fast-forward %d outside [0, %d]" start n;
+        let final = iterate (n - start) entry_args in
         List.iter2 (fun r v -> Hashtbl.replace env r v) i.results final
       | op ->
         protect.instr site (fun () ->

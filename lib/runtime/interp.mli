@@ -26,11 +26,21 @@ module Make (B : Backend.S) : sig
       [iteration ~loop ~index thunk] wraps one loop iteration; the
       loop-carried values at the iteration head are captured by [thunk], so
       invoking it again re-executes the iteration from that checkpoint.
-      [index] is 0-based from the first iteration. *)
+      [index] is 0-based from the first iteration.
+
+      [loop_enter ~loop ~count args] fires once at each [For] head with the
+      initial loop-carried values; it returns [(start, args')] and the loop
+      executes iterations [start .. count - 1] from [args'].  The identity
+      hook returns [(0, args)]; a crash-recovery driver returns the
+      iteration index and carried values restored from a durable checkpoint,
+      fast-forwarding the loop ([Halo_persist.Recovery]).  [start] outside
+      [0, count] is an {!Halo_error.Interp_error}. *)
   type protect = {
     instr : Halo_error.site -> (unit -> unit) -> unit;
     iteration :
       loop:Halo_error.site -> index:int -> (unit -> value list) -> value list;
+    loop_enter :
+      loop:Halo_error.site -> count:int -> value list -> int * value list;
   }
 
   val unprotected : protect

@@ -32,6 +32,16 @@ module Make (B : Backend.S) = struct
     | Complete of { outputs : float array list; stats : Stats.t }
     | Degraded of degraded
 
+  type checkpoint = {
+    sink : loop_var:int option -> index:int -> I.value list -> unit;
+    entry : loop_var:int option -> count:int -> (int * I.value list) option;
+  }
+
+  type guard = {
+    guard_every : int;
+    guard_check : index:int -> I.value list -> bool;
+  }
+
   let degraded_to_string d =
     Printf.sprintf
       "degraded: gave up at %s after %d attempt%s%s; partial stats: %s"
@@ -50,7 +60,8 @@ module Make (B : Backend.S) = struct
       (policy.base_backoff_us
       *. (policy.backoff_factor ** float_of_int (attempt - 1)))
 
-  let run ?(policy = default_policy) ?stats st ?(bindings = []) ~inputs p =
+  let run ?(policy = default_policy) ?checkpoint ?guard ?stats st
+      ?(bindings = []) ~inputs p =
     let stats = match stats with Some s -> s | None -> Stats.create () in
     let current_iteration = ref None in
     let instr site thunk =
@@ -69,11 +80,26 @@ module Make (B : Backend.S) = struct
       in
       attempt 1
     in
-    let iteration ~loop:_ ~index thunk =
+    let iteration ~loop ~index thunk =
       let enclosing = !current_iteration in
       current_iteration := Some index;
       let finish v =
         current_iteration := enclosing;
+        (* Durable checkpointing and the periodic guard apply to top-level
+           loops only: nested iterations are re-executed wholesale when
+           their enclosing top-level iteration is restored, so journaling
+           them would be redundant (and would break the monotone
+           per-loop-var iteration order the journal relies on). *)
+        if enclosing = None then begin
+          (match guard with
+           | Some g when g.guard_every > 0 && (index + 1) mod g.guard_every = 0
+             ->
+             if not (g.guard_check ~index v) then Stats.record_guard_trip stats
+           | _ -> ());
+          match checkpoint with
+          | Some c -> c.sink ~loop_var:loop.Halo_error.var ~index v
+          | None -> ()
+        end;
         v
       in
       (* [thunk] captures the loop-carried values at the iteration head (the
@@ -96,8 +122,20 @@ module Make (B : Backend.S) = struct
       in
       go 0
     in
+    let loop_enter ~loop ~count args =
+      if !current_iteration <> None then (0, args)
+      else
+        match checkpoint with
+        | None -> (0, args)
+        | Some c -> (
+          match c.entry ~loop_var:loop.Halo_error.var ~count with
+          | None -> (0, args)
+          | Some (start, vals) -> (start, vals))
+    in
     match
-      I.run ~protect:{ I.instr; iteration } ~stats st ~bindings ~inputs p
+      I.run
+        ~protect:{ I.instr; iteration; loop_enter }
+        ~stats st ~bindings ~inputs p
     with
     | outputs, stats -> Complete { outputs; stats }
     | exception (Halo_error.Retry_exhausted { site; attempts; iteration } as e)

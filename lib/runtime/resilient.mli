@@ -49,10 +49,41 @@ module Make (B : Backend.S) : sig
     | Complete of { outputs : float array list; stats : Stats.t }
     | Degraded of degraded
 
+  (** Durable-checkpoint hooks, applied to top-level loops only (nested
+      loops are covered by re-executing their enclosing iteration).
+
+      [sink ~loop_var ~index values] fires after every successfully
+      completed top-level iteration with the carried values; the journal
+      sink applies its own cadence and writes a durable entry
+      ([Halo_persist.Recovery]).
+
+      [entry ~loop_var ~count] is consulted once at each top-level [For]
+      head; returning [Some (start, values)] fast-forwards the loop to
+      iteration [start] with the given carried values (crash recovery
+      restoring the newest intact journal entry). *)
+  type checkpoint = {
+    sink : loop_var:int option -> index:int -> I.value list -> unit;
+    entry : loop_var:int option -> count:int -> (int * I.value list) option;
+  }
+
+  (** Periodic in-loop guard: every [guard_every] completed top-level
+      iterations, [guard_check ~index values] inspects the carried values;
+      returning [false] records a trip in [Stats.guard_trips] (execution
+      continues — the guard detects silent corruption, it does not abort).
+      The cadence is aligned with the checkpoint sink's so a checkpoint
+      written at iteration [i] already accounts for the guard verdict at
+      [i], keeping resumed statistics identical to uninterrupted ones. *)
+  type guard = {
+    guard_every : int;
+    guard_check : index:int -> I.value list -> bool;
+  }
+
   val degraded_to_string : degraded -> string
 
   val run :
     ?policy:policy ->
+    ?checkpoint:checkpoint ->
+    ?guard:guard ->
     ?stats:Stats.t ->
     B.state ->
     ?bindings:(string * int) list ->

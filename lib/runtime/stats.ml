@@ -14,6 +14,9 @@ type t = {
   mutable retries : int;
   mutable checkpoint_restores : int;
   mutable backoff_us : float;
+  mutable checkpoint_writes : int;
+  mutable checkpoint_bytes : int;
+  mutable guard_trips : int;
 }
 
 let create () =
@@ -33,6 +36,9 @@ let create () =
     retries = 0;
     checkpoint_restores = 0;
     backoff_us = 0.0;
+    checkpoint_writes = 0;
+    checkpoint_bytes = 0;
+    guard_trips = 0;
   }
 
 let record t (op : Halo_cost.Cost_model.op) ~level =
@@ -63,6 +69,32 @@ let record_retry t ~backoff_us =
 
 let record_restore t = t.checkpoint_restores <- t.checkpoint_restores + 1
 
+let record_checkpoint_write t ~bytes =
+  t.checkpoint_writes <- t.checkpoint_writes + 1;
+  t.checkpoint_bytes <- t.checkpoint_bytes + bytes
+
+let record_guard_trip t = t.guard_trips <- t.guard_trips + 1
+
+let assign ~into src =
+  into.addcc <- src.addcc;
+  into.addcp <- src.addcp;
+  into.subcc <- src.subcc;
+  into.multcc <- src.multcc;
+  into.multcp <- src.multcp;
+  into.rotate <- src.rotate;
+  into.rescale <- src.rescale;
+  into.modswitch <- src.modswitch;
+  into.bootstrap <- src.bootstrap;
+  into.total_latency_us <- src.total_latency_us;
+  into.bootstrap_latency_us <- src.bootstrap_latency_us;
+  into.injected_faults <- src.injected_faults;
+  into.retries <- src.retries;
+  into.checkpoint_restores <- src.checkpoint_restores;
+  into.backoff_us <- src.backoff_us;
+  into.checkpoint_writes <- src.checkpoint_writes;
+  into.checkpoint_bytes <- src.checkpoint_bytes;
+  into.guard_trips <- src.guard_trips
+
 let total_ops t =
   t.addcc + t.addcp + t.subcc + t.multcc + t.multcp + t.rotate + t.rescale
   + t.modswitch + t.bootstrap
@@ -78,8 +110,13 @@ let to_string t =
     (if t.total_latency_us > 0.0 then
        100.0 *. t.bootstrap_latency_us /. t.total_latency_us
      else 0.0)
-  ^
-  if t.injected_faults = 0 && t.retries = 0 && t.checkpoint_restores = 0 then ""
-  else
-    Printf.sprintf " faults=%d retries=%d restores=%d backoff=%.0fus"
-      t.injected_faults t.retries t.checkpoint_restores t.backoff_us
+  ^ (if t.injected_faults = 0 && t.retries = 0 && t.checkpoint_restores = 0 then
+       ""
+     else
+       Printf.sprintf " faults=%d retries=%d restores=%d backoff=%.0fus"
+         t.injected_faults t.retries t.checkpoint_restores t.backoff_us)
+  ^ (if t.checkpoint_writes = 0 then ""
+     else
+       Printf.sprintf " checkpoints=%d (%d bytes)" t.checkpoint_writes
+         t.checkpoint_bytes)
+  ^ if t.guard_trips = 0 then "" else Printf.sprintf " guard_trips=%d" t.guard_trips

@@ -27,6 +27,11 @@ type t = {
   mutable checkpoint_restores : int;
       (** loop iterations re-executed from their checkpoint *)
   mutable backoff_us : float;  (** total simulated backoff delay *)
+  mutable checkpoint_writes : int;
+      (** durable checkpoint entries written by the journal sink *)
+  mutable checkpoint_bytes : int;  (** bytes of journal entries written *)
+  mutable guard_trips : int;
+      (** periodic in-loop noise-guard violations observed *)
 }
 
 val create : unit -> t
@@ -39,6 +44,13 @@ val record_bootstrap : t -> target:int -> unit
 val record_fault : t -> unit
 val record_retry : t -> backoff_us:float -> unit
 val record_restore : t -> unit
+val record_checkpoint_write : t -> bytes:int -> unit
+val record_guard_trip : t -> unit
+
+val assign : into:t -> t -> unit
+(** Overwrite every counter of [into] with [src]'s values.  Crash recovery
+    uses this to reinstall the statistics snapshot stored with a checkpoint,
+    so a resumed run reports the same counters as an uninterrupted one. *)
 
 val total_ops : t -> int
 val compute_latency_us : t -> float

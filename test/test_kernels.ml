@@ -237,6 +237,33 @@ let test_pipeline_domain_equivalence () =
     (fun i x -> Alcotest.(check (float 0.0)) (Printf.sprintf "slot %d" i) x forced.(i))
     resident
 
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Boom of int
+
+let test_pool_exception_recovery () =
+  (* A task exception must propagate to the caller after the pool quiesces,
+     and the pool must stay fully usable: subsequent parallel calls still
+     run every index exactly once.  (With HALO_DOMAINS=1 this degenerates
+     to the sequential path, which must satisfy the same contract.) *)
+  (match Domain_pool.parallel_for ~n:64 (fun i -> if i = 13 then raise (Boom i)) with
+   | () -> Alcotest.fail "the task exception was swallowed"
+   | exception Boom 13 -> ()
+   | exception e ->
+     Alcotest.failf "expected Boom 13, got %s" (Printexc.to_string e));
+  for round = 1 to 3 do
+    let hits = Array.init 64 (fun _ -> Atomic.make 0) in
+    Domain_pool.parallel_for ~n:64 (fun i -> Atomic.incr hits.(i));
+    Array.iteri
+      (fun i h ->
+        Alcotest.(check int)
+          (Printf.sprintf "round %d: index %d ran once" round i)
+          1 (Atomic.get h))
+      hits
+  done
+
 let () =
   Alcotest.run "halo_kernels"
     [
@@ -258,5 +285,10 @@ let () =
         [
           Alcotest.test_case "resident = forced-coefficient" `Quick
             test_pipeline_domain_equivalence;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "exception propagates, pool stays usable" `Quick
+            test_pool_exception_recovery;
         ] );
     ]

@@ -1,0 +1,628 @@
+(* Tests for the durable checkpointing layer: framed codec round-trips,
+   adversarial corruption (every failure mode must surface as
+   [Halo_error.Persist_error], never [Failure] or a silent garbage decode),
+   journal retention and corrupt-tail discard, and the headline property —
+   a run killed after any checkpoint write resumes bit-identically, outputs
+   and statistics both. *)
+
+open Halo
+open Halo_ckks
+module Codec = Halo_persist.Codec
+module Store = Halo_persist.Store
+module Journal = Halo_persist.Journal
+module Wire = Halo_persist.Wire
+module Crc32 = Halo_persist.Crc32
+module Ref_run = Halo_persist.Ref_run
+module Stats = Halo_runtime.Stats
+
+let params () = Params.test_small ()
+
+(* ------------------------------------------------------------------ *)
+(* Scratch directories                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun name ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "halo-persist-%d-%s-%d" (Unix.getpid ()) name !counter)
+    in
+    rm_rf d;
+    d
+
+let write_raw path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let read_raw path = In_channel.with_open_bin path In_channel.input_all
+
+(* ------------------------------------------------------------------ *)
+(* Codec round-trips                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let random_poly p ~level seed =
+  let st = Random.State.make [| seed |] in
+  Rns_poly.of_centered_coeffs p ~level
+    (Array.init p.Params.n (fun _ -> Random.State.int st 4096 - 2048))
+
+let test_rns_roundtrip_coeff () =
+  let p = params () in
+  let dir = fresh_dir "rns-coeff" in
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "poly.halo" in
+  let r = random_poly p ~level:3 42 in
+  Store.save_rns p ~path r;
+  let r' = Store.load_rns p ~path in
+  Alcotest.(check bool) "bit-identical round-trip" true (r = r');
+  rm_rf dir
+
+let test_rns_roundtrip_eval_resident () =
+  (* An Eval-domain polynomial must round-trip NTT-resident: the decoded
+     residues are structurally equal to the originals, with no inverse
+     transform on either side. *)
+  let p = params () in
+  let dir = fresh_dir "rns-eval" in
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "poly.halo" in
+  let e = Rns_poly.to_eval p (random_poly p ~level:4 43) in
+  Store.save_rns p ~path e;
+  let e' = Store.load_rns p ~path in
+  Alcotest.(check bool) "decoded in Eval domain" true
+    (Rns_poly.domain e' = Rns_poly.Eval);
+  Alcotest.(check bool) "NTT-resident residues identical" true (e = e');
+  Alcotest.(check bool) "coefficients agree after inverse" true
+    (Rns_poly.centered_coeffs p e = Rns_poly.centered_coeffs p e');
+  rm_rf dir
+
+let test_lattice_ct_roundtrip () =
+  let p = params () in
+  let keys = Keys.keygen ~seed:5 p in
+  let dir = fresh_dir "lattice-ct" in
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "ct.halo" in
+  let v = Array.init p.Params.slots (fun i -> sin (float_of_int i)) in
+  let ct = Eval.encrypt keys ~level:4 v in
+  Store.save_lattice_ct p ~path ct;
+  let ct' = Store.load_lattice_ct p ~path in
+  Alcotest.(check int) "level" (Eval.level ct) (Eval.level ct');
+  Alcotest.(check (float 0.0)) "scale" (Eval.scale ct) (Eval.scale ct');
+  Alcotest.(check bool) "decrypts bit-identically" true
+    (Eval.decrypt keys ct = Eval.decrypt keys ct');
+  rm_rf dir
+
+let test_keys_roundtrip () =
+  let p = params () in
+  let keys = Keys.keygen ~seed:5 p in
+  (* Rotation keys are generated on demand; materialize one so the store
+     carries it and both sides key-switch with identical material. *)
+  ignore (Keys.rotation_key keys ~offset:1);
+  let dir = fresh_dir "keys" in
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "keys.halo" in
+  Store.save_keys p ~path keys;
+  let keys' = Store.load_keys p ~path in
+  let v = Array.init p.Params.slots (fun i -> cos (float_of_int i)) in
+  let ct = Eval.encrypt keys ~level:p.Params.max_level v in
+  Alcotest.(check bool) "loaded secret decrypts bit-identically" true
+    (Eval.decrypt keys ct = Eval.decrypt keys' ct);
+  (* Rotation keys survive: key switching with the loaded material is the
+     same deterministic computation. *)
+  let a = Eval.decrypt keys (Eval.rotate keys ct ~offset:1) in
+  let b = Eval.decrypt keys (Eval.rotate keys' ct ~offset:1) in
+  Alcotest.(check bool) "rotation keys round-trip" true (a = b);
+  rm_rf dir
+
+let dyn name = Ir.Dyn { name; add = 0; div = 1; rem = false }
+
+let training_program ?(name = "persist") () =
+  Dsl.build ~name ~slots:64 ~max_level:16 (fun b ->
+      let x = Dsl.input b "x" ~size:8 in
+      let outs =
+        Dsl.for_ b ~count:(dyn "K")
+          ~init:[ Dsl.const b 1.0; x ]
+          (fun b -> function
+            | [ acc; v ] ->
+              [ Dsl.mul b acc (Dsl.const b 0.5); Dsl.add b v (Dsl.mul b v acc) ]
+            | _ -> assert false)
+      in
+      List.iter (Dsl.output b) outs)
+  |> Strategy.compile ~strategy:Strategy.Halo
+
+let test_program_roundtrip () =
+  let dir = fresh_dir "program" in
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "prog.halo" in
+  let p = training_program () in
+  Store.save_program ~path p;
+  Alcotest.(check bool) "compiled program round-trips" true
+    (Store.load_program ~path = p);
+  rm_rf dir
+
+let test_rng_roundtrip () =
+  let st = Random.State.make [| 0xC0FFEE |] in
+  ignore (Random.State.float st 1.0);
+  let b = Buffer.create 64 in
+  Codec.encode_rng b st;
+  let st' = Codec.decode_rng (Wire.reader (Buffer.contents b)) in
+  for i = 1 to 200 do
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "draw %d replays" i)
+      (Random.State.float st 1.0)
+      (Random.State.float st' 1.0)
+  done
+
+let test_stats_roundtrip () =
+  let s = Stats.create () in
+  s.Stats.addcc <- 3;
+  s.Stats.multcc <- 7;
+  s.Stats.bootstrap <- 2;
+  s.Stats.total_latency_us <- 123.5;
+  s.Stats.retries <- 4;
+  s.Stats.checkpoint_writes <- 9;
+  s.Stats.checkpoint_bytes <- 4096;
+  s.Stats.guard_trips <- 1;
+  let b = Buffer.create 64 in
+  Codec.encode_stats b s;
+  let s' = Codec.decode_stats (Wire.reader (Buffer.contents b)) in
+  Alcotest.(check string) "all counters round-trip" (Stats.to_string s)
+    (Stats.to_string s')
+
+let backend_cfg ?(seed = 7) (p : Ir.program) =
+  {
+    Codec.slots = p.slots;
+    max_level = p.max_level;
+    scale_bits = 51;
+    seed;
+    enc_noise = 1e-7;
+    mult_noise = 1e-8;
+    boot_noise = 1e-5;
+    rescale_noise = 3e-8;
+  }
+
+let manifest ?(guard_every = 0) ?(every_n = 1) ?(retain = 4) ?(seed = 7)
+    ~bindings ~inputs prog =
+  {
+    Codec.prog;
+    strategy = "halo";
+    bindings;
+    inputs;
+    backend = backend_cfg ~seed prog;
+    every_n;
+    retain;
+    guard_every;
+  }
+
+let x_input () = Array.init 8 (fun i -> 0.05 +. (float_of_int i /. 10.0))
+
+let test_manifest_roundtrip () =
+  let dir = fresh_dir "manifest" in
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "manifest.halo" in
+  let m =
+    manifest ~guard_every:2 ~every_n:3 ~retain:5
+      ~bindings:[ ("K", 6) ]
+      ~inputs:[ ("x", x_input ()) ]
+      (training_program ())
+  in
+  Store.save_manifest ~path m;
+  let m' = Store.load_manifest ~path in
+  Alcotest.(check bool) "manifest round-trips" true (m = m');
+  Alcotest.(check int64) "fingerprint is stable"
+    (Codec.manifest_fingerprint m)
+    (Codec.manifest_fingerprint m');
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial corruption: always Persist_error, never Failure          *)
+(* ------------------------------------------------------------------ *)
+
+let expect_persist name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Persist_error, decode succeeded" name
+  | exception Halo_error.Persist_error _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: expected Persist_error, got %s" name
+      (Printexc.to_string e)
+
+(* A fresh valid artifact to corrupt, plus its loader. *)
+let with_artifact f =
+  let p = params () in
+  let dir = fresh_dir "adversarial" in
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "victim.halo" in
+  Store.save_rns p ~path (random_poly p ~level:3 7);
+  f ~p ~path ~bytes:(read_raw path);
+  rm_rf dir
+
+let refix_crc b =
+  let len = Bytes.length b in
+  Bytes.set_int32_le b (len - 4)
+    (Crc32.string ~pos:0 ~len:(len - 4) (Bytes.to_string b))
+
+let test_reject_zero_length () =
+  with_artifact (fun ~p ~path ~bytes:_ ->
+      write_raw path "";
+      expect_persist "zero-length file" (fun () -> Store.load_rns p ~path))
+
+let test_reject_truncation () =
+  with_artifact (fun ~p ~path ~bytes ->
+      let total = String.length bytes in
+      List.iter
+        (fun keep ->
+          write_raw path (String.sub bytes 0 keep);
+          expect_persist
+            (Printf.sprintf "truncated to %d/%d bytes" keep total)
+            (fun () -> Store.load_rns p ~path))
+        [ 1; 4; 21; 22; 26; total / 2; total - 1 ])
+
+let test_reject_bit_flips () =
+  (* Flip a byte at every header offset and at a stride through the payload
+     and trailer; each single flip must be detected.  A flip inside the
+     stored CRC makes the checksum disagree with the (intact) frame, so the
+     trailer positions are covered too. *)
+  with_artifact (fun ~p ~path ~bytes ->
+      let total = String.length bytes in
+      let positions = ref [] in
+      for i = 0 to 25 do
+        positions := i :: !positions
+      done;
+      let i = ref 26 in
+      while !i < total do
+        positions := !i :: !positions;
+        i := !i + 97
+      done;
+      positions := (total - 1) :: !positions;
+      List.iter
+        (fun pos ->
+          let b = Bytes.of_string bytes in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+          write_raw path (Bytes.to_string b);
+          expect_persist
+            (Printf.sprintf "bit flip at byte %d" pos)
+            (fun () -> Store.load_rns p ~path))
+        !positions)
+
+let test_reject_version_mismatch () =
+  (* Patch the version byte AND recompute the CRC, so the only thing wrong
+     with the frame is that a future format wrote it. *)
+  with_artifact (fun ~p ~path ~bytes ->
+      let b = Bytes.of_string bytes in
+      Bytes.set b 4 (Char.chr 9);
+      refix_crc b;
+      write_raw path (Bytes.to_string b);
+      expect_persist "future format version" (fun () -> Store.load_rns p ~path))
+
+let test_reject_fingerprint_mismatch () =
+  (* Patch the parameter fingerprint (CRC corrected): a store written under
+     different parameters must be rejected, not decoded into nonsense. *)
+  with_artifact (fun ~p ~path ~bytes ->
+      let b = Bytes.of_string bytes in
+      for i = 6 to 13 do
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF))
+      done;
+      refix_crc b;
+      write_raw path (Bytes.to_string b);
+      expect_persist "foreign parameter fingerprint" (fun () ->
+          Store.load_rns p ~path))
+
+let test_reject_wrong_kind () =
+  with_artifact (fun ~p ~path ~bytes:_ ->
+      expect_persist "rns frame read as a ciphertext" (fun () ->
+          Store.load_lattice_ct p ~path);
+      expect_persist "rns frame read as key material" (fun () ->
+          Store.load_keys p ~path))
+
+let test_reject_trailing_garbage () =
+  with_artifact (fun ~p ~path ~bytes ->
+      write_raw path (bytes ^ "\x00");
+      expect_persist "one appended byte" (fun () -> Store.load_rns p ~path))
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fp = 0x5EED_FACEL
+
+let entry ~loop_var ~iter =
+  {
+    Codec.seq = 0;
+    loop_var;
+    iter;
+    carried = [ Codec.Plain (Array.init 4 (fun s -> float_of_int (iter + s))) ];
+    rng = Random.State.make [| iter |];
+    stats = Stats.create ();
+  }
+
+let enc_ct = Codec.encode_ref_ct
+let dec_ct = Codec.decode_ref_ct ~slots:4 ~max_level:16
+let scan dir = Journal.scan ~dir ~fingerprint:fp ~dec_ct
+
+let test_journal_retention_and_seq () =
+  let dir = fresh_dir "journal" in
+  let j = Journal.open_ ~dir ~fingerprint:fp ~retain:3 in
+  for i = 0 to 4 do
+    ignore (Journal.append j ~enc_ct (entry ~loop_var:7 ~iter:i))
+  done;
+  ignore (Journal.append j ~enc_ct (entry ~loop_var:9 ~iter:0));
+  let s = scan dir in
+  Alcotest.(check (list (pair string string))) "no damage" [] s.Journal.damaged;
+  let iters_of var =
+    List.filter_map
+      (fun (e : _ Codec.entry) ->
+        if e.Codec.loop_var = var then Some e.Codec.iter else None)
+      s.Journal.entries
+    |> List.sort compare
+  in
+  (* retention is per loop: var 7 keeps its newest three, var 9 keeps its
+     only entry *)
+  Alcotest.(check (list int)) "var 7 pruned to newest 3" [ 2; 3; 4 ]
+    (iters_of 7);
+  Alcotest.(check (list int)) "var 9 untouched" [ 0 ] (iters_of 9);
+  (match Journal.newest_for s ~loop_var:7 with
+   | Some e ->
+     Alcotest.(check int) "newest iteration" 4 e.Codec.iter;
+     Alcotest.(check bool) "carried values intact" true
+       (e.Codec.carried = (entry ~loop_var:7 ~iter:4).Codec.carried)
+   | None -> Alcotest.fail "no entry for loop 7");
+  Alcotest.(check bool) "no entry for an unknown loop" true
+    (Journal.newest_for s ~loop_var:1 = None);
+  (* Sequence numbers continue across a re-open, so retention order is
+     global and monotone even after a resume. *)
+  let j2 = Journal.open_ ~dir ~fingerprint:fp ~retain:3 in
+  let seq, bytes = Journal.append j2 ~enc_ct (entry ~loop_var:7 ~iter:5) in
+  Alcotest.(check int) "sequence continues after re-open" 6 seq;
+  Alcotest.(check bool) "append reports the on-disk size" true (bytes > 0);
+  rm_rf dir
+
+let newest_ckpt dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".ckpt")
+  |> List.sort compare |> List.rev
+  |> function
+  | f :: _ -> f
+  | [] -> Alcotest.fail "journal is empty"
+
+let test_journal_corrupt_tail () =
+  let dir = fresh_dir "journal-corrupt" in
+  let j = Journal.open_ ~dir ~fingerprint:fp ~retain:8 in
+  for i = 0 to 2 do
+    ignore (Journal.append j ~enc_ct (entry ~loop_var:7 ~iter:i))
+  done;
+  (* A stray temporary (crash mid-append) is ignored entirely. *)
+  write_raw (Filename.concat dir "entry-00.ckpt.tmp.123") "partial";
+  let victim = newest_ckpt dir in
+  let path = Filename.concat dir victim in
+  let b = Bytes.of_string (read_raw path) in
+  Bytes.set b 30 (Char.chr (Char.code (Bytes.get b 30) lxor 0x01));
+  write_raw path (Bytes.to_string b);
+  let s = scan dir in
+  (match s.Journal.damaged with
+   | [ (f, reason) ] ->
+     Alcotest.(check string) "the flipped file is reported" victim f;
+     Alcotest.(check bool) "reason is rendered" true (String.length reason > 0)
+   | d -> Alcotest.failf "expected exactly one damaged file, got %d" (List.length d));
+  (match Journal.newest_for s ~loop_var:7 with
+   | Some e ->
+     Alcotest.(check int) "recovery falls back to the previous entry" 1
+       e.Codec.iter
+   | None -> Alcotest.fail "intact entries were dropped with the corrupt one");
+  (* The wrong fingerprint damages everything — entries from another run's
+     manifest are never restored. *)
+  let foreign = Journal.scan ~dir ~fingerprint:1L ~dec_ct in
+  Alcotest.(check bool) "foreign fingerprint restores nothing" true
+    (foreign.Journal.entries = []);
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Kill-and-resume bit-identity                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* IEEE-bit-pattern equality: unlike [=] it treats equal NaNs as equal (the
+   overflow workload below produces them) and distinguishes -0. from 0. *)
+let bits_identical a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y ->
+         Array.length x = Array.length y
+         && Array.for_all2
+              (fun u v -> Int64.bits_of_float u = Int64.bits_of_float v)
+              x y)
+       a b
+
+let complete = function
+  | Ref_run.Rec.R.Complete { outputs; stats } -> (outputs, stats)
+  | Ref_run.Rec.R.Degraded d ->
+    Alcotest.failf "unexpected degradation: %s"
+      (Ref_run.Rec.R.degraded_to_string d)
+
+let baseline m =
+  let dir = fresh_dir "baseline" in
+  Ref_run.start ~dir m;
+  let outcome, damaged = Ref_run.exec ~dir ~resume:false m in
+  Alcotest.(check (list (pair string string))) "clean run, clean journal" []
+    damaged;
+  let outs, stats = complete outcome in
+  rm_rf dir;
+  (outs, stats)
+
+let check_resumed ~name ~outs ~stats (outcome, damaged) =
+  Alcotest.(check (list (pair string string)))
+    (name ^ ": no damage") [] damaged;
+  let outs', stats' = complete outcome in
+  Alcotest.(check bool)
+    (name ^ ": outputs bit-identical")
+    true
+    (bits_identical outs' outs);
+  Alcotest.(check string)
+    (name ^ ": statistics identical")
+    (Stats.to_string stats) (Stats.to_string stats')
+
+let test_kill_anywhere_resume_bit_identical () =
+  let m =
+    manifest ~every_n:1 ~retain:4
+      ~bindings:[ ("K", 6) ]
+      ~inputs:[ ("x", x_input ()) ]
+      (training_program ())
+  in
+  let outs, stats = baseline m in
+  let writes = stats.Stats.checkpoint_writes in
+  Alcotest.(check bool) "baseline writes several checkpoints" true (writes >= 3);
+  let crashes = ref 0 in
+  for k = 1 to writes - 1 do
+    let dir = fresh_dir (Printf.sprintf "kill%d" k) in
+    Ref_run.start ~dir m;
+    (match Ref_run.exec ~kill_after:k ~dir ~resume:false m with
+     | _ -> ()
+     | exception Ref_run.Simulated_crash _ -> incr crashes);
+    check_resumed
+      ~name:(Printf.sprintf "kill after %d writes" k)
+      ~outs ~stats
+      (Ref_run.exec ~dir ~resume:true m);
+    rm_rf dir
+  done;
+  Alcotest.(check int) "every kill point actually crashed" (writes - 1)
+    !crashes
+
+let test_resume_after_corrupt_tail () =
+  (* Crash, then rot the newest journal entry: resume must warn about the
+     damaged file, fall back to the previous intact checkpoint, and still
+     finish bit-identically. *)
+  let m =
+    manifest ~every_n:1 ~retain:4
+      ~bindings:[ ("K", 6) ]
+      ~inputs:[ ("x", x_input ()) ]
+      (training_program ())
+  in
+  let outs, stats = baseline m in
+  let dir = fresh_dir "rot" in
+  Ref_run.start ~dir m;
+  (match Ref_run.exec ~kill_after:3 ~dir ~resume:false m with
+   | _ -> Alcotest.fail "expected the simulated crash"
+   | exception Ref_run.Simulated_crash _ -> ());
+  let jdir = Ref_run.journal_dir dir in
+  let victim = newest_ckpt jdir in
+  let path = Filename.concat jdir victim in
+  let b = Bytes.of_string (read_raw path) in
+  Bytes.set b 40 (Char.chr (Char.code (Bytes.get b 40) lxor 0x08));
+  write_raw path (Bytes.to_string b);
+  let outcome, damaged = Ref_run.exec ~dir ~resume:true m in
+  Alcotest.(check bool) "the rotted file is warned about" true
+    (List.exists (fun (f, _) -> String.equal f victim) damaged);
+  let outs', stats' = complete outcome in
+  Alcotest.(check bool) "outputs bit-identical" true (bits_identical outs' outs);
+  Alcotest.(check string) "statistics identical" (Stats.to_string stats)
+    (Stats.to_string stats');
+  rm_rf dir
+
+let test_manifest_reload_round () =
+  (* The CLI path: start writes the manifest, load re-reads it, and the
+     loaded manifest drives a resume that matches the original run. *)
+  let m =
+    manifest ~every_n:2 ~retain:3
+      ~bindings:[ ("K", 6) ]
+      ~inputs:[ ("x", x_input ()) ]
+      (training_program ())
+  in
+  let outs, stats = baseline m in
+  let dir = fresh_dir "reload" in
+  Ref_run.start ~dir m;
+  (match Ref_run.exec ~kill_after:2 ~dir ~resume:false m with
+   | _ -> ()
+   | exception Ref_run.Simulated_crash _ -> ());
+  let m' = Ref_run.load ~dir in
+  Alcotest.(check bool) "manifest survives the crash" true (m = m');
+  check_resumed ~name:"resume from reloaded manifest" ~outs ~stats
+    (Ref_run.exec ~dir ~resume:true m');
+  rm_rf dir
+
+let overflow_program () =
+  Dsl.build ~name:"blowup" ~slots:64 ~max_level:16 (fun b ->
+      let x = Dsl.input b "x" ~size:8 in
+      let outs =
+        Dsl.for_ b ~count:(dyn "K") ~init:[ x ] (fun b -> function
+          | [ v ] -> [ Dsl.mul b v v ]
+          | _ -> assert false)
+      in
+      List.iter (Dsl.output b) outs)
+  |> Strategy.compile ~strategy:Strategy.Halo
+
+let test_guard_trips_survive_resume () =
+  (* Repeated squaring of 10 overflows to infinity after a few iterations;
+     the periodic in-loop guard sees the non-finite carried value and
+     counts trips.  A resumed run must report the same trip count. *)
+  let m =
+    manifest ~every_n:1 ~retain:4 ~guard_every:1
+      ~bindings:[ ("K", 12) ]
+      ~inputs:[ ("x", Array.make 8 10.0) ]
+      (overflow_program ())
+  in
+  let outs, stats = baseline m in
+  Alcotest.(check bool) "the guard tripped" true (stats.Stats.guard_trips > 0);
+  let dir = fresh_dir "guard" in
+  Ref_run.start ~dir m;
+  (match Ref_run.exec ~kill_after:2 ~dir ~resume:false m with
+   | _ -> Alcotest.fail "expected the simulated crash"
+   | exception Ref_run.Simulated_crash _ -> ());
+  check_resumed ~name:"guard trips after resume" ~outs ~stats
+    (Ref_run.exec ~dir ~resume:true m);
+  rm_rf dir
+
+let () =
+  Alcotest.run "halo_persist"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "rns poly, coefficient domain" `Quick
+            test_rns_roundtrip_coeff;
+          Alcotest.test_case "rns poly, NTT-resident" `Quick
+            test_rns_roundtrip_eval_resident;
+          Alcotest.test_case "lattice ciphertext" `Quick
+            test_lattice_ct_roundtrip;
+          Alcotest.test_case "key material" `Quick test_keys_roundtrip;
+          Alcotest.test_case "compiled program" `Quick test_program_roundtrip;
+          Alcotest.test_case "rng state replays" `Quick test_rng_roundtrip;
+          Alcotest.test_case "statistics" `Quick test_stats_roundtrip;
+          Alcotest.test_case "manifest" `Quick test_manifest_roundtrip;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "zero-length file" `Quick test_reject_zero_length;
+          Alcotest.test_case "truncation" `Quick test_reject_truncation;
+          Alcotest.test_case "single bit flips" `Quick test_reject_bit_flips;
+          Alcotest.test_case "format version" `Quick
+            test_reject_version_mismatch;
+          Alcotest.test_case "parameter fingerprint" `Quick
+            test_reject_fingerprint_mismatch;
+          Alcotest.test_case "wrong artifact kind" `Quick test_reject_wrong_kind;
+          Alcotest.test_case "trailing garbage" `Quick
+            test_reject_trailing_garbage;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "retention and sequence" `Quick
+            test_journal_retention_and_seq;
+          Alcotest.test_case "corrupt tail discarded with warning" `Quick
+            test_journal_corrupt_tail;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "kill anywhere, resume bit-identically" `Quick
+            test_kill_anywhere_resume_bit_identical;
+          Alcotest.test_case "corrupt tail falls back one checkpoint" `Quick
+            test_resume_after_corrupt_tail;
+          Alcotest.test_case "manifest reload drives the resume" `Quick
+            test_manifest_reload_round;
+          Alcotest.test_case "guard trips survive resume" `Quick
+            test_guard_trips_survive_resume;
+        ] );
+    ]

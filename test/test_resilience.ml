@@ -299,6 +299,120 @@ let test_guard_catches_spikes () =
          (Guard.verdict_to_string v))
 
 (* ------------------------------------------------------------------ *)
+(* Fixed-schedule semantics: occurrence-indexed, consume-once           *)
+(* ------------------------------------------------------------------ *)
+
+let run_scheduled schedule =
+  let p = training_program () in
+  run_faulty ~noise:0.0 ~fault_seed:0 ~backend_seed:42
+    ~cfg:(fun seed -> Faults.config ~schedule ~seed ())
+    p
+
+let total_clean_ops () =
+  let _, st, _ = run_scheduled [] in
+  Faulty.ops_seen st
+
+let test_schedule_entry_fires_once () =
+  (* A faulted op keeps its occurrence index across retries, and a schedule
+     entry is consumed when it fires: the retry of op 2 must succeed on its
+     second attempt, not fault forever against the same entry. *)
+  let clean = clean_outputs (training_program ()) in
+  let outcome, st, stats =
+    run_scheduled [ { Faults.at = 2; kind = Faults.Transient_op } ]
+  in
+  match outcome with
+  | Recover.Degraded d ->
+    Alcotest.failf "entry re-fired on retry: %s" (Recover.degraded_to_string d)
+  | Recover.Complete { outputs; _ } ->
+    Alcotest.(check int) "exactly one injected fault" 1 (Faulty.injected st);
+    Alcotest.(check int) "exactly one retry" 1 stats.Stats.retries;
+    Alcotest.(check bool) "bit-identical after the retry" true
+      (outputs = clean)
+
+let test_schedule_duplicates_fault_attempts () =
+  (* Two entries at the same index fault the op's first attempt and its
+     first retry; the third attempt goes through. *)
+  let clean = clean_outputs (training_program ()) in
+  let outcome, st, stats =
+    run_scheduled
+      [
+        { Faults.at = 2; kind = Faults.Transient_op };
+        { Faults.at = 2; kind = Faults.Transient_op };
+      ]
+  in
+  match outcome with
+  | Recover.Degraded d ->
+    Alcotest.failf "degraded: %s" (Recover.degraded_to_string d)
+  | Recover.Complete { outputs; _ } ->
+    Alcotest.(check int) "both duplicates fired" 2 (Faulty.injected st);
+    Alcotest.(check int) "two retries consumed" 2 stats.Stats.retries;
+    Alcotest.(check bool) "still bit-identical" true (outputs = clean)
+
+let test_schedule_retry_does_not_shift () =
+  (* The retry of op 2 must not advance the index past the entry scheduled
+     at op 3: both entries fire, on distinct ops, and the completed-op count
+     matches the fault-free run's. *)
+  let total = total_clean_ops () in
+  let outcome, st, stats =
+    run_scheduled
+      [
+        { Faults.at = 2; kind = Faults.Transient_op };
+        { Faults.at = 3; kind = Faults.Transient_op };
+      ]
+  in
+  match outcome with
+  | Recover.Degraded d ->
+    Alcotest.failf "degraded: %s" (Recover.degraded_to_string d)
+  | Recover.Complete _ ->
+    Alcotest.(check int) "both entries fired" 2 (Faulty.injected st);
+    Alcotest.(check int) "one retry each" 2 stats.Stats.retries;
+    Alcotest.(check int) "occurrence index matches the clean run" total
+      (Faulty.ops_seen st)
+
+(* ------------------------------------------------------------------ *)
+(* Periodic in-loop guard hook                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_guarded ~guard_every ~verdict =
+  let p = training_program () in
+  let stats = Stats.create () in
+  let checked = ref [] in
+  let guard =
+    {
+      Recover.guard_every;
+      guard_check =
+        (fun ~index values ->
+          Alcotest.(check bool) "carried values are passed" true (values <> []);
+          checked := index :: !checked;
+          verdict);
+    }
+  in
+  let st = Faulty.wrap (Faults.config ~seed:0 ()) (backend ~seed:42 p) in
+  match Recover.run ~guard ~stats st ~bindings ~inputs:[ ("x", x_input ()) ] p with
+  | Recover.Degraded d ->
+    Alcotest.failf "guarded run degraded: %s" (Recover.degraded_to_string d)
+  | Recover.Complete { stats = s; _ } -> (List.sort compare !checked, s)
+
+let test_guard_cadence_and_trips () =
+  (* Every completed top-level iteration is checked at cadence 1; cadence 2
+     checks exactly the iterations with odd index ((i+1) mod 2 = 0).  A
+     failing verdict counts a trip per check, a healthy one counts none. *)
+  let all, s1 = run_guarded ~guard_every:1 ~verdict:false in
+  Alcotest.(check bool) "the loop iterates" true (List.length all > 1);
+  Alcotest.(check int) "cadence 1: a trip per iteration" (List.length all)
+    s1.Stats.guard_trips;
+  let odd, s2 = run_guarded ~guard_every:2 ~verdict:false in
+  Alcotest.(check (list int)) "cadence 2 checks every other iteration"
+    (List.filter (fun i -> (i + 1) mod 2 = 0) all)
+    odd;
+  Alcotest.(check int) "cadence 2: a trip per check" (List.length odd)
+    s2.Stats.guard_trips;
+  let healthy, s3 = run_guarded ~guard_every:1 ~verdict:true in
+  Alcotest.(check (list int)) "healthy run checks the same iterations" all
+    healthy;
+  Alcotest.(check int) "healthy run trips nothing" 0 s3.Stats.guard_trips
+
+(* ------------------------------------------------------------------ *)
 (* Oracle integration                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -334,6 +448,20 @@ let () =
             test_retry_resume_bit_identical;
           Alcotest.test_case "checkpoint restore is bit-identical" `Quick
             test_checkpoint_restore_bit_identical;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "entry fires exactly once under retry" `Quick
+            test_schedule_entry_fires_once;
+          Alcotest.test_case "duplicates fault successive attempts" `Quick
+            test_schedule_duplicates_fault_attempts;
+          Alcotest.test_case "retry does not shift later entries" `Quick
+            test_schedule_retry_does_not_shift;
+        ] );
+      ( "loop-guard",
+        [
+          Alcotest.test_case "cadence and trip counting" `Quick
+            test_guard_cadence_and_trips;
         ] );
       ( "guard",
         [
