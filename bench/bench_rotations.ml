@@ -1,0 +1,150 @@
+(* Hoisted-rotation microbenchmark: [Eval.rotate_many] (one digit
+   decomposition shared by the whole group) vs the same group executed as
+   independent [Eval.rotate] calls (one decomposition per member).
+
+   Rotation keys are generated before any timing so both paths measure pure
+   key-switch work.  Every group first asserts bit-identity between the two
+   paths on the same ciphertext — the process exits nonzero on any mismatch.
+   Results go to stdout and, with [--json PATH], to a
+   halo-bench-rotations/v1 JSON report. *)
+
+open Halo_ckks
+
+type result = {
+  group : int;
+  rn : int;
+  limbs : int;
+  hoisted_ns : float;
+  sequential_ns : float;
+  identical : bool;
+}
+
+(* A single rotation group runs for tens of milliseconds, so unlike the
+   kernel bench this harness insists on at least four iterations per
+   measurement (a lone iteration is at the mercy of one GC slice or
+   scheduler hiccup) and drains pending major-heap garbage first so
+   collection pauses are charged evenly to both paths. *)
+let time_ns ~min_time f =
+  ignore (Sys.opaque_identity (f ()));
+  Gc.major ();
+  let rec go iters =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if (dt >= min_time && iters >= 4) || iters >= 1 lsl 22 then
+      dt *. 1e9 /. float_of_int iters
+    else go (iters * 4)
+  in
+  go 1
+
+let polys_equal (a : Rns_poly.t) (b : Rns_poly.t) =
+  a.level = b.level && a.domain = b.domain
+  && Array.for_all2 (fun x y -> x = y) a.res b.res
+
+let cts_equal (a : Eval.ct) (b : Eval.ct) =
+  polys_equal a.Eval.c0 b.Eval.c0
+  && polys_equal a.Eval.c1 b.Eval.c1
+  && Int64.bits_of_float a.Eval.scale = Int64.bits_of_float b.Eval.scale
+
+let bench_group ~min_time keys ct ~group =
+  let offsets = List.init group (fun i -> i + 1) in
+  (* Key generation is not part of the measurement. *)
+  List.iter (fun o -> ignore (Keys.rotation_key keys ~offset:o)) offsets;
+  let sequential () = List.map (fun o -> Eval.rotate keys ct ~offset:o) offsets in
+  let hoisted () = Eval.rotate_many keys ct ~offsets in
+  let identical = List.for_all2 cts_equal (sequential ()) (hoisted ()) in
+  let params = keys.Keys.params in
+  let r =
+    {
+      group;
+      rn = params.Params.n;
+      limbs = Eval.level ct;
+      hoisted_ns = time_ns ~min_time hoisted;
+      sequential_ns = time_ns ~min_time sequential;
+      identical;
+    }
+  in
+  Printf.printf
+    "group=%-2d n=%-5d limbs=%-2d  sequential %11.0f ns  hoisted %11.0f ns  %5.2fx  %s\n%!"
+    r.group r.rn r.limbs r.sequential_ns r.hoisted_ns
+    (r.sequential_ns /. r.hoisted_ns)
+    (if r.identical then "bit-identical" else "MISMATCH");
+  r
+
+let json_of_results ~min_time results =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"halo-bench-rotations/v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"pool\": %d,\n" (Domain_pool.size ()));
+  Buffer.add_string b (Printf.sprintf "  \"min_time_s\": %g,\n" min_time);
+  Buffer.add_string b "  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"group\": %d, \"n\": %d, \"limbs\": %d, \
+            \"hoisted_ns\": %.1f, \"sequential_ns\": %.1f, \"speedup\": %.2f, \
+            \"bit_identical\": %b }%s\n"
+           r.group r.rn r.limbs r.hoisted_ns r.sequential_ns
+           (r.sequential_ns /. r.hoisted_ns)
+           r.identical
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let () =
+  let log_n = ref 12 in
+  let limbs = ref 8 in
+  let groups = ref [ 2; 4; 8 ] in
+  let min_time = ref 0.2 in
+  let json_path = ref "" in
+  let set_groups s =
+    groups := List.map int_of_string (String.split_on_char ',' s)
+  in
+  let spec =
+    [
+      ("--log-n", Arg.Set_int log_n, "log2 ring size (default 12)");
+      ("--limbs", Arg.Set_int limbs, "ciphertext level / limb count (default 8)");
+      ("--groups", Arg.String set_groups, "CSV of group sizes (default 2,4,8)");
+      ("--min-time", Arg.Set_float min_time, "seconds per measurement (default 0.2)");
+      ("--json", Arg.Set_string json_path, "write a JSON report to PATH");
+      ( "--tiny",
+        Arg.Unit
+          (fun () ->
+            log_n := 8;
+            limbs := 4;
+            groups := [ 2; 4 ];
+            min_time := 0.01),
+        "CI smoke mode: small ring, short measurements" );
+    ]
+  in
+  Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
+    "bench_rotations: hoisted vs sequential rotation timings";
+  let params =
+    Params.make ~log_n:!log_n ~max_level:!limbs ~base_bits:31 ~scale_bits:27 ()
+  in
+  Printf.printf "rotation bench: pool=%d n=%d limbs=%d groups=%s\n%!"
+    (Domain_pool.size ()) params.Params.n !limbs
+    (String.concat "," (List.map string_of_int !groups));
+  let keys = Keys.keygen ~seed:0xa11ce params in
+  let st = Random.State.make [| 0x207a7e; !log_n |] in
+  let values =
+    Array.init params.Params.slots (fun _ -> Random.State.float st 2.0 -. 1.0)
+  in
+  let ct = Eval.encrypt keys ~level:!limbs values in
+  let results =
+    List.map (fun group -> bench_group ~min_time:!min_time keys ct ~group) !groups
+  in
+  if !json_path <> "" then begin
+    let oc = open_out !json_path in
+    output_string oc (json_of_results ~min_time:!min_time results);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" !json_path
+  end;
+  if List.exists (fun r -> not r.identical) results then begin
+    prerr_endline "bench_rotations: bit-identity FAILED";
+    exit 1
+  end

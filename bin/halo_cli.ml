@@ -62,6 +62,16 @@ let bindings_arg =
     & info [ "b"; "bind" ] ~docv:"NAME=INT"
         ~doc:"Bind a dynamic iteration count (repeatable).")
 
+let no_rotate_fuse_arg =
+  Arg.(
+    value & flag
+    & info [ "no-rotate-fuse" ]
+        ~doc:
+          "Disable the rotation-fusion pass: every rotation pays its own \
+           key-switch decomposition instead of sharing one per same-source \
+           group.  Outputs are bit-identical either way; use this to \
+           measure the hoisting counters' effect.")
+
 let load path = Parser.parse_program (read_file path)
 
 let handle_code f =
@@ -92,10 +102,12 @@ let handle f = handle_code (fun () -> f (); 0)
 (* ------------------------------------------------------------------ *)
 
 let compile_cmd =
-  let run file strategy bindings output =
+  let run file strategy bindings no_fuse output =
     handle (fun () ->
         let p = load file in
-        let compiled = Strategy.compile ~bindings ~strategy p in
+        let compiled =
+          Strategy.compile ~bindings ~rotate_fuse:(not no_fuse) ~strategy p
+        in
         let text = Printer.program_to_string compiled in
         match output with
         | None -> print_string text
@@ -112,7 +124,9 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a textual IR program.")
-    Term.(const run $ file_arg $ strategy_arg $ bindings_arg $ output_arg)
+    Term.(
+      const run $ file_arg $ strategy_arg $ bindings_arg $ no_rotate_fuse_arg
+      $ output_arg)
 
 let inspect_cmd =
   let run file =
@@ -240,11 +254,13 @@ let report_checkpointed ?out (outcome, damaged) =
     1
 
 let run_cmd =
-  let run file strategy bindings seed guard checkpoint_dir every retain
+  let run file strategy bindings no_fuse seed guard checkpoint_dir every retain
       guard_every kill_after out =
     handle_code (fun () ->
         let p = load file in
-        let compiled = Strategy.compile ~bindings ~strategy p in
+        let compiled =
+          Strategy.compile ~bindings ~rotate_fuse:(not no_fuse) ~strategy p
+        in
         let rng = Random.State.make [| seed |] in
         let inputs =
           List.map
@@ -366,9 +382,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute with random inputs on the reference backend.")
     Term.(
-      const run $ file_arg $ strategy_arg $ bindings_arg $ seed_arg $ guard_arg
-      $ checkpoint_dir_arg $ every_arg $ retain_arg $ guard_every_arg
-      $ kill_after_arg $ out_arg)
+      const run $ file_arg $ strategy_arg $ bindings_arg $ no_rotate_fuse_arg
+      $ seed_arg $ guard_arg $ checkpoint_dir_arg $ every_arg $ retain_arg
+      $ guard_every_arg $ kill_after_arg $ out_arg)
 
 let resume_cmd =
   let run dir out kill_after =

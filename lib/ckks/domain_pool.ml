@@ -120,6 +120,15 @@ let get_pool () =
     pool_memo := Some p;
     p
 
+(* Borrow the worker flag to force sequential execution of [f]: every
+   [parallel_for] reached inside it degrades to a plain loop.  Used by tests
+   to compare pool-parallel against strictly sequential execution in one
+   process (results must be bit-identical). *)
+let sequentially f =
+  let saved = Domain.DLS.get in_worker in
+  Domain.DLS.set in_worker true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker saved) f
+
 let sequential_for n f =
   for i = 0 to n - 1 do
     f i

@@ -12,6 +12,12 @@
 val size : unit -> int
 (** The pool size in effect (memoized; reads [HALO_DOMAINS] once). *)
 
+val sequentially : (unit -> 'a) -> 'a
+(** [sequentially f] runs [f ()] with every [parallel_for] it reaches
+    degraded to a plain sequential loop, regardless of the pool size.
+    Results are bit-identical to parallel execution (the pool's contract);
+    tests use this to check exactly that without re-spawning processes. *)
+
 val parallel_for : n:int -> (int -> unit) -> unit
 (** [parallel_for ~n f] runs [f 0 .. f (n-1)], spread across the pool when
     it has more than one worker.  The caller participates in the work, so

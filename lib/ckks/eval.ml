@@ -137,6 +137,38 @@ let rotate (keys : Keys.t) a ~offset =
     { c0 = Rns_poly.add params r0 u0; c1 = u1; scale = a.scale }
   end
 
+(* Hoisted rotations: decompose [c1] once and key-switch every offset
+   against the shared digits (the automorphism is applied to the digits as
+   a slot permutation fused into the inner product).  The whole key-switch
+   path is exact modular integer arithmetic, so each result is bit-identical
+   to the corresponding single [rotate]. *)
+let rotate_many (keys : Keys.t) a ~offsets =
+  let params = keys.params in
+  if List.for_all (fun o -> o = 0) offsets then List.map (fun _ -> a) offsets
+  else begin
+    (* Fetch every switching key up front, in offset order: on-demand key
+       generation consumes the key-set RNG, and the hoisted path must
+       consume it in exactly the order the equivalent sequence of single
+       rotates would. *)
+    let sks =
+      List.map
+        (fun offset ->
+          if offset = 0 then None else Some (Keys.rotation_key keys ~offset))
+        offsets
+    in
+    let dec = Keys.decompose keys a.c1 in
+    List.map2
+      (fun offset sk ->
+        match sk with
+        | None -> a
+        | Some sk ->
+          let k = Keys.galois_element params ~offset in
+          let r0 = Rns_poly.automorphism params ~k a.c0 in
+          let u0, u1 = Keys.apply_rotated keys sk ~k dec in
+          { c0 = Rns_poly.add params r0 u0; c1 = u1; scale = a.scale })
+      offsets sks
+  end
+
 let conjugate (keys : Keys.t) a =
   let params = keys.params in
   let k = (2 * params.n) - 1 in

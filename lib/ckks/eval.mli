@@ -41,6 +41,14 @@ val multcp : Keys.t -> ct -> float array -> ct
 val rotate : Keys.t -> ct -> offset:int -> ct
 (** Circular left rotation of the slot vector by [offset]. *)
 
+val rotate_many : Keys.t -> ct -> offsets:int list -> ct list
+(** Hoisted rotations of one ciphertext: performs the key-switch digit
+    decomposition of [c1] once and applies each offset's Galois automorphism
+    and switching key to the shared digits ({!Keys.apply_rotated}).  Each
+    element of the result is bit-identical to [rotate ~offset] for the
+    corresponding offset (including zero offsets, which return the input),
+    while paying the decomposition cost once instead of once per offset. *)
+
 val conjugate : Keys.t -> ct -> ct
 (** Slot-wise complex conjugation (the Galois automorphism [X -> X^{-1}]). *)
 

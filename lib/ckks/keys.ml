@@ -2,8 +2,15 @@ type secret = { coeffs : int array }
 
 (* k0.(i).(t) / k1.(i).(t): NTT-domain residues of the i-th digit key over
    chain position t, where t < max_level indexes ciphertext moduli and
-   t = max_level is the special prime. *)
-type switch_key = { k0 : int array array array; k1 : int array array array }
+   t = max_level is the special prime.  k0s/k1s hold the Shoup companions of
+   every key residue: the key side of the switch MAC is fixed at generation,
+   so the inner product runs entirely on division-free multiplies. *)
+type switch_key = {
+  k0 : int array array array;
+  k1 : int array array array;
+  k0s : int array array array;
+  k1s : int array array array;
+}
 
 type t = {
   params : Params.t;
@@ -12,6 +19,10 @@ type t = {
   pk1 : Rns_poly.t;
   relin : switch_key;
   rotations : (int, switch_key) Hashtbl.t;
+  rotations_mutex : Mutex.t;
+      (* serializes on-demand rotation-key generation: lookups may come from
+         several domains at once, and a bare Hashtbl race on first use could
+         generate (and consume RNG for) the same key twice *)
   mutable rng : Random.State.t;
       (* mutable so a restored key set resumes its key-generation stream *)
 }
@@ -49,6 +60,16 @@ let small_negacyclic_mul a b =
       done
   done;
   out
+
+let shoup_companions params h =
+  Array.map
+    (fun digit ->
+      Array.mapi
+        (fun t limb ->
+          let q = chain_modulus params t in
+          Array.map (fun w -> Modarith.shoup ~m:q w) limb)
+        digit)
+    h
 
 let ntt_of_centered params t coeffs =
   let q = chain_modulus params t in
@@ -94,7 +115,8 @@ let make_switch_key params rng ~secret_coeffs ~source_coeffs =
     (k0, k1)
   in
   let digits = Array.init l digit in
-  { k0 = Array.map fst digits; k1 = Array.map snd digits }
+  let k0 = Array.map fst digits and k1 = Array.map snd digits in
+  { k0; k1; k0s = shoup_companions params k0; k1s = shoup_companions params k1 }
 
 let galois_element (params : Params.t) ~offset =
   let two_n = 2 * params.n in
@@ -128,6 +150,7 @@ let keygen ?(seed = 0x51CC5) params =
     pk1 = a;
     relin;
     rotations = Hashtbl.create 8;
+    rotations_mutex = Mutex.create ();
     rng;
   }
 
@@ -141,18 +164,31 @@ let apply_automorphism_small ~n ~k coeffs =
   done;
   out
 
+(* The whole lookup-or-generate runs under the mutex: concurrent first-use
+   lookups of the same Galois element must observe exactly one generation
+   (and one RNG draw), so a racing caller blocks until the winner has
+   published the key. *)
 let galois_key keys k =
   let params = keys.params in
-  match Hashtbl.find_opt keys.rotations k with
-  | Some sk -> sk
-  | None ->
-    let rotated = apply_automorphism_small ~n:params.n ~k keys.secret.coeffs in
-    let sk =
-      make_switch_key params keys.rng ~secret_coeffs:keys.secret.coeffs
-        ~source_coeffs:rotated
-    in
-    Hashtbl.add keys.rotations k sk;
-    sk
+  Mutex.lock keys.rotations_mutex;
+  let sk =
+    match Hashtbl.find_opt keys.rotations k with
+    | Some sk -> sk
+    | None ->
+      let rotated = apply_automorphism_small ~n:params.n ~k keys.secret.coeffs in
+      let sk =
+        try
+          make_switch_key params keys.rng ~secret_coeffs:keys.secret.coeffs
+            ~source_coeffs:rotated
+        with e ->
+          Mutex.unlock keys.rotations_mutex;
+          raise e
+      in
+      Hashtbl.add keys.rotations k sk;
+      sk
+  in
+  Mutex.unlock keys.rotations_mutex;
+  sk
 
 let rotation_key keys ~offset = galois_key keys (galois_element keys.params ~offset)
 
@@ -184,7 +220,7 @@ let switch_key_of_raw (params : Params.t) ~k0 ~k1 =
   in
   check_half "k0" k0;
   check_half "k1" k1;
-  { k0; k1 }
+  { k0; k1; k0s = shoup_companions params k0; k1s = shoup_companions params k1 }
 
 let rotation_entries keys =
   List.sort compare (Hashtbl.fold (fun k sk acc -> (k, sk) :: acc) keys.rotations [])
@@ -201,10 +237,25 @@ let of_parts params ~secret ~pk0 ~pk1 ~relin ~rotations ~rng =
     pk1;
     relin;
     rotations = tbl;
+    rotations_mutex = Mutex.create ();
     rng = Random.State.copy rng;
   }
 
-let key_switch keys sk d =
+(* --- key switching: decompose once, apply per key ----------------------- *)
+
+(* The mod-up/decompose product of [key_switch], reusable across several
+   [apply] calls (hoisted rotations): [digits.(pos).(i)] is the NTT-domain
+   image of the i-th centered digit at extended-chain position
+   [positions.(pos)].  Decomposition is the expensive half of a key switch
+   (l forward transforms per chain position); everything downstream of it is
+   a pointwise inner product with the switching key. *)
+type decomposed = {
+  d_level : int;  (* number of digits = ciphertext level l *)
+  positions : int array;  (* chain positions: 0..l-1 then the special prime *)
+  digits : int array array array;
+}
+
+let decompose keys d =
   let params = keys.params in
   let n = params.n in
   (* Digit decomposition needs centered coefficient-domain residues, so this
@@ -212,49 +263,99 @@ let key_switch keys sk d =
      (the other is rescale). *)
   let d = Rns_poly.to_coeff params d in
   let l = Rns_poly.level d in
-  let centered =
-    Array.init l (fun i ->
-        let qi = params.moduli.(i) in
-        Array.map (fun c -> Modarith.center ~m:qi c) (d : Rns_poly.t).res.(i))
-  in
+  let res = (d : Rns_poly.t).res in
   (* Positions 0..l-1 are ciphertext moduli, position l is the special
-     prime.  Each position's accumulation, inverse transform and all, is
-     independent of the others: fan them out over the domain pool. *)
+     prime.  Each position's digit transforms are independent of the
+     others: fan them out over the domain pool. *)
   let positions = Array.append (Array.init l (fun t -> t)) [| params.max_level |] in
   let np = Array.length positions in
-  let u0 = Array.make np [||] and u1 = Array.make np [||] in
+  let digits = Array.init np (fun _ -> Array.make l [||]) in
   par params np (fun pos ->
       let t = positions.(pos) in
       let q = chain_modulus params t in
       let ctx = chain_ntt params t in
+      for i = 0 to l - 1 do
+        let qi = params.moduli.(i) in
+        let src = res.(i) in
+        (* Center mod q_i and embed mod q directly into the retained digit
+           array, then transform it in place: the loop allocates nothing
+           beyond its outputs. *)
+        let dst = Array.make n 0 in
+        for j = 0 to n - 1 do
+          dst.(j) <- Modarith.reduce ~m:q (Modarith.center ~m:qi src.(j))
+        done;
+        Ntt.forward_in_place ctx dst;
+        digits.(pos).(i) <- dst
+      done);
+  { d_level = l; positions; digits }
+
+let divide_by_p (params : Params.t) ~level:l u =
+  let n = params.n in
+  let p = params.special in
+  let special = u.(l) in
+  let out = Array.make l [||] in
+  par params l (fun t ->
+      let q = params.moduli.(t) in
+      let p_inv = params.special_inv.(t) in
+      let p_inv_shoup = params.special_inv_shoup.(t) in
+      out.(t) <-
+        Array.init n (fun j ->
+            let rep = Modarith.center ~m:p special.(j) in
+            let diff = Modarith.sub ~m:q u.(t).(j) (Modarith.reduce ~m:q rep) in
+            Modarith.mul_shoup ~m:q diff p_inv p_inv_shoup));
+  Rns_poly.of_residues out
+
+(* Inner product of the shared digits with one switching key.  When [perm]
+   is given it is the evaluation-domain slot permutation of a Galois
+   automorphism: reading the digits through it applies the automorphism to
+   the decomposed polynomial on the fly, fused into the MAC, so the hoisted
+   rotation path allocates no permuted copies.  All arithmetic here is
+   exact modular integer arithmetic, so the result is bit-identical to
+   decomposing the (permuted) polynomial from scratch. *)
+let apply_perm keys ?perm sk dec =
+  let params = keys.params in
+  let n = params.n in
+  let l = dec.d_level in
+  let np = Array.length dec.positions in
+  let u0 = Array.make np [||] and u1 = Array.make np [||] in
+  par params np (fun pos ->
+      let t = dec.positions.(pos) in
+      let q = chain_modulus params t in
+      let ctx = chain_ntt params t in
       let a0 = Array.make n 0 and a1 = Array.make n 0 in
       for i = 0 to l - 1 do
-        let d_ntt = ntt_of_centered params t centered.(i) in
+        let d_ntt = dec.digits.(pos).(i) in
         let k0 = sk.k0.(i).(t) and k1 = sk.k1.(i).(t) in
-        for j = 0 to n - 1 do
-          let dj = d_ntt.(j) in
-          a0.(j) <- Modarith.add ~m:q a0.(j) (Modarith.mul ~m:q dj k0.(j));
-          a1.(j) <- Modarith.add ~m:q a1.(j) (Modarith.mul ~m:q dj k1.(j))
-        done
+        let k0s = sk.k0s.(i).(t) and k1s = sk.k1s.(i).(t) in
+        match perm with
+        | None ->
+          for j = 0 to n - 1 do
+            let dj = d_ntt.(j) in
+            a0.(j) <-
+              Modarith.add ~m:q a0.(j) (Modarith.mul_shoup ~m:q dj k0.(j) k0s.(j));
+            a1.(j) <-
+              Modarith.add ~m:q a1.(j) (Modarith.mul_shoup ~m:q dj k1.(j) k1s.(j))
+          done
+        | Some perm ->
+          for j = 0 to n - 1 do
+            let dj = d_ntt.(perm.(j)) in
+            a0.(j) <-
+              Modarith.add ~m:q a0.(j) (Modarith.mul_shoup ~m:q dj k0.(j) k0s.(j));
+            a1.(j) <-
+              Modarith.add ~m:q a1.(j) (Modarith.mul_shoup ~m:q dj k1.(j) k1s.(j))
+          done
       done;
       (* Back to the coefficient domain for the exact division by P. *)
       Ntt.inverse_in_place ctx a0;
       Ntt.inverse_in_place ctx a1;
       u0.(pos) <- a0;
       u1.(pos) <- a1);
-  let p = params.special in
-  let divide_by_p u =
-    let special = u.(l) in
-    let out = Array.make l [||] in
-    par params l (fun t ->
-        let q = params.moduli.(t) in
-        let p_inv = params.special_inv.(t) in
-        let p_inv_shoup = params.special_inv_shoup.(t) in
-        out.(t) <-
-          Array.init n (fun j ->
-              let rep = Modarith.center ~m:p special.(j) in
-              let diff = Modarith.sub ~m:q u.(t).(j) (Modarith.reduce ~m:q rep) in
-              Modarith.mul_shoup ~m:q diff p_inv p_inv_shoup));
-    Rns_poly.of_residues out
-  in
-  (divide_by_p u0, divide_by_p u1)
+  (divide_by_p params ~level:l u0, divide_by_p params ~level:l u1)
+
+let apply keys sk dec = apply_perm keys sk dec
+
+let apply_rotated keys sk ~k dec =
+  let perm = Ntt.eval_perm (Params.ntt_at keys.params ~idx:0) ~k in
+  apply_perm keys ~perm sk dec
+
+let key_switch keys sk d = apply keys sk (decompose keys d)

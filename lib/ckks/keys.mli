@@ -21,6 +21,8 @@ type t = private {
   pk1 : Rns_poly.t;
   relin : switch_key;
   rotations : (int, switch_key) Hashtbl.t;  (** keyed by Galois element *)
+  rotations_mutex : Mutex.t;
+      (** serializes on-demand rotation-key generation across domains *)
   mutable rng : Random.State.t;
 }
 
@@ -40,7 +42,35 @@ val conjugation_key : t -> switch_key
 
 val key_switch : t -> switch_key -> Rns_poly.t -> Rns_poly.t * Rns_poly.t
 (** [key_switch keys k d] returns [(u0, u1)] such that
-    [u0 + u1 * s ~ d * s'] where [s'] is the key [k] was generated for. *)
+    [u0 + u1 * s ~ d * s'] where [s'] is the key [k] was generated for.
+    Equivalent to [apply keys k (decompose keys d)]. *)
+
+(** {2 Hoisted key switching}
+
+    [key_switch] split into its two halves so the expensive half can be
+    shared.  [decompose] performs the mod-up/digit decomposition (the
+    per-prime centered digits, lifted to the NTT domain over the extended
+    chain) once; [apply] is the cheap per-key inner product.  A group of
+    rotations of one ciphertext decomposes [c1] once and calls
+    [apply_rotated] per offset — every result is bit-identical to the
+    corresponding single-rotation key switch because the whole path is
+    exact modular integer arithmetic. *)
+
+type decomposed
+(** Reusable mod-up product: NTT-domain digits over the extended chain. *)
+
+val decompose : t -> Rns_poly.t -> decomposed
+
+val apply : t -> switch_key -> decomposed -> Rns_poly.t * Rns_poly.t
+(** The per-key half of [key_switch]: digit/key inner product, inverse
+    transforms, exact division by the special prime. *)
+
+val apply_rotated : t -> switch_key -> k:int -> decomposed -> Rns_poly.t * Rns_poly.t
+(** [apply_rotated keys sk ~k dec] key-switches the Galois automorphism
+    [X -> X^k] of the decomposed polynomial, reading the shared digits
+    through the evaluation-domain slot permutation of [k] (fused into the
+    inner product; the digits are not copied).  [sk] must be the switching
+    key for that automorphism. *)
 
 val relin_key : t -> switch_key
 

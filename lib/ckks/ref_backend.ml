@@ -115,6 +115,11 @@ let rotate st a ~offset =
   let shift = ((offset mod n) + n) mod n in
   { a with data = Array.init n (fun i -> a.data.((i + shift) mod n)) }
 
+(* Cleartext rotations have no shared key-switch work to hoist: the grouped
+   form is exactly the sequence of single rotates (which consume no RNG, so
+   grouping cannot perturb the noise stream either). *)
+let rotate_many st a ~offsets = List.map (fun offset -> rotate st a ~offset) offsets
+
 let rescale st a =
   check_level "rescale" a 2;
   (* Dropping one prime divides the scale by ~2^scale_bits and adds rounding

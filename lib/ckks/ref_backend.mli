@@ -65,6 +65,12 @@ val addcp : state -> ct -> float array -> ct
 val multcc : state -> ct -> ct -> ct
 val multcp : state -> ct -> float array -> ct
 val rotate : state -> ct -> offset:int -> ct
+
+val rotate_many : state -> ct -> offsets:int list -> ct list
+(** Grouped rotation of one ciphertext; on this backend exactly the
+    sequence of single {!rotate} calls (there is no key-switch work to
+    share, and cleartext rotation consumes no RNG). *)
+
 val rescale : state -> ct -> ct
 val modswitch : state -> ct -> down:int -> ct
 val bootstrap : state -> ct -> target:int -> ct

@@ -30,6 +30,12 @@ let key_of_op : Ir.op -> key option = function
   | Ir.Modswitch { src; down } -> Some (Kmodswitch (src, down))
   | Ir.Pack { srcs; num_e } -> Some (Kpack (srcs, num_e))
   | Ir.Unpack { src; index; num_e; count } -> Some (Kunpack (src, index, num_e, count))
+  | Ir.RotateMany _ ->
+    (* Multi-result: the single-variable rename table cannot express its
+       elimination.  Duplicate single rotations are merged here before
+       Rotate_fuse ever groups them, so fused groups carry no duplicates
+       in the standard pipeline. *)
+    None
   | Ir.Bootstrap _ | Ir.For _ -> None
 
 let rec block (b : Ir.block) : Ir.block =

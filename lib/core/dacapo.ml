@@ -51,6 +51,11 @@ let simulate ~max_level ~boundary ~tys ~instrs ~yields ~start =
             i.results init_tys;
           go (index + 1)
         end
+      | Ir.RotateMany { src; _ } ->
+        (* Level-preserving; never underflows. *)
+        let t = ty_of src in
+        List.iter (fun r -> Hashtbl.replace tys r t) i.results;
+        go (index + 1)
       | op ->
         (match
            Levels.op_result ~max_level ~index op
@@ -100,6 +105,9 @@ let place_in_block ?(config = default_config) ~fresh ~max_level ~env ~param_tys
                  | Tplain -> Tplain
                  | Tcipher _ -> Tcipher { level = m; scale = 1 }))
             i.results fo.inits
+        | Ir.RotateMany { src; _ } ->
+          let t = ty_of src in
+          List.iter (fun r -> Hashtbl.replace tys r t) i.results
         | op ->
           (match
              Levels.op_result ~max_level ~index op

@@ -22,6 +22,9 @@ let rec block_depths ~status ~depth ~param_depths (b : Ir.block) =
         Hashtbl.replace depth (Ir.result i) d
       | Ir.Rotate { src; _ } | Ir.Rescale { src } | Ir.Modswitch { src; _ } ->
         Hashtbl.replace depth (Ir.result i) (d_of src)
+      | Ir.RotateMany { src; _ } ->
+        let d = d_of src in
+        List.iter (fun r -> Hashtbl.replace depth r d) i.results
       | Ir.Bootstrap _ ->
         (* Bootstrapping resets the chain. *)
         Hashtbl.replace depth (Ir.result i) 0

@@ -41,6 +41,13 @@ let sub b x y = emit b (Ir.Binary { kind = Ir.Sub; lhs = x; rhs = y })
 let mul b x y = emit b (Ir.Binary { kind = Ir.Mul; lhs = x; rhs = y })
 let rotate b x offset = emit b (Ir.Rotate { src = x; offset })
 
+let rotate_many b x offsets =
+  if offsets = [] then invalid_arg "Dsl.rotate_many: no offsets";
+  let results = List.map (fun _ -> Ir.fresh_var b.fresh) offsets in
+  let f = current b in
+  f.rev_instrs <- { Ir.results; op = Ir.RotateMany { src = x; offsets } } :: f.rev_instrs;
+  results
+
 let for_ b ~count ~init f =
   let params = List.map (fun _ -> Ir.fresh_var b.fresh) init in
   let frame = { rev_instrs = []; params } in

@@ -45,6 +45,12 @@ val sub : t -> value -> value -> value
 val mul : t -> value -> value -> value
 val rotate : t -> value -> int -> value
 
+val rotate_many : t -> value -> int list -> value list
+(** Grouped rotation of one source by each offset (one result per offset,
+    in order).  Backends decompose the source once and share the digits
+    across the group (hoisted key switching); zero offsets are identity.
+    Raises [Invalid_argument] on an empty offset list. *)
+
 val for_ :
   t -> count:Ir.count -> init:value list -> (t -> value list -> value list) -> value list
 (** Structured loop.  The body function receives the loop-carried values and

@@ -14,6 +14,10 @@ type op =
   | Const of { value : const; size : int }
   | Binary of { kind : binop; lhs : var; rhs : var }
   | Rotate of { src : var; offset : int }
+  | RotateMany of { src : var; offsets : int list }
+      (** Grouped rotation of one source: one result per offset, hoisted to
+          a single key-switch decomposition by capable backends.  The only
+          multi-result operation besides [For]. *)
   | Rescale of { src : var }
   | Modswitch of { src : var; down : int }
   | Bootstrap of { src : var; target : int }
@@ -51,8 +55,8 @@ let result i =
 let op_operands = function
   | Const _ -> []
   | Binary { lhs; rhs; _ } -> [ lhs; rhs ]
-  | Rotate { src; _ } | Rescale { src } | Modswitch { src; _ }
-  | Bootstrap { src; _ } | Unpack { src; _ } ->
+  | Rotate { src; _ } | RotateMany { src; _ } | Rescale { src }
+  | Modswitch { src; _ } | Bootstrap { src; _ } | Unpack { src; _ } ->
     [ src ]
   | Pack { srcs; _ } -> srcs
   | For { inits; _ } -> inits
@@ -61,6 +65,7 @@ let map_op_operands f = function
   | Const _ as op -> op
   | Binary b -> Binary { b with lhs = f b.lhs; rhs = f b.rhs }
   | Rotate r -> Rotate { r with src = f r.src }
+  | RotateMany r -> RotateMany { r with src = f r.src }
   | Rescale { src } -> Rescale { src = f src }
   | Modswitch m -> Modswitch { m with src = f m.src }
   | Bootstrap b -> Bootstrap { b with src = f b.src }

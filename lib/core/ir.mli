@@ -32,6 +32,12 @@ type op =
   | Const of { value : const; size : int }
   | Binary of { kind : binop; lhs : var; rhs : var }
   | Rotate of { src : var; offset : int }
+  | RotateMany of { src : var; offsets : int list }
+      (** Grouped rotation of one source ciphertext: one result per offset,
+          in order.  Semantically exactly the sequence of single [Rotate]s;
+          backends with hoistable key-switch work share one digit
+          decomposition across the group.  The only multi-result operation
+          besides [For]. *)
   | Rescale of { src : var }
   | Modswitch of { src : var; down : int }
   | Bootstrap of { src : var; target : int }

@@ -153,6 +153,10 @@ let rec w_op b : Ir.op -> unit = function
     w_list b w_i64 inits;
     w_block b body;
     w_opt b w_i64 boundary
+  | Ir.RotateMany { src; offsets } ->
+    w_u8 b 9;
+    w_i64 b src;
+    w_list b w_i64 offsets
 
 and w_block b (blk : Ir.block) =
   w_list b w_i64 blk.params;
@@ -209,6 +213,10 @@ let rec r_op r : Ir.op =
     let body = r_block r in
     let boundary = r_opt r r_i64 in
     Ir.For { count; inits; body; boundary }
+  | 9 ->
+    let src = r_i64 r in
+    let offsets = r_list r r_i64 in
+    Ir.RotateMany { src; offsets }
   | t -> err r "bad op tag %d" t
 
 and r_block r : Ir.block =

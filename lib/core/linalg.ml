@@ -17,15 +17,19 @@ let weighted_step b w ~grad ~lr ~size =
     (Dsl.scale_by b (Dsl.sum_slots b grad ~size) (lr /. float_of_int size))
 
 let matvec_diag b ~diags v =
-  let acc =
-    List.fold_left
-      (fun acc (g, d) ->
-        let term = Dsl.mul b (Dsl.rotate b v g) d in
-        match acc with None -> Some term | Some a -> Some (Dsl.add b a term))
-      None
-      (List.mapi (fun g d -> (g, d)) diags)
-  in
-  match acc with Some v -> v | None -> invalid_arg "Linalg.matvec_diag: no diagonals"
+  match diags with
+  | [] -> invalid_arg "Linalg.matvec_diag: no diagonals"
+  | [ d ] -> Dsl.mul b (Dsl.rotate b v 0) d
+  | _ ->
+    (* All diagonals rotate the same input vector, so emit the whole set as
+       one hoisted group: the backend decomposes [v] once and applies every
+       Galois automorphism to the shared digits. *)
+    let offsets = List.mapi (fun g _ -> g) diags in
+    let rotated = Dsl.rotate_many b v offsets in
+    let terms = List.map2 (fun r d -> Dsl.mul b r d) rotated diags in
+    (match terms with
+     | t :: tl -> List.fold_left (Dsl.add b) t tl
+     | [] -> assert false)
 
 let diagonals_of b ~entry ~dim =
   let one_hot f = Array.init dim (fun i -> if i = f then 1.0 else 0.0) in

@@ -58,6 +58,11 @@ let program ?dacapo_config (p : Ir.program) =
               (fun r t -> Hashtbl.replace env r t)
               i.results param_tys;
             { i with op = Ir.For { fo with body } }
+          | Ir.RotateMany { src; _ } ->
+            (* Level-preserving; every result takes the source's type. *)
+            let t = ty_of src in
+            List.iter (fun r -> Hashtbl.replace env r t) i.results;
+            i
           | op ->
             let t =
               match

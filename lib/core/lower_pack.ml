@@ -45,15 +45,23 @@ let program (p : Ir.program) =
         | Ir.Unpack { src; index; num_e; count } ->
           let segments = Sizes.round_pow2 count in
           if segments < 2 then invalid_arg "Lower_pack: unpack needs two segments";
+          (* Rotate before masking: rotating the packed source directly (then
+             selecting segment 0) is slot-for-slot equal to masking segment
+             [index] and rotating the result, but every unpack of the same
+             source now rotates that one source — so Rotate_fuse can merge
+             the positioning rotations of a whole unpack fan into a single
+             hoisted group. *)
+          let positioned_src =
+            if index = 0 then src
+            else emit acc (Ir.Rotate { src; offset = index * num_e })
+          in
           let m =
             emit acc
               (Ir.Const
-                 { value = mask ~segments ~num_e ~index; size = segments * num_e })
+                 { value = mask ~segments ~num_e ~index:0; size = segments * num_e })
           in
-          let selected = emit acc (Ir.Binary { kind = Ir.Mul; lhs = src; rhs = m }) in
           let positioned =
-            if index = 0 then selected
-            else emit acc (Ir.Rotate { src = selected; offset = index * num_e })
+            emit acc (Ir.Binary { kind = Ir.Mul; lhs = positioned_src; rhs = m })
           in
           (* Replicate the segment across the slots by rotate-and-add
              doubling (rotating right fills the higher slots); the last

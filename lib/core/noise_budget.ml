@@ -34,6 +34,15 @@ let analyze ?(units = default_units) (p : Ir.program) =
         | Ir.Rotate { src; offset } ->
           let ks = if offset = 0 then 0.0 else units.keyswitch in
           Hashtbl.replace noise (Ir.result i) (n_of src +. ks)
+        | Ir.RotateMany { src; offsets } ->
+          (* Hoisting shares the decomposition, not the key switch itself:
+             each nonzero member pays the same key-switch noise as a single
+             rotate (the applied digits are bit-identical). *)
+          List.iter2
+            (fun r offset ->
+              let ks = if offset = 0 then 0.0 else units.keyswitch in
+              Hashtbl.replace noise r (n_of src +. ks))
+            i.results offsets
         | Ir.Rescale { src } ->
           Hashtbl.replace noise (Ir.result i) (n_of src +. units.rescale)
         | Ir.Modswitch { src; _ } -> Hashtbl.replace noise (Ir.result i) (n_of src)

@@ -84,6 +84,13 @@ let rec block ~fresh ~max_level ~slots ~env ~rename ~param_tys ~boundary (b : Ir
     | Ir.Rotate { src; offset } ->
       let src = resolve src in
       ignore (emit ~result:(Ir.result i) (Ir.Rotate { src; offset }) (ty_of src))
+    | Ir.RotateMany { src; offsets } ->
+      (* Rotation is level/scale-preserving, so the grouped form is emitted
+         as-is: every result takes the source's type. *)
+      let src = resolve src in
+      let ty = ty_of src in
+      out := { Ir.results = i.results; op = Ir.RotateMany { src; offsets } } :: !out;
+      List.iter (fun r -> Hashtbl.replace env r ty) i.results
     | Ir.Bootstrap { src; target } ->
       let src = resolve src in
       (match ty_of src with

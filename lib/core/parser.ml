@@ -143,6 +143,20 @@ let rec instr st results : Ir.instr =
       let src = var st in
       expect st Lexer.COMMA;
       Ir.Rotate { src; offset = signed_int st }
+    | "rotate_many" ->
+      let src = var st in
+      expect st Lexer.COMMA;
+      (* The offsets run to the end of the instruction; the next line opens
+         with a variable or a keyword, never a comma. *)
+      let rec offsets acc =
+        let o = signed_int st in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          offsets (o :: acc)
+        end
+        else List.rev (o :: acc)
+      in
+      Ir.RotateMany { src; offsets = offsets [] }
     | "rescale" -> Ir.Rescale { src = var st }
     | "modswitch" ->
       let src = var st in

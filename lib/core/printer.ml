@@ -4,6 +4,7 @@ let op_name : Ir.op -> string = function
   | Ir.Binary { kind = Ir.Sub; _ } -> "sub"
   | Ir.Binary { kind = Ir.Mul; _ } -> "mul"
   | Ir.Rotate _ -> "rotate"
+  | Ir.RotateMany _ -> "rotate_many"
   | Ir.Rescale _ -> "rescale"
   | Ir.Modswitch _ -> "modswitch"
   | Ir.Bootstrap _ -> "bootstrap"
@@ -73,6 +74,9 @@ let rec instr_to_buf buf ~indent (i : Ir.instr) =
       | Ir.Binary { lhs; rhs; _ } ->
         Printf.sprintf "%s %s, %s" (op_name op) (var lhs) (var rhs)
       | Ir.Rotate { src; offset } -> Printf.sprintf "rotate %s, %d" (var src) offset
+      | Ir.RotateMany { src; offsets } ->
+        Printf.sprintf "rotate_many %s, %s" (var src)
+          (String.concat ", " (List.map string_of_int offsets))
       | Ir.Rescale { src } -> Printf.sprintf "rescale %s" (var src)
       | Ir.Modswitch { src; down } -> Printf.sprintf "modswitch %s, %d" (var src) down
       | Ir.Bootstrap { src; target } ->

@@ -1,0 +1,54 @@
+(* Groups same-source rotations within a block into a single hoisted
+   [RotateMany].  A group shares one digit decomposition of the source at
+   the backend, so fusing k rotations saves k-1 decompositions — the
+   dominant cost of key switching (see Keys.decompose).
+
+   Only nonzero single rotations participate: zero offsets are identity
+   and never reach the backend, and existing RotateMany groups (from the
+   DSL) are left as the author wrote them.  The fused instruction sits at
+   the earliest member's position, which is always legal: every member
+   reads the same source (already defined there) and moving a definition
+   earlier cannot break any SSA use. *)
+
+let rec fuse_block (b : Ir.block) : Ir.block =
+  let instrs =
+    List.map
+      (fun (i : Ir.instr) ->
+        match i.op with
+        | Ir.For fo -> { i with op = Ir.For { fo with body = fuse_block fo.body } }
+        | _ -> i)
+      b.instrs
+  in
+  let arr = Array.of_list instrs in
+  (* Member instruction indices per source, in program order. *)
+  let groups : (Ir.var, int list) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun idx (i : Ir.instr) ->
+      match i.op with
+      | Ir.Rotate { src; offset } when offset <> 0 ->
+        let prev = try Hashtbl.find groups src with Not_found -> [] in
+        Hashtbl.replace groups src (idx :: prev)
+      | _ -> ())
+    arr;
+  let drop = Array.make (Array.length arr) false in
+  Hashtbl.iter
+    (fun src rev_idxs ->
+      match List.rev rev_idxs with
+      | _ :: _ :: _ as idxs ->
+        let offset_of k =
+          match arr.(k).Ir.op with
+          | Ir.Rotate { offset; _ } -> offset
+          | _ -> assert false
+        in
+        let results = List.map (fun k -> Ir.result arr.(k)) idxs in
+        let offsets = List.map offset_of idxs in
+        let leader = List.hd idxs in
+        arr.(leader) <- { Ir.results; op = Ir.RotateMany { src; offsets } };
+        List.iter (fun k -> if k <> leader then drop.(k) <- true) idxs
+      | _ -> ())
+    groups;
+  let out = ref [] in
+  Array.iteri (fun idx i -> if not drop.(idx) then out := i :: !out) arr;
+  { b with instrs = List.rev !out }
+
+let program (p : Ir.program) = { p with body = fuse_block p.body }

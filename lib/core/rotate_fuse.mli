@@ -1,0 +1,6 @@
+(** Rotation fusion: groups nonzero single rotations of the same source
+    within a block into one {!Ir.op.RotateMany}, letting backends share a
+    single digit decomposition across the group (hoisted key switching).
+    Semantics-preserving and type-preserving; runs after {!Normalize}. *)
+
+val program : Ir.program -> Ir.program

@@ -12,6 +12,12 @@ let required (p : Ir.program) =
           | Ir.Rotate { offset; _ } ->
             let o = normalize offset in
             if o <> 0 then acc := IntSet.add o !acc
+          | Ir.RotateMany { offsets; _ } ->
+            List.iter
+              (fun offset ->
+                let o = normalize offset in
+                if o <> 0 then acc := IntSet.add o !acc)
+              offsets
           | Ir.Unpack { index; num_e; count; _ } ->
             (* A composite unpack lowers to a positioning rotation plus the
                replication doublings. *)

@@ -20,6 +20,9 @@ let infer (p : Ir.program) =
           Hashtbl.replace env (Ir.result i)
             (max num_e (List.fold_left (fun a v -> max a (size_of v)) 1 srcs))
         | Ir.Unpack { num_e; _ } -> Hashtbl.replace env (Ir.result i) num_e
+        | Ir.RotateMany { src; _ } ->
+          let s = size_of src in
+          List.iter (fun r -> Hashtbl.replace env r s) i.results
         | Ir.For fo ->
           let stable = fixpoint fo in
           List.iter2 (fun r s -> Hashtbl.replace env r s) i.results stable)

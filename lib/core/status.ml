@@ -17,6 +17,9 @@ let rec block_statuses env ~param_statuses (block : Ir.block) =
       | Ir.Binary { lhs; rhs; _ } ->
         Hashtbl.replace env (Ir.result i) (join (status_of env lhs) (status_of env rhs))
       | Ir.Rotate { src; _ } -> Hashtbl.replace env (Ir.result i) (status_of env src)
+      | Ir.RotateMany { src; _ } ->
+        let s = status_of env src in
+        List.iter (fun r -> Hashtbl.replace env r s) i.results
       | Ir.Rescale { src } | Ir.Modswitch { src; _ } | Ir.Bootstrap { src; _ }
       | Ir.Unpack { src; _ } ->
         (* Level-management and unpack operate on ciphertexts only. *)

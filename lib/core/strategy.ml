@@ -27,7 +27,8 @@ type pass = {
   run : Ir.program -> Ir.program;
 }
 
-let passes ?(bindings = []) ?dacapo_config ?(lower = true) ~strategy () =
+let passes ?(bindings = []) ?dacapo_config ?(lower = true) ?(rotate_fuse = true)
+    ~strategy () =
   let pass ?milestone pass_name run = { pass_name; milestone; run } in
   let prologue =
     [
@@ -86,10 +87,14 @@ let passes ?(bindings = []) ?dacapo_config ?(lower = true) ~strategy () =
         pass "cse-lowered" Cse.program;
         pass ~milestone:Typed "normalize" Normalize.program;
       ]
+    (* After normalize the rotation set is final (no pass below introduces
+       or moves rotations), so same-source groups are maximal here. *)
+    @ (if rotate_fuse then [ pass "rotate-fuse" Rotate_fuse.program ] else [])
   in
   prologue @ placement @ epilogue
 
-let compile ?(bindings = []) ?dacapo_config ?(lower = true) ?observer ~strategy p =
+let compile ?(bindings = []) ?dacapo_config ?(lower = true) ?rotate_fuse
+    ?observer ~strategy p =
   let step p ps =
     let after = ps.run p in
     (match observer with
@@ -98,7 +103,8 @@ let compile ?(bindings = []) ?dacapo_config ?(lower = true) ?observer ~strategy 
     after
   in
   let p =
-    List.fold_left step p (passes ~bindings ?dacapo_config ~lower ~strategy ())
+    List.fold_left step p
+      (passes ~bindings ?dacapo_config ~lower ?rotate_fuse ~strategy ())
   in
   match Typecheck.verify p with
   | Ok () -> p

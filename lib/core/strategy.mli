@@ -48,6 +48,7 @@ val passes :
   ?bindings:(string * int) list ->
   ?dacapo_config:Dacapo.config ->
   ?lower:bool ->
+  ?rotate_fuse:bool ->
   strategy:t ->
   unit ->
   pass list
@@ -57,13 +58,16 @@ val compile :
   ?bindings:(string * int) list ->
   ?dacapo_config:Dacapo.config ->
   ?lower:bool ->
+  ?rotate_fuse:bool ->
   ?observer:(pass:pass -> before:Ir.program -> after:Ir.program -> unit) ->
   strategy:t ->
   Ir.program ->
   Ir.program
 (** [bindings] resolves dynamic iteration counts; only the [Dacapo] strategy
     needs them (raises [Not_found] when missing).  [lower] (default [true])
-    expands pack/unpack into primitive operations.  [observer] is invoked
+    expands pack/unpack into primitive operations.  [rotate_fuse] (default
+    [true]) appends the {!Rotate_fuse} pass, grouping same-source rotations
+    into hoisted {!Ir.op.RotateMany} groups.  [observer] is invoked
     after every pass with the program before and after it — the hook the
     checked pipeline ([Halo_verify.Pipeline.compile ~verify:true]) uses to
     validate between passes.  The result verifies under {!Typecheck.verify};

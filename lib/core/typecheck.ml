@@ -134,6 +134,18 @@ let infer_program (p : Ir.program) =
               define v;
               Hashtbl.replace env v t)
             i.results init_tys
+        | Ir.RotateMany { src; offsets } ->
+          (* Grouped rotation: one result per offset, each taking the
+             source's type (rotation is level/scale-preserving). *)
+          if List.length i.results <> List.length offsets then
+            err "rotate_many: %d results but %d offsets"
+              (List.length i.results) (List.length offsets);
+          let t = ty_of src in
+          List.iter
+            (fun r ->
+              define r;
+              Hashtbl.replace env r t)
+            i.results
         | op ->
           let operand_tys = List.map ty_of (Ir.op_operands op) in
           let t = op_result_ty ~max_level:p.max_level ~slots:p.slots op ~operand_tys in

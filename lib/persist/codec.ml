@@ -14,7 +14,7 @@ type kind =
   | Manifest_frame
   | Entry_frame
 
-let format_version = 1
+let format_version = 2
 let magic = "HALO"
 let header_len = 4 + 1 + 1 + 8 + 8
 
@@ -310,7 +310,10 @@ let encode_stats b (s : Stats.t) =
   Wire.f64 b s.backoff_us;
   Wire.i64 b s.checkpoint_writes;
   Wire.i64 b s.checkpoint_bytes;
-  Wire.i64 b s.guard_trips
+  Wire.i64 b s.guard_trips;
+  Wire.i64 b s.key_switches;
+  Wire.i64 b s.hoisted_groups;
+  Wire.i64 b s.decompositions_saved
 
 let decode_stats r =
   let s = Stats.create () in
@@ -332,6 +335,9 @@ let decode_stats r =
   s.Stats.checkpoint_writes <- Wire.ri64 r;
   s.Stats.checkpoint_bytes <- Wire.ri64 r;
   s.Stats.guard_trips <- Wire.ri64 r;
+  s.Stats.key_switches <- Wire.ri64 r;
+  s.Stats.hoisted_groups <- Wire.ri64 r;
+  s.Stats.decompositions_saved <- Wire.ri64 r;
   s
 
 (* --- run manifest ------------------------------------------------------- *)

@@ -8,7 +8,7 @@
     {v
     offset  size  field
     0       4     magic "HALO"
-    4       1     format version (currently 1)
+    4       1     format version (currently 2)
     5       1     kind tag (which payload codec)
     6       8     fingerprint (LE): Params.fingerprint for lattice
                   artifacts, the manifest fingerprint for journal entries,

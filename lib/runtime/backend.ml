@@ -30,6 +30,15 @@ module type S = sig
   val multcc : state -> ct -> ct -> ct
   val multcp : state -> ct -> float array -> ct
   val rotate : state -> ct -> offset:int -> ct
+
+  val rotate_many : state -> ct -> offsets:int list -> ct list
+  (** Grouped rotation of one ciphertext, one result per offset (offset 0
+      returns the input).  Semantically exactly the sequence of single
+      [rotate] calls — backends with hoistable key-switch work (the
+      lattice backend) share the digit decomposition across the group;
+      others may simply iterate [rotate].  Results must be bit-identical
+      to the sequential rotates. *)
+
   val rescale : state -> ct -> ct
   val modswitch : state -> ct -> down:int -> ct
   val bootstrap : state -> ct -> target:int -> ct

@@ -175,6 +175,13 @@ module Make (B : Backend.S) = struct
     guard st ~op:"rotate" ~level:(level st ct) (fun () ->
         B.rotate st.base ct ~offset)
 
+  (* De-sugar the grouped form so each member keeps its own occurrence
+     index and fault/spike draw, exactly as the unfused rotate sequence
+     would; hoisting is a performance property, not a fault-atomicity
+     boundary. *)
+  let rotate_many st ct ~offsets =
+    List.map (fun offset -> rotate st ct ~offset) offsets
+
   let rescale st a =
     guard st ~op:"rescale" ~level:(level st a) (fun () -> B.rescale st.base a)
 

@@ -7,6 +7,7 @@ let op_name : Ir.op -> string = function
   | Ir.Binary { kind = Ir.Sub; _ } -> "sub"
   | Ir.Binary { kind = Ir.Mul; _ } -> "mul"
   | Ir.Rotate _ -> "rotate"
+  | Ir.RotateMany _ -> "rotate_many"
   | Ir.Rescale _ -> "rescale"
   | Ir.Modswitch _ -> "modswitch"
   | Ir.Bootstrap _ -> "bootstrap"
@@ -119,6 +120,7 @@ module Make (B : Backend.S) = struct
           Cipher (B.subcc st a b)
         | Ir.Mul, Cipher a, Cipher b ->
           record Cost.Multcc a;
+          Stats.record_key_switch stats;
           Cipher (B.multcc st a b)
         | Ir.Add, Cipher a, Plain b | Ir.Add, Plain b, Cipher a ->
           record Cost.Addcp a;
@@ -186,10 +188,45 @@ module Make (B : Backend.S) = struct
                   if offset = 0 then Cipher c
                   else begin
                     record Cost.Rotate c;
+                    Stats.record_key_switch stats;
                     Cipher (B.rotate st c ~offset)
                   end
               in
               Hashtbl.replace env (Ir.result i) v
+            | Ir.RotateMany { src; offsets } ->
+              (match value_of src with
+               | Plain a ->
+                 List.iter2
+                   (fun r offset ->
+                     Hashtbl.replace env r (Plain (rotate_plain a offset)))
+                   i.results offsets
+               | Cipher c ->
+                 (* Zero offsets short-circuit exactly as single rotates do;
+                    only the nonzero members reach the backend, as one
+                    hoisted group sharing a digit decomposition. *)
+                 let nonzero = List.filter (fun o -> o <> 0) offsets in
+                 List.iter
+                   (fun _ ->
+                     record Cost.Rotate c;
+                     Stats.record_key_switch stats)
+                   nonzero;
+                 let m = List.length nonzero in
+                 if m >= 2 then Stats.record_hoisted_group stats ~size:m;
+                 let rotated =
+                   if m = 0 then [] else B.rotate_many st c ~offsets:nonzero
+                 in
+                 let rec bind results offsets rotated =
+                   match (results, offsets, rotated) with
+                   | [], [], [] -> ()
+                   | r :: rs, 0 :: os, cts ->
+                     Hashtbl.replace env r (Cipher c);
+                     bind rs os cts
+                   | r :: rs, _ :: os, ct :: cts ->
+                     Hashtbl.replace env r (Cipher ct);
+                     bind rs os cts
+                   | _ -> ierr "rotate_many result/offset arity mismatch"
+                 in
+                 bind i.results offsets rotated)
             | Ir.Rescale { src } ->
               (match value_of src with
                | Plain _ -> ierr "rescale of plaintext"

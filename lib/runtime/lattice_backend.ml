@@ -55,6 +55,10 @@ let multcp st a v =
 let rotate keys ct ~offset =
   typed "rotate" ~level:(Eval.level ct) (fun () -> Eval.rotate keys ct ~offset)
 
+let rotate_many keys ct ~offsets =
+  typed "rotate_many" ~level:(Eval.level ct) (fun () ->
+      Eval.rotate_many keys ct ~offsets)
+
 let rescale st a =
   typed "rescale" ~level:(Eval.level a) (fun () -> Eval.rescale st a)
 

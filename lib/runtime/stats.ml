@@ -17,6 +17,9 @@ type t = {
   mutable checkpoint_writes : int;
   mutable checkpoint_bytes : int;
   mutable guard_trips : int;
+  mutable key_switches : int;
+  mutable hoisted_groups : int;
+  mutable decompositions_saved : int;
 }
 
 let create () =
@@ -39,6 +42,9 @@ let create () =
     checkpoint_writes = 0;
     checkpoint_bytes = 0;
     guard_trips = 0;
+    key_switches = 0;
+    hoisted_groups = 0;
+    decompositions_saved = 0;
   }
 
 let record t (op : Halo_cost.Cost_model.op) ~level =
@@ -75,6 +81,15 @@ let record_checkpoint_write t ~bytes =
 
 let record_guard_trip t = t.guard_trips <- t.guard_trips + 1
 
+let record_key_switch t = t.key_switches <- t.key_switches + 1
+
+(* A hoisted group of [size] rotations pays one digit decomposition instead
+   of [size]: size - 1 decompositions saved.  Each member still counts as a
+   key switch (the apply half runs per offset). *)
+let record_hoisted_group t ~size =
+  t.hoisted_groups <- t.hoisted_groups + 1;
+  t.decompositions_saved <- t.decompositions_saved + (size - 1)
+
 let assign ~into src =
   into.addcc <- src.addcc;
   into.addcp <- src.addcp;
@@ -93,7 +108,10 @@ let assign ~into src =
   into.backoff_us <- src.backoff_us;
   into.checkpoint_writes <- src.checkpoint_writes;
   into.checkpoint_bytes <- src.checkpoint_bytes;
-  into.guard_trips <- src.guard_trips
+  into.guard_trips <- src.guard_trips;
+  into.key_switches <- src.key_switches;
+  into.hoisted_groups <- src.hoisted_groups;
+  into.decompositions_saved <- src.decompositions_saved
 
 let total_ops t =
   t.addcc + t.addcp + t.subcc + t.multcc + t.multcp + t.rotate + t.rescale
@@ -119,4 +137,9 @@ let to_string t =
      else
        Printf.sprintf " checkpoints=%d (%d bytes)" t.checkpoint_writes
          t.checkpoint_bytes)
-  ^ if t.guard_trips = 0 then "" else Printf.sprintf " guard_trips=%d" t.guard_trips
+  ^ (if t.guard_trips = 0 then "" else Printf.sprintf " guard_trips=%d" t.guard_trips)
+  ^
+  if t.key_switches = 0 && t.hoisted_groups = 0 then ""
+  else
+    Printf.sprintf " key_switches=%d hoisted_groups=%d decompositions_saved=%d"
+      t.key_switches t.hoisted_groups t.decompositions_saved

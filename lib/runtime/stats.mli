@@ -32,6 +32,13 @@ type t = {
   mutable checkpoint_bytes : int;  (** bytes of journal entries written *)
   mutable guard_trips : int;
       (** periodic in-loop noise-guard violations observed *)
+  mutable key_switches : int;
+      (** key-switch applies executed: relinearizations and nonzero
+          rotations, hoisted or not *)
+  mutable hoisted_groups : int;
+      (** grouped rotations executed with a shared digit decomposition *)
+  mutable decompositions_saved : int;
+      (** digit decompositions avoided by hoisting (group size - 1 each) *)
 }
 
 val create : unit -> t
@@ -46,6 +53,14 @@ val record_retry : t -> backoff_us:float -> unit
 val record_restore : t -> unit
 val record_checkpoint_write : t -> bytes:int -> unit
 val record_guard_trip : t -> unit
+
+val record_key_switch : t -> unit
+(** Count one key-switch apply (a relinearization or a nonzero rotation). *)
+
+val record_hoisted_group : t -> size:int -> unit
+(** Count one executed hoisted-rotation group of [size] nonzero offsets:
+    bumps [hoisted_groups] and charges [size - 1] to
+    [decompositions_saved]. *)
 
 val assign : into:t -> t -> unit
 (** Overwrite every counter of [into] with [src]'s values.  Crash recovery

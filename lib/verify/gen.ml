@@ -38,12 +38,35 @@ let generate ?(slots = 256) ?(max_level = 16) seed =
         let half () = Dsl.const b (0.2 +. (0.3 *. flt ())) in
         let combine pool v =
           let w = pick pool in
-          match int 6 with
+          match int 8 with
           | 0 -> Dsl.mul b v w
           | 1 -> Dsl.mul b (Dsl.add b v w) (half ())
           | 2 -> Dsl.mul b (Dsl.sub b v w) (half ())
           | 3 -> Dsl.rotate b v (pick [ -2; -1; 1; 2; 4 ])
           | 4 -> Dsl.mul b v (const ())
+          | 5 ->
+            (* Two rotations of the same source: the scaled sum stays in
+               [-1, 1], and Rotate_fuse merges the pair into one hoisted
+               group. *)
+            let k1 = pick [ -2; -1; 1; 2 ] in
+            let k2 = pick [ 4; 8; -4 ] in
+            Dsl.add b
+              (Dsl.mul b (Dsl.rotate b v k1) (half ()))
+              (Dsl.mul b (Dsl.rotate b v k2) (half ()))
+          | 6 ->
+            (* A direct grouped rotation (exercises RotateMany through every
+               pass and backend), averaged back into the interval; one shape
+               includes a zero offset to cover the identity member. *)
+            let offsets =
+              pick [ [ 1; 2 ]; [ -1; 2; 4 ]; [ 0; 1; -2 ]; [ 2; 4; 8; -1 ] ]
+            in
+            let scale = 0.9 /. float_of_int (List.length offsets) in
+            (match Dsl.rotate_many b v offsets with
+             | r :: rs ->
+               List.fold_left
+                 (fun acc r' -> Dsl.add b acc (Dsl.scale_by b r' scale))
+                 (Dsl.scale_by b r scale) rs
+             | [] -> assert false)
           | _ -> Dsl.add b (Dsl.mul b v (half ())) (Dsl.mul b w (half ()))
         in
         let rec chain pool v n =

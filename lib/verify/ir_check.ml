@@ -78,6 +78,12 @@ let structural (p : Ir.program) =
              add ipath "pack-shape"
                "%d sources of %d elements exceed %d slots (power-of-two padded)"
                (List.length srcs) num_e p.slots
+         | Ir.RotateMany { offsets; _ } ->
+           if List.length offsets < 1 then
+             add ipath "rotate-arity" "rotate_many with no offsets";
+           if List.length i.results <> List.length offsets then
+             add ipath "rotate-arity" "%d offsets but %d results"
+               (List.length offsets) (List.length i.results)
          | Ir.Unpack { index; num_e; count; _ } ->
            if num_e < 1 then add ipath "pack-shape" "num_e %d below 1" num_e;
            if count < 2 then
@@ -90,6 +96,7 @@ let structural (p : Ir.program) =
          | _ -> ());
         (match i.op with
          | Ir.For fo -> List.iter (define (ipath ^ ".for")) fo.body.params
+         | Ir.RotateMany _ -> (* multi-result; arity checked above *) ()
          | _ ->
            if List.length i.results <> 1 then
              add ipath "arity" "non-loop operation with %d results"

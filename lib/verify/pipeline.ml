@@ -78,6 +78,11 @@ let eval ?(bindings = []) ~inputs (p : Ir.program) =
         | Ir.Binary { kind; lhs; rhs } ->
           result (binary kind (value_of lhs) (value_of rhs))
         | Ir.Rotate { src; offset } -> result (rotate (value_of src) offset)
+        | Ir.RotateMany { src; offsets } ->
+          let a = value_of src in
+          List.iter2
+            (fun r offset -> Hashtbl.replace env r (rotate a offset))
+            i.results offsets
         | Ir.Rescale { src } | Ir.Modswitch { src; _ } | Ir.Bootstrap { src; _ }
           ->
           result (value_of src)
@@ -268,14 +273,16 @@ let check_passes ?bindings ?inputs ?tol ?(strategy = "custom")
   let q = run_passes st ~passes p in
   (q, List.rev st.reports)
 
-let compile ?(bindings = []) ?dacapo_config ?lower ?(verify = true) ?tol
-    ~strategy p =
+let compile ?(bindings = []) ?dacapo_config ?lower ?rotate_fuse
+    ?(verify = true) ?tol ~strategy p =
   if not verify then
-    (Strategy.compile ~bindings ?dacapo_config ?lower ~strategy p, [])
+    (Strategy.compile ~bindings ?dacapo_config ?lower ?rotate_fuse ~strategy p, [])
   else begin
     let name = Strategy.to_string strategy in
     let st = init_state ~bindings ?tol ~strategy:name p in
-    let passes = Strategy.passes ~bindings ?dacapo_config ?lower ~strategy () in
+    let passes =
+      Strategy.passes ~bindings ?dacapo_config ?lower ?rotate_fuse ~strategy ()
+    in
     let q = run_passes st ~passes p in
     (* Mirror [Strategy.compile]'s final full verification. *)
     (match Typecheck.verify q with

@@ -56,6 +56,7 @@ val compile :
   ?bindings:(string * int) list ->
   ?dacapo_config:Dacapo.config ->
   ?lower:bool ->
+  ?rotate_fuse:bool ->
   ?verify:bool ->
   ?tol:float ->
   strategy:Strategy.t ->
@@ -63,7 +64,8 @@ val compile :
   Ir.program * pass_report list
 (** Like {!Halo.Strategy.compile}, returning the per-pass reports.  With
     [verify] (default [true]) every pass output is validated; [tol] (default
-    [1e-6]) bounds acceptable fingerprint drift.  Raises
+    [1e-6]) bounds acceptable fingerprint drift.  [rotate_fuse] (default
+    [true]) controls the final rotation-fusion pass.  Raises
     {!Verification_failure} attributing the first violation to a pass by
     name; [~verify:false] is exactly [Strategy.compile] (empty report). *)
 

@@ -651,6 +651,8 @@ let equal_modulo_renaming (p : Ir.program) (q : Ir.program) =
     | Ir.Binary x, Ir.Binary y ->
       x.kind = y.kind && same x.lhs y.lhs && same x.rhs y.rhs
     | Ir.Rotate x, Ir.Rotate y -> same x.src y.src && x.offset = y.offset
+    | Ir.RotateMany x, Ir.RotateMany y ->
+      same x.src y.src && x.offsets = y.offsets
     | Ir.Rescale x, Ir.Rescale y -> same x.src y.src
     | Ir.Modswitch x, Ir.Modswitch y -> same x.src y.src && x.down = y.down
     | Ir.Bootstrap x, Ir.Bootstrap y -> same x.src y.src && x.target = y.target
