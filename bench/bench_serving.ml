@@ -1,0 +1,246 @@
+(* Serving-layer throughput benchmark: cross-request slot batching vs
+   one-request-per-ciphertext, measured end to end through the real
+   scheduler (bounded admission queue with backpressure, planning, domain
+   pool, resilient runtime).
+
+   Hundreds of simulated clients each submit a few small-vector requests;
+   the batched mode packs them into ciphertext lanes (amortizing every
+   bootstrap and key switch across the packed tenants), the solo mode
+   serves each request on its own ciphertext.  Latency is wall-clock from
+   a request's submission to its batch's delivery callback.
+
+   The process exits nonzero unless every accepted request is served
+   (zero drops, zero failures, both modes) and the batched mode beats the
+   solo mode on sustained requests per second.  Results go to stdout and,
+   with [--json PATH], to a halo-bench-serving/v1 JSON report. *)
+
+module Server = Halo_serve.Server
+module Workload = Halo_serve.Workload
+module Serve_codec = Halo_serve.Serve_codec
+module Domain_pool = Halo_ckks.Domain_pool
+module Stats = Halo_runtime.Stats
+
+type mode_result = {
+  mode : string;
+  requests : int;
+  accepted : int;
+  served : int;
+  failed : int;
+  dropped : int;  (* accepted but never delivered *)
+  batches : int;
+  wall_s : float;
+  rps : float;
+  p50_ms : float;
+  p99_ms : float;
+  bootstraps : int;
+  key_switches : int;
+  hoisted_groups : int;
+  decompositions_saved : int;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1))))
+
+let run_mode ~mode ~batch_window ~slots ~lane ~iters ~queue_depth ~clients
+    ~per_client ~seed =
+  let max_level = 16 in
+  let cfg =
+    {
+      Serve_codec.backend =
+        {
+          Halo_persist.Codec.slots;
+          max_level;
+          scale_bits = 51;
+          seed = 0xB00 + seed;
+          enc_noise = 1e-7;
+          mult_noise = 1e-8;
+          boot_noise = 1e-5;
+          rescale_noise = Float.ldexp 1.0 (-25);
+        };
+      queue_depth;
+      batch_window;
+      lane;
+      margin = 10.0;
+      rotate_fuse = true;
+      policy = Halo_runtime.Resilient.default_policy;
+      faults = None;
+    }
+  in
+  let server =
+    Server.create cfg ~programs:(Workload.programs ~slots ~max_level ~iters)
+  in
+  let reqs = Workload.requests ~seed ~clients ~per_client ~lane () in
+  let submitted : (int, float) Hashtbl.t = Hashtbl.create 1024 in
+  let latencies = ref [] in
+  let on_batch ~key:_ ~reqs =
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun id -> latencies := (now -. Hashtbl.find submitted id) :: !latencies)
+      reqs
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (w : Workload.req) ->
+      let submit () =
+        match
+          Server.submit server ~tenant:w.w_tenant ~tol:w.w_tol
+            ~program:w.w_program ~payload:w.w_payload
+        with
+        | Ok id -> Hashtbl.replace submitted id (Unix.gettimeofday ())
+        | Error r ->
+          prerr_endline ("bench_serving: unexpected rejection: "
+                         ^ Server.reject_to_string r);
+          exit 1
+      in
+      (* Bounded queue backpressure: drain once when full, then resubmit. *)
+      if Server.pending server >= queue_depth then
+        Server.run_until_drained ~on_batch server;
+      submit ())
+    reqs;
+  Server.run_until_drained ~on_batch server;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let c = Server.counters server in
+  let stats = Server.stats server in
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  {
+    mode;
+    requests = List.length reqs;
+    accepted = c.Server.accepted;
+    served = c.Server.served;
+    failed = c.Server.failed;
+    dropped = c.Server.accepted - c.Server.served - c.Server.failed;
+    batches = c.Server.batches;
+    wall_s;
+    rps = float_of_int c.Server.served /. wall_s;
+    p50_ms = percentile lat 0.5 *. 1e3;
+    p99_ms = percentile lat 0.99 *. 1e3;
+    bootstraps = stats.Stats.bootstrap;
+    key_switches = stats.Stats.key_switches;
+    hoisted_groups = stats.Stats.hoisted_groups;
+    decompositions_saved = stats.Stats.decompositions_saved;
+  }
+
+let print_result r =
+  Printf.printf
+    "%-8s %4d reqs in %3d batches  %7.3f s  %8.1f req/s  p50 %7.2f ms  p99 \
+     %7.2f ms  bootstraps=%d key_switches=%d hoisted=%d saved=%d\n%!"
+    r.mode r.served r.batches r.wall_s r.rps r.p50_ms r.p99_ms r.bootstraps
+    r.key_switches r.hoisted_groups r.decompositions_saved
+
+let json_of ~clients ~per_client ~slots ~lane ~iters results speedup =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"halo-bench-serving/v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"pool\": %d,\n" (Domain_pool.size ()));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"clients\": %d,\n  \"per_client\": %d,\n  \"slots\": %d,\n  \
+        \"lane\": %d,\n  \"iters\": %d,\n"
+       clients per_client slots lane iters);
+  Buffer.add_string b "  \"modes\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"mode\": %S, \"requests\": %d, \"accepted\": %d, \
+            \"served\": %d, \"failed\": %d, \"dropped\": %d, \"batches\": \
+            %d, \"wall_s\": %.4f, \"rps\": %.1f, \"p50_ms\": %.3f, \
+            \"p99_ms\": %.3f, \"bootstraps\": %d, \"key_switches\": %d, \
+            \"hoisted_groups\": %d, \"decompositions_saved\": %d }%s\n"
+           r.mode r.requests r.accepted r.served r.failed r.dropped r.batches
+           r.wall_s r.rps r.p50_ms r.p99_ms r.bootstraps r.key_switches
+           r.hoisted_groups r.decompositions_saved
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b (Printf.sprintf "  \"speedup_rps\": %.2f\n" speedup);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let () =
+  let clients = ref 240 in
+  let per_client = ref 2 in
+  let slots = ref 256 in
+  let lane = ref 8 in
+  let iters = ref 3 in
+  let batch_window = ref 16 in
+  let queue_depth = ref 128 in
+  let seed = ref 0 in
+  let json_path = ref "" in
+  let spec =
+    [
+      ("--clients", Arg.Set_int clients, "simulated clients (default 240)");
+      ( "--per-client",
+        Arg.Set_int per_client,
+        "requests per client (default 2)" );
+      ("--slots", Arg.Set_int slots, "ciphertext slots (default 256)");
+      ("--lane", Arg.Set_int lane, "lane width (default 8)");
+      ("--iters", Arg.Set_int iters, "loop workload iterations (default 3)");
+      ( "--batch-window",
+        Arg.Set_int batch_window,
+        "max requests per ciphertext in batched mode (default 16)" );
+      ( "--queue-depth",
+        Arg.Set_int queue_depth,
+        "admission queue bound (default 128)" );
+      ("--seed", Arg.Set_int seed, "workload seed (default 0)");
+      ("--json", Arg.Set_string json_path, "write a JSON report to PATH");
+      ( "--tiny",
+        Arg.Unit
+          (fun () ->
+            clients := 24;
+            per_client := 1;
+            slots := 64;
+            batch_window := 8;
+            queue_depth := 32;
+            iters := 2),
+        "CI smoke mode: small fleet, small ciphertexts" );
+    ]
+  in
+  Arg.parse spec
+    (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
+    "bench_serving: batched vs solo multi-tenant serving throughput";
+  Printf.printf
+    "serving bench: pool=%d clients=%d per_client=%d slots=%d lane=%d \
+     window=%d queue=%d\n%!"
+    (Domain_pool.size ()) !clients !per_client !slots !lane !batch_window
+    !queue_depth;
+  let common ~mode ~batch_window =
+    run_mode ~mode ~batch_window ~slots:!slots ~lane:!lane ~iters:!iters
+      ~queue_depth:!queue_depth ~clients:!clients ~per_client:!per_client
+      ~seed:!seed
+  in
+  let batched = common ~mode:"batched" ~batch_window:!batch_window in
+  print_result batched;
+  let solo = common ~mode:"solo" ~batch_window:1 in
+  print_result solo;
+  let speedup = batched.rps /. solo.rps in
+  Printf.printf "batched/solo speedup: %.2fx req/s (bootstraps %d -> %d)\n%!"
+    speedup solo.bootstraps batched.bootstraps;
+  if !json_path <> "" then begin
+    let oc = open_out !json_path in
+    output_string oc
+      (json_of ~clients:!clients ~per_client:!per_client ~slots:!slots
+         ~lane:!lane ~iters:!iters [ batched; solo ] speedup);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" !json_path
+  end;
+  let bad = ref false in
+  List.iter
+    (fun r ->
+      if r.dropped <> 0 || r.failed <> 0 || r.served <> r.accepted then begin
+        Printf.eprintf "bench_serving: %s mode dropped requests (accepted=%d \
+                        served=%d failed=%d)\n"
+          r.mode r.accepted r.served r.failed;
+        bad := true
+      end)
+    [ batched; solo ];
+  if batched.rps <= solo.rps then begin
+    Printf.eprintf
+      "bench_serving: batching did not win (batched %.1f req/s vs solo %.1f)\n"
+      batched.rps solo.rps;
+    bad := true
+  end;
+  if !bad then exit 1

@@ -89,6 +89,9 @@ let handle_code f =
   | exception Sys_error m ->
     Printf.eprintf "%s\n" m;
     1
+  | exception Invalid_argument m ->
+    Printf.eprintf "invalid argument: %s\n" m;
+    1
   | exception (Halo_error.Persist_error _ as e) ->
     Printf.eprintf "persist error: %s\n" (Halo_error.to_string e);
     1
@@ -560,6 +563,377 @@ let verify_cmd =
       const run $ seeds_arg $ seed_arg $ start_arg $ tol_arg $ fault_rate_arg
       $ verbose_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Multi-tenant serving                                                *)
+
+module Server = Halo_serve.Server
+module Tenant = Halo_serve.Tenant
+module Workload = Halo_serve.Workload
+
+let serve_config ~slots ~max_level ~queue_depth ~batch_window ~lane
+    ~rotate_fuse ~backend_seed ~policy ~faults =
+  {
+    Halo_serve.Serve_codec.backend =
+      {
+        (default_backend_cfg ~slots ~max_level) with
+        Persist.Codec.seed = backend_seed;
+      };
+    queue_depth;
+    batch_window;
+    lane;
+    margin = 10.0;
+    rotate_fuse;
+    policy;
+    faults;
+  }
+
+(* Submit simulated traffic with backpressure: a queue-full rejection
+   drains the server once and resubmits, so a bounded queue throttles the
+   clients instead of dropping their requests. *)
+let serve_submit ?kill_after server reqs =
+  let accepted = ref 0 and rejected = ref 0 in
+  List.iter
+    (fun (w : Workload.req) ->
+      let submit () =
+        Server.submit server ~tenant:w.w_tenant ~tol:w.w_tol
+          ~program:w.w_program ~payload:w.w_payload
+      in
+      match submit () with
+      | Ok _ -> incr accepted
+      | Error (Server.Queue_full _) -> (
+        Server.run_until_drained ?kill_after server;
+        match submit () with
+        | Ok _ -> incr accepted
+        | Error _ -> incr rejected)
+      | Error _ -> incr rejected)
+    reqs;
+  Server.run_until_drained ?kill_after server;
+  (!accepted, !rejected)
+
+(* The simulation holds every tenant's key (the workload derives them from
+   tenant ids), so the CLI can open each sealed result for display. *)
+let serve_opened server =
+  List.map
+    (fun (id, o) ->
+      match o with
+      | Server.Served { batch_key; lanes; sealed } ->
+        let outs =
+          List.map
+            (fun (s : Tenant.sealed) ->
+              Tenant.open_sealed
+                (Tenant.create ~id:s.Tenant.s_tenant
+                   ~key_seed:(Tenant.default_key_seed ~id:s.Tenant.s_tenant))
+                s)
+            sealed
+        in
+        (id, Ok (batch_key, lanes, outs))
+      | Server.Failed f -> (id, Error f))
+    (Server.results server)
+
+let write_serve_outputs path opened =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (id, r) ->
+      match r with
+      | Ok (key, lanes, outs) ->
+        List.iteri
+          (fun j (out : float array) ->
+            Buffer.add_string buf
+              (Printf.sprintf "req %d batch %d lanes %d output %d:" id key
+                 lanes j);
+            Array.iter
+              (fun x -> Buffer.add_string buf (Printf.sprintf " %h" x))
+              out;
+            Buffer.add_char buf '\n')
+          outs
+      | Error (f : Server.failure) ->
+        Buffer.add_string buf
+          (Printf.sprintf "req %d degraded op=%s attempts=%d reason=%s\n" id
+             f.Server.f_op f.Server.f_attempts f.Server.f_reason))
+    opened;
+  let oc = open_out_bin path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let serve_cmd =
+  let module Resilient = Halo_runtime.Resilient in
+  let run clients per_client queue_depth batch_window lane slots iters seed
+      dir resume kill_after solo no_fuse fault_rate spike_rate no_retry out
+      verbose =
+    handle_code (fun () ->
+        if resume && dir = None then begin
+          Printf.eprintf "serve: --resume requires --dir\n";
+          2
+        end
+        else begin
+          let max_level = 16 in
+          let faults =
+            if fault_rate = 0.0 && spike_rate = 0.0 then None
+            else
+              Some
+                {
+                  Halo_serve.Serve_codec.f_seed = (seed * 7919) + 1;
+                  f_transient = fault_rate;
+                  f_bootstrap = fault_rate;
+                  f_spike = spike_rate;
+                  f_magnitude = 1e-4;
+                }
+          in
+          let cfg =
+            serve_config ~slots ~max_level ~queue_depth
+              ~batch_window:(if solo then 1 else batch_window)
+              ~lane ~rotate_fuse:(not no_fuse) ~backend_seed:(0xB00 + seed)
+              ~policy:
+                (if no_retry then Resilient.no_retry
+                 else Resilient.default_policy)
+              ~faults
+          in
+          let killed = ref None in
+          let server =
+            if resume then begin
+              let s = Server.open_resume ~dir:(Option.get dir) in
+              List.iter
+                (fun (f, reason) ->
+                  Printf.printf
+                    "  warning: discarded damaged journal entry %s (%s)\n" f
+                    reason)
+                (Server.damaged s);
+              s
+            end
+            else
+              Server.create ?dir cfg
+                ~programs:(Workload.programs ~slots ~max_level ~iters)
+          in
+          (try
+             if resume then Server.run_until_drained ?kill_after server
+             else begin
+               let reqs =
+                 Workload.requests ~seed ~clients ~per_client ~lane ()
+               in
+               let accepted, rejected =
+                 serve_submit ?kill_after server reqs
+               in
+               Printf.printf "submitted %d requests: %d accepted, %d rejected\n"
+                 (List.length reqs) accepted rejected
+             end
+           with Server.Killed { writes } ->
+             killed := Some writes);
+          match !killed with
+          | Some writes ->
+            Printf.printf
+              "killed after %d journal writes (resume with --resume --dir)\n"
+              writes;
+            0
+          | None ->
+            print_string (Server.report server);
+            let opened = serve_opened server in
+            if verbose then
+              List.iter
+                (fun (id, r) ->
+                  match r with
+                  | Ok (key, lanes, outs) ->
+                    Printf.printf "req %d (batch %d, %d lanes):\n" id key
+                      lanes;
+                    print_outputs outs
+                  | Error f ->
+                    Printf.printf "req %d degraded at %s: %s\n" id
+                      f.Server.f_op f.Server.f_reason)
+                opened;
+            (match out with
+             | Some path ->
+               write_serve_outputs path opened;
+               Printf.printf "wrote per-request outputs to %s\n" path
+             | None -> ());
+            0
+        end)
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"N" ~doc:"Simulated tenants.")
+  in
+  let per_client_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Bounded admission queue; a full queue throttles submission \
+             (the CLI drains and resubmits).")
+  in
+  let batch_window_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batch-window" ] ~docv:"N"
+          ~doc:"Max requests packed into one ciphertext.")
+  in
+  let lane_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "lane" ] ~docv:"N"
+          ~doc:"Slot lane width per batched request (power of two).")
+  in
+  let slots_arg =
+    Arg.(value & opt int 64 & info [ "slots" ] ~docv:"N")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "iters" ] ~docv:"N"
+          ~doc:"Iteration count of the built-in loop workload.")
+  in
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED") in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Serve directory for durable job state (manifest, accepted \
+             requests, batch journal).  Without it the server is \
+             in-memory only.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Reopen $(b,--dir) after a kill and complete every accepted \
+             request instead of submitting new traffic.")
+  in
+  let kill_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"K"
+          ~doc:"Simulate a crash after K durable journal writes.")
+  in
+  let solo_arg =
+    Arg.(
+      value & flag
+      & info [ "solo" ]
+          ~doc:
+            "Disable cross-request batching (batch window 1): every \
+             request pays for its own ciphertext.")
+  in
+  let fault_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Per-op transient fault probability on the serving backend.")
+  in
+  let spike_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "spike-rate" ] ~docv:"P"
+          ~doc:"Silent noise-spike probability.")
+  in
+  let no_retry_arg =
+    Arg.(
+      value & flag
+      & info [ "no-retry" ]
+          ~doc:"First fault degrades the batch (structured report).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write per-request opened outputs as bit-exact hex floats \
+             (diffable with cmp).")
+  in
+  let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ]) in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the multi-tenant serving layer over simulated clients: \
+          bounded admission with noise-budget refusal, cross-request slot \
+          batching (several tenants' vectors share one ciphertext's \
+          lanes), parallel batch execution, per-tenant sealed results, \
+          and durable kill/resume job state under $(b,--dir).")
+    Term.(
+      const run $ clients_arg $ per_client_arg $ queue_depth_arg
+      $ batch_window_arg $ lane_arg $ slots_arg $ iters_arg $ seed_arg
+      $ dir_arg $ resume_arg $ kill_after_arg $ solo_arg $ no_rotate_fuse_arg
+      $ fault_rate_arg $ spike_rate_arg $ no_retry_arg $ out_arg
+      $ verbose_arg)
+
+(* Serving crash soak: the PR 4 kill/resume discipline applied to the
+   serving layer.  Each trial serves a seeded workload to completion (the
+   baseline), serves it again with a kill after a trial-dependent number
+   of journal writes, resumes from the serve directory, and requires every
+   accepted request's opened outputs and the server report to be
+   bit-identical to the baseline's. *)
+let serve_crash_soak ~trials ~seed ~dir ~kill_after ~verbose =
+  let slots = 64 and max_level = 16 and lane = 8 in
+  let clients = 6 and per_client = 4 in
+  let opened_equal a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun (ida, ra) (idb, rb) ->
+           ida = idb
+           &&
+           match (ra, rb) with
+           | Ok (ka, la, outa), Ok (kb, lb, outb) ->
+             ka = kb && la = lb && bit_identical outa outb
+           | Error (fa : Server.failure), Error fb -> fa = fb
+           | _ -> false)
+         a b
+  in
+  Printf.printf
+    "serve crash soak: %d trials, %d clients x %d requests, kill after \
+     %d+trial journal writes (dirs under %s)\n"
+    trials clients per_client kill_after dir;
+  let ok = ref 0 in
+  for trial = 0 to trials - 1 do
+    let cfg =
+      serve_config ~slots ~max_level ~queue_depth:(clients * per_client)
+        ~batch_window:4 ~lane ~rotate_fuse:true
+        ~backend_seed:(0xB00 + trial)
+        ~policy:Halo_runtime.Resilient.default_policy ~faults:None
+    in
+    let programs = Workload.programs ~slots ~max_level ~iters:3 in
+    let reqs =
+      Workload.requests ~seed:(seed + trial) ~clients ~per_client ~lane ()
+    in
+    let dir_a = Filename.concat dir (Printf.sprintf "trial%d-baseline" trial) in
+    let dir_b = Filename.concat dir (Printf.sprintf "trial%d-crashed" trial) in
+    let a = Server.create ~dir:dir_a cfg ~programs in
+    let _ = serve_submit a reqs in
+    let b = Server.create ~dir:dir_b cfg ~programs in
+    let crashed =
+      match serve_submit ~kill_after:(kill_after + trial) b reqs with
+      | _ -> false (* drained before reaching the kill threshold *)
+      | exception Server.Killed _ -> true
+    in
+    let r = Server.open_resume ~dir:dir_b in
+    Server.run_until_drained r;
+    let same_out = opened_equal (serve_opened a) (serve_opened r) in
+    let same_report = Server.report a = Server.report r in
+    let damaged = Server.damaged r in
+    if same_out && same_report && damaged = [] then begin
+      incr ok;
+      if verbose then
+        Printf.printf "  trial %2d: recovered%s (%d requests bit-identical)\n"
+          trial
+          (if crashed then "" else " (completed before kill threshold)")
+          (List.length (Server.results r))
+    end
+    else
+      Printf.printf
+        "  trial %2d: FAILED (outputs identical: %b, report identical: %b, \
+         damaged entries: %d)\n"
+        trial same_out same_report (List.length damaged)
+  done;
+  Printf.printf "recovered %d/%d serve crash trials bit-identically\n" !ok
+    trials;
+  if !ok = trials then 0 else 1
+
 (* Crash-recovery soak: for each trial, run a benchmark to completion with
    checkpointing (the baseline), run it again and simulate a kill after a
    trial-dependent number of checkpoint writes, resume from the journal,
@@ -643,8 +1017,22 @@ let soak_cmd =
   let module Faulty = Halo_runtime.Faults.Make (Halo_ckks.Ref_backend) in
   let module Recover = Halo_runtime.Resilient.Make (Faulty) in
   let module Ref = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend) in
-  let run name strategy iters size trials seed fault_rate boot_rate spike_rate
-      no_retry max_attempts kill_after checkpoint_dir verbose =
+  let run serve name strategy iters size trials seed fault_rate boot_rate
+      spike_rate no_retry max_attempts kill_after checkpoint_dir verbose =
+    if serve then begin
+      let k = Option.value kill_after ~default:1 in
+      let dir =
+        match checkpoint_dir with
+        | Some d -> d
+        | None ->
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "halo-serve-soak-%d" (Unix.getpid ()))
+      in
+      handle_code (fun () ->
+          serve_crash_soak ~trials ~seed ~dir ~kill_after:k ~verbose)
+    end
+    else
     let b =
       try Some (Halo_ml.Workloads.find name) with Not_found -> None
     in
@@ -745,8 +1133,19 @@ let soak_cmd =
         (total.Stats.backoff_us /. 1000.0);
       if !recovered = trials then 0 else 1
   in
+  let serve_arg =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:
+            "Kill/resume soak of the serving layer instead of a benchmark: \
+             each trial serves a seeded multi-tenant workload, is killed \
+             after K+trial durable journal writes, resumed from the serve \
+             directory, and must complete every accepted request with \
+             bit-identical outputs and statistics.")
+  in
   let name_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+    Arg.(value & pos 0 string "linear" & info [] ~docv:"BENCHMARK")
   in
   let iters_arg = Arg.(value & opt int 8 & info [ "iters" ] ~docv:"N") in
   let size_arg = Arg.(value & opt int 32 & info [ "size" ] ~docv:"N") in
@@ -819,10 +1218,10 @@ let soak_cmd =
           stress crash recovery instead.  Exits non-zero unless every \
           trial recovers.")
     Term.(
-      const run $ name_arg $ strategy_arg $ iters_arg $ size_arg $ trials_arg
-      $ seed_arg $ fault_rate_arg $ boot_rate_arg $ spike_rate_arg
-      $ no_retry_arg $ max_attempts_arg $ kill_after_arg $ checkpoint_dir_arg
-      $ verbose_arg)
+      const run $ serve_arg $ name_arg $ strategy_arg $ iters_arg $ size_arg
+      $ trials_arg $ seed_arg $ fault_rate_arg $ boot_rate_arg
+      $ spike_rate_arg $ no_retry_arg $ max_attempts_arg $ kill_after_arg
+      $ checkpoint_dir_arg $ verbose_arg)
 
 let () =
   let info =
@@ -840,4 +1239,5 @@ let () =
             bench_cmd;
             verify_cmd;
             soak_cmd;
+            serve_cmd;
           ]))

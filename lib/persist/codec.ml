@@ -13,6 +13,9 @@ type kind =
   | Program_frame
   | Manifest_frame
   | Entry_frame
+  | Serve_manifest_frame
+  | Serve_request_frame
+  | Serve_entry_frame
 
 let format_version = 2
 let magic = "HALO"
@@ -26,6 +29,9 @@ let kind_tag = function
   | Program_frame -> 5
   | Manifest_frame -> 6
   | Entry_frame -> 7
+  | Serve_manifest_frame -> 8
+  | Serve_request_frame -> 9
+  | Serve_entry_frame -> 10
 
 let kind_name = function
   | Rns_poly_frame -> "rns_poly"
@@ -35,6 +41,9 @@ let kind_name = function
   | Program_frame -> "compiled program"
   | Manifest_frame -> "run manifest"
   | Entry_frame -> "checkpoint entry"
+  | Serve_manifest_frame -> "serve manifest"
+  | Serve_request_frame -> "serve request"
+  | Serve_entry_frame -> "serve batch entry"
 
 (* --- frames ------------------------------------------------------------ *)
 

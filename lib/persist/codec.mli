@@ -43,6 +43,10 @@ type kind =
   | Program_frame
   | Manifest_frame
   | Entry_frame
+  | Serve_manifest_frame
+      (** serving-layer configuration + program registry ([Halo_serve]) *)
+  | Serve_request_frame  (** one accepted serving request ([Halo_serve]) *)
+  | Serve_entry_frame  (** one completed serving batch ([Halo_serve]) *)
 
 val format_version : int
 

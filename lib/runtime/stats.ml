@@ -113,6 +113,32 @@ let assign ~into src =
   into.hoisted_groups <- src.hoisted_groups;
   into.decompositions_saved <- src.decompositions_saved
 
+let merge ~into src =
+  into.addcc <- into.addcc + src.addcc;
+  into.addcp <- into.addcp + src.addcp;
+  into.subcc <- into.subcc + src.subcc;
+  into.multcc <- into.multcc + src.multcc;
+  into.multcp <- into.multcp + src.multcp;
+  into.rotate <- into.rotate + src.rotate;
+  into.rescale <- into.rescale + src.rescale;
+  into.modswitch <- into.modswitch + src.modswitch;
+  into.bootstrap <- into.bootstrap + src.bootstrap;
+  into.total_latency_us <- into.total_latency_us +. src.total_latency_us;
+  into.bootstrap_latency_us <-
+    into.bootstrap_latency_us +. src.bootstrap_latency_us;
+  into.injected_faults <- into.injected_faults + src.injected_faults;
+  into.retries <- into.retries + src.retries;
+  into.checkpoint_restores <-
+    into.checkpoint_restores + src.checkpoint_restores;
+  into.backoff_us <- into.backoff_us +. src.backoff_us;
+  into.checkpoint_writes <- into.checkpoint_writes + src.checkpoint_writes;
+  into.checkpoint_bytes <- into.checkpoint_bytes + src.checkpoint_bytes;
+  into.guard_trips <- into.guard_trips + src.guard_trips;
+  into.key_switches <- into.key_switches + src.key_switches;
+  into.hoisted_groups <- into.hoisted_groups + src.hoisted_groups;
+  into.decompositions_saved <-
+    into.decompositions_saved + src.decompositions_saved
+
 let total_ops t =
   t.addcc + t.addcp + t.subcc + t.multcc + t.multcp + t.rotate + t.rescale
   + t.modswitch + t.bootstrap

@@ -67,6 +67,12 @@ val assign : into:t -> t -> unit
     uses this to reinstall the statistics snapshot stored with a checkpoint,
     so a resumed run reports the same counters as an uninterrupted one. *)
 
+val merge : into:t -> t -> unit
+(** Accumulate every counter of [src] into [into].  The serving layer runs
+    each batch against its own statistics record (batches execute in
+    parallel on the domain pool) and folds the per-batch records in batch
+    order, so the aggregate is deterministic for any pool size. *)
+
 val total_ops : t -> int
 val compute_latency_us : t -> float
 (** Non-bootstrap latency. *)

@@ -1,0 +1,328 @@
+module Codec = Halo_persist.Codec
+module Wire = Halo_persist.Wire
+module Store = Halo_persist.Store
+module Crc32 = Halo_persist.Crc32
+module Stats = Halo_runtime.Stats
+module Resilient = Halo_runtime.Resilient
+
+type prog_def = {
+  pd_name : string;
+  pd_strategy : Halo.Strategy.t;
+  pd_traced : Halo.Ir.program;
+}
+
+type fault_cfg = {
+  f_seed : int;
+  f_transient : float;
+  f_bootstrap : float;
+  f_spike : float;
+  f_magnitude : float;
+}
+
+type config = {
+  backend : Codec.backend_cfg;
+  queue_depth : int;
+  batch_window : int;
+  lane : int;
+  margin : float;
+  rotate_fuse : bool;
+  policy : Resilient.policy;
+  faults : fault_cfg option;
+}
+
+type manifest = { config : config; progs : prog_def list }
+
+type request = {
+  req_id : int;
+  tenant_id : int;
+  tenant_key : int;
+  pname : string;
+  tol : float;
+  payload : (string * float array) list;
+}
+
+type batch_status =
+  | Ok of float array list list
+  | Degraded of {
+      d_op : string;
+      d_reason : string;
+      d_attempts : int;
+      d_iteration : int option;
+    }
+
+type entry = {
+  e_key : int;
+  e_reqs : int list;
+  e_status : batch_status;
+  e_stats : Stats.t;
+}
+
+(* --- payload codecs ----------------------------------------------------- *)
+
+let encode_backend_cfg b (c : Codec.backend_cfg) =
+  Wire.i64 b c.slots;
+  Wire.i64 b c.max_level;
+  Wire.i64 b c.scale_bits;
+  Wire.i64 b c.seed;
+  Wire.f64 b c.enc_noise;
+  Wire.f64 b c.mult_noise;
+  Wire.f64 b c.boot_noise;
+  Wire.f64 b c.rescale_noise
+
+let decode_backend_cfg r : Codec.backend_cfg =
+  let slots = Wire.ri64 r in
+  let max_level = Wire.ri64 r in
+  let scale_bits = Wire.ri64 r in
+  let seed = Wire.ri64 r in
+  let enc_noise = Wire.rf64 r in
+  let mult_noise = Wire.rf64 r in
+  let boot_noise = Wire.rf64 r in
+  let rescale_noise = Wire.rf64 r in
+  if slots < 1 then Wire.fail r ~got:(string_of_int slots) "slot count below 1";
+  if max_level < 1 then
+    Wire.fail r ~got:(string_of_int max_level) "max level below 1";
+  { slots; max_level; scale_bits; seed; enc_noise; mult_noise; boot_noise;
+    rescale_noise }
+
+let encode_policy b (p : Resilient.policy) =
+  Wire.i64 b p.max_attempts;
+  Wire.i64 b p.max_restores;
+  Wire.f64 b p.base_backoff_us;
+  Wire.f64 b p.backoff_factor;
+  Wire.f64 b p.max_backoff_us
+
+let decode_policy r : Resilient.policy =
+  let max_attempts = Wire.ri64 r in
+  let max_restores = Wire.ri64 r in
+  let base_backoff_us = Wire.rf64 r in
+  let backoff_factor = Wire.rf64 r in
+  let max_backoff_us = Wire.rf64 r in
+  if max_attempts < 1 then
+    Wire.fail r ~got:(string_of_int max_attempts) "retry budget below 1";
+  { max_attempts; max_restores; base_backoff_us; backoff_factor;
+    max_backoff_us }
+
+let encode_config b (c : config) =
+  encode_backend_cfg b c.backend;
+  Wire.i64 b c.queue_depth;
+  Wire.i64 b c.batch_window;
+  Wire.i64 b c.lane;
+  Wire.f64 b c.margin;
+  Wire.u8 b (if c.rotate_fuse then 1 else 0);
+  encode_policy b c.policy;
+  match c.faults with
+  | None -> Wire.u8 b 0
+  | Some f ->
+    Wire.u8 b 1;
+    Wire.i64 b f.f_seed;
+    Wire.f64 b f.f_transient;
+    Wire.f64 b f.f_bootstrap;
+    Wire.f64 b f.f_spike;
+    Wire.f64 b f.f_magnitude
+
+let decode_config r =
+  let backend = decode_backend_cfg r in
+  let queue_depth = Wire.ri64 r in
+  let batch_window = Wire.ri64 r in
+  let lane = Wire.ri64 r in
+  let margin = Wire.rf64 r in
+  let rotate_fuse =
+    match Wire.ru8 r with
+    | 0 -> false
+    | 1 -> true
+    | n -> Wire.fail r ~got:(string_of_int n) "bad rotate_fuse flag"
+  in
+  let policy = decode_policy r in
+  let faults =
+    match Wire.ru8 r with
+    | 0 -> None
+    | 1 ->
+      let f_seed = Wire.ri64 r in
+      let f_transient = Wire.rf64 r in
+      let f_bootstrap = Wire.rf64 r in
+      let f_spike = Wire.rf64 r in
+      let f_magnitude = Wire.rf64 r in
+      Some { f_seed; f_transient; f_bootstrap; f_spike; f_magnitude }
+    | n -> Wire.fail r ~got:(string_of_int n) "bad fault-config flag"
+  in
+  if queue_depth < 1 then
+    Wire.fail r ~got:(string_of_int queue_depth) "queue depth below 1";
+  if batch_window < 1 then
+    Wire.fail r ~got:(string_of_int batch_window) "batch window below 1";
+  if lane < 1 || lane land (lane - 1) <> 0 then
+    Wire.fail r ~got:(string_of_int lane) "lane not a positive power of two";
+  if lane > backend.Codec.slots then
+    Wire.fail r
+      ~got:(Printf.sprintf "lane %d, slots %d" lane backend.Codec.slots)
+      "lane wider than the ciphertext";
+  if not (margin > 0.0) then
+    Wire.fail r ~got:(string_of_float margin) "non-positive admission margin";
+  { backend; queue_depth; batch_window; lane; margin; rotate_fuse; policy;
+    faults }
+
+let encode_manifest b (m : manifest) =
+  encode_config b m.config;
+  Wire.list b
+    (fun b (pd : prog_def) ->
+      Wire.str b pd.pd_name;
+      Wire.str b (Halo.Strategy.to_string pd.pd_strategy);
+      Codec.encode_program b pd.pd_traced)
+    m.progs
+
+let decode_manifest r =
+  let config = decode_config r in
+  let progs =
+    Wire.rlist r (fun r ->
+        let pd_name = Wire.rstr r in
+        let sname = Wire.rstr r in
+        let pd_strategy =
+          match Halo.Strategy.of_string sname with
+          | Some s -> s
+          | None -> Wire.fail r ~got:sname "unknown strategy"
+        in
+        let pd_traced = Codec.decode_program r in
+        { pd_name; pd_strategy; pd_traced })
+  in
+  if progs = [] then Wire.fail r "empty program registry";
+  { config; progs }
+
+let encode_request b (q : request) =
+  Wire.i64 b q.req_id;
+  Wire.i64 b q.tenant_id;
+  Wire.i64 b q.tenant_key;
+  Wire.str b q.pname;
+  Wire.f64 b q.tol;
+  Wire.list b
+    (fun b (name, v) ->
+      Wire.str b name;
+      Wire.float_array b v)
+    q.payload
+
+let decode_request r =
+  let req_id = Wire.ri64 r in
+  let tenant_id = Wire.ri64 r in
+  let tenant_key = Wire.ri64 r in
+  let pname = Wire.rstr r in
+  let tol = Wire.rf64 r in
+  let payload =
+    Wire.rlist r (fun r ->
+        let name = Wire.rstr r in
+        let v = Wire.rfloat_array r in
+        (name, v))
+  in
+  if req_id < 0 then Wire.fail r ~got:(string_of_int req_id) "negative request id";
+  List.iter
+    (fun (name, v) ->
+      if Array.length v = 0 then Wire.fail r ~got:name "empty input vector")
+    payload;
+  { req_id; tenant_id; tenant_key; pname; tol; payload }
+
+let encode_entry b (e : entry) =
+  Wire.i64 b e.e_key;
+  Wire.list b Wire.i64 e.e_reqs;
+  (match e.e_status with
+   | Ok sealed ->
+     Wire.u8 b 0;
+     Wire.list b (fun b outs -> Wire.list b Wire.float_array outs) sealed
+   | Degraded d ->
+     Wire.u8 b 1;
+     Wire.str b d.d_op;
+     Wire.str b d.d_reason;
+     Wire.i64 b d.d_attempts;
+     (match d.d_iteration with
+      | None -> Wire.u8 b 0
+      | Some i ->
+        Wire.u8 b 1;
+        Wire.i64 b i));
+  Codec.encode_stats b e.e_stats
+
+let decode_entry r =
+  let e_key = Wire.ri64 r in
+  let e_reqs = Wire.rlist r Wire.ri64 in
+  let e_status =
+    match Wire.ru8 r with
+    | 0 ->
+      let sealed = Wire.rlist r (fun r -> Wire.rlist r Wire.rfloat_array) in
+      Ok sealed
+    | 1 ->
+      let d_op = Wire.rstr r in
+      let d_reason = Wire.rstr r in
+      let d_attempts = Wire.ri64 r in
+      let d_iteration =
+        match Wire.ru8 r with
+        | 0 -> None
+        | 1 -> Some (Wire.ri64 r)
+        | n -> Wire.fail r ~got:(string_of_int n) "bad iteration flag"
+      in
+      Degraded { d_op; d_reason; d_attempts; d_iteration }
+    | n -> Wire.fail r ~got:(string_of_int n) "bad batch-status tag"
+  in
+  let e_stats = Codec.decode_stats r in
+  if e_reqs = [] then Wire.fail r "batch entry with no requests";
+  if List.hd e_reqs <> e_key then
+    Wire.fail r
+      ~expected:(string_of_int e_key)
+      ~got:(string_of_int (List.hd e_reqs))
+      "batch key is not the first member's request id";
+  (match e_status with
+   | Ok sealed when List.length sealed <> List.length e_reqs ->
+     Wire.fail r
+       ~expected:(Printf.sprintf "%d result groups" (List.length e_reqs))
+       ~got:(string_of_int (List.length sealed))
+       "sealed outputs do not cover the batch members"
+   | _ -> ());
+  { e_key; e_reqs; e_status; e_stats }
+
+(* --- fingerprint and typed file helpers --------------------------------- *)
+
+let manifest_fingerprint m =
+  let b = Buffer.create 1024 in
+  encode_manifest b m;
+  Int64.logor
+    (Int64.logand (Int64.of_int32 (Crc32.string (Buffer.contents b))) 0xFFFFFFFFL)
+    (Int64.shift_left (Int64.of_int (Buffer.length b land 0xFFFFFF)) 32)
+
+let save_manifest ~path m =
+  Store.write_file path
+    (Codec.frame ~kind:Codec.Serve_manifest_frame
+       ~fingerprint:(manifest_fingerprint m) (fun b -> encode_manifest b m))
+
+let load_manifest ~path =
+  let r =
+    Codec.unframe ~path ~kind:Codec.Serve_manifest_frame ~fingerprint:None
+      (Store.read_file path)
+  in
+  let m = decode_manifest r in
+  Wire.expect_end r ~what:"serve manifest";
+  m
+
+let save_request ~path ~fingerprint q =
+  Store.write_file path
+    (Codec.frame ~kind:Codec.Serve_request_frame ~fingerprint (fun b ->
+         encode_request b q))
+
+let load_request ~path ~fingerprint =
+  let r =
+    Codec.unframe ~path ~kind:Codec.Serve_request_frame
+      ~fingerprint:(Some fingerprint) (Store.read_file path)
+  in
+  let q = decode_request r in
+  Wire.expect_end r ~what:"serve request";
+  q
+
+let save_entry ~path ~fingerprint e =
+  let frame =
+    Codec.frame ~kind:Codec.Serve_entry_frame ~fingerprint (fun b ->
+        encode_entry b e)
+  in
+  Store.write_file path frame;
+  String.length frame
+
+let load_entry ~path ~fingerprint =
+  let r =
+    Codec.unframe ~path ~kind:Codec.Serve_entry_frame
+      ~fingerprint:(Some fingerprint) (Store.read_file path)
+  in
+  let e = decode_entry r in
+  Wire.expect_end r ~what:"serve batch entry";
+  e

@@ -1,0 +1,105 @@
+(** Durable wire formats for the serving layer, framed and checksummed by
+    {!Halo_persist.Codec}.
+
+    A serve directory contains three artifact kinds, all written through
+    {!Halo_persist.Store.write_file} (tmp + fsync + rename, crash-atomic):
+
+    - [manifest.halo] — a {!Serve_manifest_frame}: the server configuration
+      and the program registry (traced programs + strategy names; compiled
+      forms are deterministic and rebuilt on load);
+    - [requests/req-<id>.halo] — one {!Serve_request_frame} per {e accepted}
+      request, written at admission, stamped with the manifest fingerprint;
+    - [journal/batch-<key>.ckpt] — one {!Serve_entry_frame} per completed
+      batch: member request ids, sealed per-tenant outputs (or the
+      structured degraded report), and the batch's execution statistics.
+
+    Rejected requests are never persisted — admission is the durability
+    boundary, which is exactly the "every {e accepted} request eventually
+    completes" contract the kill/resume soak asserts. *)
+
+module Codec = Halo_persist.Codec
+module Stats = Halo_runtime.Stats
+
+(** One registered program: served under [pd_name], compiled with
+    [pd_strategy] (deterministically, on load). *)
+type prog_def = {
+  pd_name : string;
+  pd_strategy : Halo.Strategy.t;
+  pd_traced : Halo.Ir.program;  (** traced (pre-compilation) form *)
+}
+
+(** Seeded fault-injection knobs for the serving backend (probabilities per
+    {!Halo_runtime.Faults.config}; each batch derives its own fault seed
+    from [f_seed] and the batch key). *)
+type fault_cfg = {
+  f_seed : int;
+  f_transient : float;
+  f_bootstrap : float;
+  f_spike : float;
+  f_magnitude : float;
+}
+
+type config = {
+  backend : Codec.backend_cfg;  (** per-batch reference-backend knobs *)
+  queue_depth : int;  (** bounded admission queue length *)
+  batch_window : int;
+      (** max requests packed into one ciphertext (1 = solo serving) *)
+  lane : int;  (** slot lane width per batched request (power of two) *)
+  margin : float;  (** admission: refuse when [bound * margin > tol] *)
+  rotate_fuse : bool;  (** compile with rotation fusion (default true) *)
+  policy : Halo_runtime.Resilient.policy;  (** per-batch retry policy *)
+  faults : fault_cfg option;  (** seeded fault injection, off when [None] *)
+}
+
+type manifest = { config : config; progs : prog_def list }
+
+type request = {
+  req_id : int;  (** admission order; assigned by the server *)
+  tenant_id : int;
+  tenant_key : int;  (** tenant key seed (the simulation holds all keys) *)
+  pname : string;
+  tol : float;  (** largest acceptable worst-case output error *)
+  payload : (string * float array) list;  (** one vector per program input *)
+}
+
+(** Result of one executed batch.  [Ok] carries each member's sealed output
+    lanes (request-major, then program-output-major); [Degraded] is the
+    structured failure report shared by every member of the batch. *)
+type batch_status =
+  | Ok of float array list list
+  | Degraded of {
+      d_op : string;
+      d_reason : string;
+      d_attempts : int;
+      d_iteration : int option;
+    }
+
+type entry = {
+  e_key : int;  (** batch key: the first member's request id *)
+  e_reqs : int list;  (** member request ids, lane order *)
+  e_status : batch_status;
+  e_stats : Stats.t;  (** execution counters for this batch alone *)
+}
+
+val manifest_fingerprint : manifest -> int64
+(** Stamp carried by every request and journal frame under this manifest. *)
+
+val encode_manifest : Buffer.t -> manifest -> unit
+val decode_manifest : Halo_persist.Wire.reader -> manifest
+val encode_request : Buffer.t -> request -> unit
+val decode_request : Halo_persist.Wire.reader -> request
+val encode_entry : Buffer.t -> entry -> unit
+val decode_entry : Halo_persist.Wire.reader -> entry
+
+(** {2 Typed file helpers} (framing + atomic store I/O) *)
+
+val save_manifest : path:string -> manifest -> unit
+val load_manifest : path:string -> manifest
+
+val save_request : path:string -> fingerprint:int64 -> request -> unit
+val load_request : path:string -> fingerprint:int64 -> request
+
+val save_entry : path:string -> fingerprint:int64 -> entry -> int
+(** Returns the on-disk frame size in bytes. *)
+
+val load_entry : path:string -> fingerprint:int64 -> entry

@@ -1,0 +1,661 @@
+open Halo
+module Codec = Serve_codec
+module Stats = Halo_runtime.Stats
+module Guard = Halo_runtime.Guard
+module Resilient = Halo_runtime.Resilient
+module Faults = Halo_runtime.Faults
+module Domain_pool = Halo_ckks.Domain_pool
+module Ref_backend = Halo_ckks.Ref_backend
+module Store = Halo_persist.Store
+
+(* The single execution path: every batch runs through the resilient
+   runtime over the fault injector over the reference backend.  With the
+   zero-probability fault config the injector draws nothing and touches no
+   backend RNG, so "faults off" is bit-identical to running the bare
+   backend. *)
+module Faulty = Faults.Make (Ref_backend)
+module Recover = Resilient.Make (Faulty)
+
+type reject =
+  | Queue_full of { depth : int }
+  | Unknown_program of string
+  | Missing_input of string
+  | Over_slots of { input : string; len : int; slots : int }
+  | Noise_budget of { bound : float; scaled : float; tol : float }
+  | Unbounded_noise
+
+let reject_to_string = function
+  | Queue_full { depth } -> Printf.sprintf "queue full (depth %d)" depth
+  | Unknown_program p -> Printf.sprintf "unknown program %S" p
+  | Missing_input i -> Printf.sprintf "missing input %S" i
+  | Over_slots { input; len; slots } ->
+    Printf.sprintf "input %S has %d elements but the ciphertext has %d slots"
+      input len slots
+  | Noise_budget { bound; scaled; tol } ->
+    Printf.sprintf
+      "noise budget refused: bound %.3g (scaled %.3g) exceeds tolerance %.3g"
+      bound scaled tol
+  | Unbounded_noise -> "noise budget refused: no finite bound"
+
+type failure = {
+  f_req : int;
+  f_op : string;
+  f_reason : string;
+  f_attempts : int;
+  f_iteration : int option;
+}
+
+type outcome =
+  | Served of { batch_key : int; lanes : int; sealed : Tenant.sealed list }
+  | Failed of failure
+
+type counters = {
+  accepted : int;
+  rejected_queue : int;
+  rejected_admission : int;
+  served : int;
+  failed : int;
+  batches : int;
+  batched_requests : int;
+  solo_requests : int;
+}
+
+exception Killed of { writes : int }
+
+type compiled = {
+  def : Codec.prog_def;
+  solo : Ir.program;  (* compiled one-request form *)
+  outputs : int;  (* program output count *)
+  can_batch : bool;  (* compiled form is slotwise *)
+  bound : Noise_budget.report;  (* admission bound, on the solo form *)
+  wrappers : (int, Ir.program) Hashtbl.t;  (* lanes -> compiled wrapper *)
+}
+
+type t = {
+  cfg : Codec.config;
+  dir : string option;
+  fingerprint : int64;
+  progs : (string * compiled) list;
+  requests : (int, Codec.request) Hashtbl.t;  (* every accepted request *)
+  results : (int, outcome) Hashtbl.t;
+  batch_stats : (int, Stats.t) Hashtbl.t;
+  batch_members : (int, int list) Hashtbl.t;
+  mutable next_id : int;
+  mutable pending_rev : Codec.request list;
+  mutable pending_n : int;
+  mutable accepted : int;
+  mutable rejected_queue : int;
+  mutable rejected_admission : int;
+  mutable writes : int;  (* journal appends by this process *)
+  mutable damaged : (string * string) list;
+}
+
+(* One batch of work: members in lane order, the compiled program to run
+   (wrapper for >= 2 lanes, solo form otherwise) and the lane layout. *)
+type batch = {
+  b_key : int;
+  b_members : Codec.request list;
+  b_layout : Slot_batch.layout option;
+  b_prog : Ir.program;
+  b_outputs : int;
+}
+
+let manifest_path dir = Filename.concat dir "manifest.halo"
+let requests_dir dir = Filename.concat dir "requests"
+let journal_dir dir = Filename.concat dir "journal"
+let request_path dir id =
+  Filename.concat (requests_dir dir) (Printf.sprintf "req-%010d.halo" id)
+let entry_path dir key =
+  Filename.concat (journal_dir dir) (Printf.sprintf "batch-%010d.ckpt" key)
+
+(* Nonce for output [j] of request [id]: unique per sealed artifact as long
+   as a program has fewer than 1024 outputs. *)
+let nonce ~req ~output = (req * 1024) + output
+
+let request_size (q : Codec.request) =
+  List.fold_left (fun acc (_, v) -> max acc (Array.length v)) 1 q.payload
+
+let static_counts (p : Ir.program) =
+  let ok = ref true in
+  Ir.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.op with
+          | Ir.For { count = Ir.Dyn _; _ } -> ok := false
+          | _ -> ())
+        b.instrs)
+    p.body;
+  !ok
+
+let compile_def (cfg : Codec.config) (def : Codec.prog_def) =
+  if def.pd_traced.slots <> cfg.backend.slots then
+    invalid_arg
+      (Printf.sprintf "Server.create: program %S has %d slots, backend %d"
+         def.pd_name def.pd_traced.slots cfg.backend.slots);
+  if not (static_counts def.pd_traced) then
+    invalid_arg
+      (Printf.sprintf
+         "Server.create: program %S has a dynamic iteration count"
+         def.pd_name);
+  let solo =
+    Strategy.compile ~rotate_fuse:cfg.rotate_fuse ~strategy:def.pd_strategy
+      def.pd_traced
+  in
+  {
+    def;
+    solo;
+    outputs = List.length solo.body.yields;
+    can_batch = Slot_batch.slotwise solo;
+    bound = Guard.analyze solo;
+    wrappers = Hashtbl.create 4;
+  }
+
+let build ?dir (cfg : Codec.config) progs =
+  if cfg.queue_depth < 1 then invalid_arg "Server.create: queue depth below 1";
+  if cfg.batch_window < 1 then invalid_arg "Server.create: batch window below 1";
+  if cfg.lane < 1 || cfg.lane land (cfg.lane - 1) <> 0 then
+    invalid_arg "Server.create: lane not a positive power of two";
+  if cfg.lane > cfg.backend.slots then
+    invalid_arg "Server.create: lane wider than the ciphertext";
+  if not (cfg.margin > 0.0) then
+    invalid_arg "Server.create: non-positive admission margin";
+  if progs = [] then invalid_arg "Server.create: empty program registry";
+  let names = List.map (fun (d : Codec.prog_def) -> d.pd_name) progs in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Server.create: duplicate program name";
+  let manifest = { Codec.config = cfg; progs } in
+  {
+    cfg;
+    dir;
+    fingerprint = Codec.manifest_fingerprint manifest;
+    progs = List.map (fun d -> (d.Codec.pd_name, compile_def cfg d)) progs;
+    requests = Hashtbl.create 64;
+    results = Hashtbl.create 64;
+    batch_stats = Hashtbl.create 16;
+    batch_members = Hashtbl.create 16;
+    next_id = 0;
+    pending_rev = [];
+    pending_n = 0;
+    accepted = 0;
+    rejected_queue = 0;
+    rejected_admission = 0;
+    writes = 0;
+    damaged = [];
+  }
+
+let mkdir_p path =
+  let rec go p =
+    if p <> "/" && p <> "." && not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      (try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  go path
+
+let create ?dir cfg ~programs =
+  let t = build ?dir cfg programs in
+  (match dir with
+   | None -> ()
+   | Some d ->
+     mkdir_p (requests_dir d);
+     mkdir_p (journal_dir d);
+     Codec.save_manifest ~path:(manifest_path d)
+       { Codec.config = cfg; progs = programs };
+     Store.fsync_dir d);
+  t
+
+let config t = t.cfg
+let damaged t = t.damaged
+
+let find_prog t name =
+  match List.assoc_opt name t.progs with
+  | Some cp -> cp
+  | None -> raise Not_found
+
+let solo_program t name = (find_prog t name).solo
+let noise_report t name = (find_prog t name).bound
+let batchable t name = (find_prog t name).can_batch
+let pending t = t.pending_n
+
+let accept t (q : Codec.request) =
+  Hashtbl.replace t.requests q.req_id q;
+  t.pending_rev <- q :: t.pending_rev;
+  t.pending_n <- t.pending_n + 1;
+  t.accepted <- t.accepted + 1
+
+let submit ?(tol = infinity) t ~tenant ~program ~payload =
+  match List.assoc_opt program t.progs with
+  | None ->
+    t.rejected_admission <- t.rejected_admission + 1;
+    Error (Unknown_program program)
+  | Some cp ->
+    let missing =
+      List.find_opt
+        (fun (i : Ir.input) -> not (List.mem_assoc i.in_name payload))
+        cp.solo.inputs
+    in
+    let oversized =
+      List.find_opt
+        (fun (i : Ir.input) ->
+          match List.assoc_opt i.in_name payload with
+          | Some v -> Array.length v > t.cfg.backend.slots
+          | None -> false)
+        cp.solo.inputs
+    in
+    (match missing, oversized with
+     | Some i, _ ->
+       t.rejected_admission <- t.rejected_admission + 1;
+       Error (Missing_input i.in_name)
+     | None, Some i ->
+       t.rejected_admission <- t.rejected_admission + 1;
+       Error
+         (Over_slots
+            {
+              input = i.in_name;
+              len = Array.length (List.assoc i.in_name payload);
+              slots = t.cfg.backend.slots;
+            })
+     | None, None ->
+       if t.pending_n >= t.cfg.queue_depth then begin
+         t.rejected_queue <- t.rejected_queue + 1;
+         Error (Queue_full { depth = t.cfg.queue_depth })
+       end
+       else if not cp.bound.bounded then begin
+         t.rejected_admission <- t.rejected_admission + 1;
+         Error Unbounded_noise
+       end
+       else begin
+         let scaled = cp.bound.worst *. t.cfg.margin in
+         if scaled > tol then begin
+           t.rejected_admission <- t.rejected_admission + 1;
+           Error (Noise_budget { bound = cp.bound.worst; scaled; tol })
+         end
+         else begin
+           let q =
+             {
+               Codec.req_id = t.next_id;
+               tenant_id = tenant.Tenant.id;
+               tenant_key = tenant.Tenant.key_seed;
+               pname = program;
+               tol;
+               (* Store exactly the program's inputs, in program order, so
+                  the durable request is canonical. *)
+               payload =
+                 List.map
+                   (fun (i : Ir.input) ->
+                     (i.in_name, List.assoc i.in_name payload))
+                   cp.solo.inputs;
+             }
+           in
+           t.next_id <- t.next_id + 1;
+           (match t.dir with
+            | None -> ()
+            | Some d ->
+              Codec.save_request ~path:(request_path d q.req_id)
+                ~fingerprint:t.fingerprint q);
+           accept t q;
+           Ok q.req_id
+         end
+       end)
+
+(* --- planning ----------------------------------------------------------- *)
+
+let lane_capacity t =
+  min t.cfg.batch_window
+    (Slot_batch.capacity ~slots:t.cfg.backend.slots ~lane:t.cfg.lane)
+
+let wrapper_for t (cp : compiled) lanes =
+  match Hashtbl.find_opt cp.wrappers lanes with
+  | Some p -> p
+  | None ->
+    let offsets = List.init lanes (fun i -> i * t.cfg.lane) in
+    let p =
+      Strategy.compile ~rotate_fuse:t.cfg.rotate_fuse
+        ~strategy:cp.def.pd_strategy
+        (Slot_batch.wrap cp.def.pd_traced ~offsets)
+    in
+    Hashtbl.replace cp.wrappers lanes p;
+    p
+
+let close_batch t (cp : compiled) members =
+  match members with
+  | [] -> assert false
+  | [ q ] ->
+    {
+      b_key = q.Codec.req_id;
+      b_members = members;
+      b_layout = None;
+      b_prog = cp.solo;
+      b_outputs = cp.outputs;
+    }
+  | first :: _ ->
+    let sizes = List.map request_size members in
+    let layout =
+      Slot_batch.plan ~slots:t.cfg.backend.slots ~lane:t.cfg.lane ~sizes
+    in
+    {
+      b_key = first.Codec.req_id;
+      b_members = members;
+      b_layout = Some layout;
+      b_prog = wrapper_for t cp (List.length members);
+      b_outputs = cp.outputs;
+    }
+
+(* Greedy FIFO planning.  The plan is a pure function of the pending
+   request sequence (in id order): consecutive requests for the same
+   batchable program accumulate into one open batch per program until it
+   reaches capacity.  Because batch keys are first-member ids and journal
+   appends happen in key order, a resumed server replanning only the
+   un-journaled suffix of requests reproduces the original remaining
+   batches exactly. *)
+let plan_batches t =
+  let queue = List.rev t.pending_rev in
+  t.pending_rev <- [];
+  t.pending_n <- 0;
+  let cap = lane_capacity t in
+  let opens : (string, Codec.request list ref) Hashtbl.t = Hashtbl.create 8 in
+  let closed = ref [] in
+  List.iter
+    (fun (q : Codec.request) ->
+      let cp = find_prog t q.pname in
+      let fits_lane = request_size q <= t.cfg.lane in
+      if not (cp.can_batch && fits_lane && cap >= 2) then
+        closed := close_batch t cp [ q ] :: !closed
+      else begin
+        let members =
+          match Hashtbl.find_opt opens q.pname with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.replace opens q.pname r;
+            r
+        in
+        members := q :: !members;
+        if List.length !members >= cap then begin
+          closed := close_batch t cp (List.rev !members) :: !closed;
+          Hashtbl.remove opens q.pname
+        end
+      end)
+    queue;
+  Hashtbl.iter
+    (fun pname members ->
+      closed := close_batch t (find_prog t pname) (List.rev !members) :: !closed)
+    opens;
+  List.sort (fun a b -> compare a.b_key b.b_key) !closed
+
+(* --- execution ---------------------------------------------------------- *)
+
+let fault_config cfg_faults key =
+  match cfg_faults with
+  | None -> Faults.config ~seed:0 ()
+  | Some (f : Codec.fault_cfg) ->
+    Faults.config ~transient_prob:f.f_transient ~bootstrap_prob:f.f_bootstrap
+      ~spike_prob:f.f_spike ~spike_magnitude:f.f_magnitude
+      ~seed:(f.f_seed + key) ()
+
+(* Execute one batch.  Pure function of (config, batch): the backend and
+   fault seeds derive from the batch key, not from scheduling, so the
+   entry is bit-identical for any pool size and any crash history. *)
+let exec_batch (cfg : Codec.config) (b : batch) =
+  let prog = b.b_prog in
+  let stats = Stats.create () in
+  let backend =
+    Ref_backend.create
+      ~seed:(cfg.backend.seed lxor ((b.b_key + 1) * 0x2545F49))
+      ~enc_noise:cfg.backend.enc_noise ~mult_noise:cfg.backend.mult_noise
+      ~boot_noise:cfg.backend.boot_noise
+      ~rescale_noise:cfg.backend.rescale_noise ~slots:prog.Ir.slots
+      ~max_level:prog.Ir.max_level ~scale_bits:cfg.backend.scale_bits ()
+  in
+  let st =
+    Faulty.wrap
+      ~on_fault:(fun _ -> Stats.record_fault stats)
+      (fault_config cfg.faults b.b_key)
+      backend
+  in
+  let member_input name (q : Codec.request) = List.assoc name q.payload in
+  let inputs =
+    List.map
+      (fun (i : Ir.input) ->
+        let v =
+          match b.b_layout with
+          | None -> member_input i.in_name (List.hd b.b_members)
+          | Some l ->
+            Slot_batch.pack l (List.map (member_input i.in_name) b.b_members)
+        in
+        (i.in_name, v))
+      prog.Ir.inputs
+  in
+  let ids = List.map (fun (q : Codec.request) -> q.Codec.req_id) b.b_members in
+  let lanes = List.length b.b_members in
+  let status =
+    match Recover.run ~policy:cfg.policy ~stats st ~inputs prog with
+    | Recover.Complete { outputs; stats = _ } ->
+      let outputs = Array.of_list outputs in
+      let groups =
+        List.mapi
+          (fun i (q : Codec.request) ->
+            let rsize = request_size q in
+            List.init b.b_outputs (fun j ->
+                let raw =
+                  match b.b_layout with
+                  | None -> outputs.(j)
+                  | Some _ -> outputs.((j * lanes) + i)
+                in
+                let data = Array.sub raw 0 (min rsize (Array.length raw)) in
+                let tenant =
+                  { Tenant.id = q.tenant_id; key_seed = q.tenant_key }
+                in
+                (Tenant.seal tenant ~nonce:(nonce ~req:q.req_id ~output:j)
+                   data)
+                  .Tenant.s_data))
+          b.b_members
+      in
+      Codec.Ok groups
+    | Recover.Degraded d ->
+      Codec.Degraded
+        {
+          d_op = d.failed.Halo_error.op;
+          d_reason = d.reason;
+          d_attempts = d.attempts;
+          d_iteration = d.iteration;
+        }
+  in
+  { Codec.e_key = b.b_key; e_reqs = ids; e_status = status; e_stats = stats }
+
+(* Record a completed batch's outcome for each member.  Works identically
+   for a freshly executed entry and one reloaded from the journal — the
+   sealed records are reconstituted from the member requests, so delivery
+   after resume is byte-for-byte the original delivery. *)
+let deliver t (e : Codec.entry) =
+  let lanes = List.length e.e_reqs in
+  (match e.e_status with
+   | Codec.Ok groups ->
+     List.iter2
+       (fun rid group ->
+         let q = Hashtbl.find t.requests rid in
+         let sealed =
+           List.mapi
+             (fun j data ->
+               {
+                 Tenant.s_tenant = q.Codec.tenant_id;
+                 s_nonce = nonce ~req:rid ~output:j;
+                 s_data = data;
+               })
+             group
+         in
+         Hashtbl.replace t.results rid
+           (Served { batch_key = e.e_key; lanes; sealed }))
+       e.e_reqs groups
+   | Codec.Degraded d ->
+     List.iter
+       (fun rid ->
+         Hashtbl.replace t.results rid
+           (Failed
+              {
+                f_req = rid;
+                f_op = d.d_op;
+                f_reason = d.d_reason;
+                f_attempts = d.d_attempts;
+                f_iteration = d.d_iteration;
+              }))
+       e.e_reqs);
+  Hashtbl.replace t.batch_stats e.e_key e.e_stats;
+  Hashtbl.replace t.batch_members e.e_key e.e_reqs
+
+let journal_append t ?kill_after (e : Codec.entry) =
+  match t.dir with
+  | None -> ()
+  | Some d ->
+    ignore
+      (Codec.save_entry ~path:(entry_path d e.Codec.e_key)
+         ~fingerprint:t.fingerprint e);
+    t.writes <- t.writes + 1;
+    (match kill_after with
+     | Some k when t.writes >= k -> raise (Killed { writes = t.writes })
+     | _ -> ())
+
+let run_until_drained ?kill_after ?on_batch t =
+  let batches = Array.of_list (plan_batches t) in
+  let entries = Array.make (Array.length batches) None in
+  let wave = max 1 (Domain_pool.size ()) in
+  let i = ref 0 in
+  while !i < Array.length batches do
+    let lo = !i in
+    let hi = min (Array.length batches) (lo + wave) in
+    (* Execute the wave in parallel; every slot writes index-private
+       state.  Journal appends and delivery stay sequential, in batch-key
+       order, so the journal is always a key-ordered prefix of the plan. *)
+    Domain_pool.parallel_for ~n:(hi - lo) (fun k ->
+        entries.(lo + k) <- Some (exec_batch t.cfg batches.(lo + k)));
+    for j = lo to hi - 1 do
+      let e = Option.get entries.(j) in
+      journal_append t ?kill_after e;
+      deliver t e;
+      match on_batch with
+      | Some f -> f ~key:e.Codec.e_key ~reqs:e.Codec.e_reqs
+      | None -> ()
+    done;
+    i := hi
+  done
+
+(* --- resume ------------------------------------------------------------- *)
+
+let scan_ids dir ~prefix ~suffix =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           if
+             String.length f > String.length prefix + String.length suffix
+             && String.sub f 0 (String.length prefix) = prefix
+             && Filename.check_suffix f suffix
+           then
+             int_of_string_opt
+               (String.sub f (String.length prefix)
+                  (String.length f - String.length prefix
+                 - String.length suffix))
+           else None)
+    |> List.sort compare
+
+let open_resume ~dir =
+  let m = Codec.load_manifest ~path:(manifest_path dir) in
+  let t = build ~dir m.Codec.config m.Codec.progs in
+  (* Accepted requests reload loudly: a damaged request file would
+     silently drop an accepted request, which the serving contract
+     forbids. *)
+  let req_ids = scan_ids (requests_dir dir) ~prefix:"req-" ~suffix:".halo" in
+  List.iter
+    (fun id ->
+      let q =
+        Codec.load_request ~path:(request_path dir id)
+          ~fingerprint:t.fingerprint
+      in
+      accept t q;
+      t.next_id <- max t.next_id (id + 1))
+    req_ids;
+  (* Journal entries follow the scan-and-discard-damaged discipline: an
+     intact entry is delivered as-is; a damaged one is reported and its
+     batch simply re-executed (deterministically, to the same bytes). *)
+  let completed = Hashtbl.create 16 in
+  List.iter
+    (fun key ->
+      let path = entry_path dir key in
+      match
+        Codec.load_entry ~path ~fingerprint:t.fingerprint
+      with
+      | e ->
+        deliver t e;
+        List.iter (fun rid -> Hashtbl.replace completed rid ()) e.Codec.e_reqs
+      | exception Halo_error.Persist_error { reason; _ } ->
+        t.damaged <- (path, reason) :: t.damaged)
+    (scan_ids (journal_dir dir) ~prefix:"batch-" ~suffix:".ckpt");
+  t.damaged <- List.rev t.damaged;
+  (* Pending = accepted minus completed, in id order. *)
+  let pending =
+    List.rev t.pending_rev
+    |> List.filter (fun (q : Codec.request) ->
+           not (Hashtbl.mem completed q.Codec.req_id))
+  in
+  t.pending_rev <- List.rev pending;
+  t.pending_n <- List.length pending;
+  t
+
+(* --- results and accounting --------------------------------------------- *)
+
+let result t id = Hashtbl.find_opt t.results id
+
+let results t =
+  Hashtbl.fold (fun id o acc -> (id, o) :: acc) t.results []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let stats t =
+  let acc = Stats.create () in
+  List.iter
+    (fun key -> Stats.merge ~into:acc (Hashtbl.find t.batch_stats key))
+    (sorted_keys t.batch_stats);
+  acc
+
+let counters t =
+  let served, failed =
+    Hashtbl.fold
+      (fun _ o (s, f) ->
+        match o with Served _ -> (s + 1, f) | Failed _ -> (s, f + 1))
+      t.results (0, 0)
+  in
+  let batched_requests, solo_requests =
+    Hashtbl.fold
+      (fun _ members (b, s) ->
+        match members with
+        | [ _ ] -> (b, s + 1)
+        | l -> (b + List.length l, s))
+      t.batch_members (0, 0)
+  in
+  {
+    accepted = t.accepted;
+    rejected_queue = t.rejected_queue;
+    rejected_admission = t.rejected_admission;
+    served;
+    failed;
+    batches = Hashtbl.length t.batch_members;
+    batched_requests;
+    solo_requests;
+  }
+
+let report t =
+  let c = counters t in
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "serving: accepted=%d served=%d failed=%d rejected_queue=%d \
+     rejected_admission=%d\n"
+    c.accepted c.served c.failed c.rejected_queue c.rejected_admission;
+  Printf.bprintf b
+    "batching: batches=%d batched_requests=%d solo_requests=%d pending=%d\n"
+    c.batches c.batched_requests c.solo_requests t.pending_n;
+  Buffer.add_string b (Stats.to_string (stats t));
+  Buffer.add_char b '\n';
+  Buffer.contents b

@@ -1,0 +1,148 @@
+(** Multi-tenant encrypted serving: bounded admission, cross-request slot
+    batching, parallel batch execution, durable job state.
+
+    {2 Life of a request}
+
+    A client submits [(tenant, program, payload, tol)].  Admission rejects
+    it synchronously when the queue is full, the program is unknown, an
+    input is missing or oversized, or the program's static noise bound
+    (scaled by the configured margin — the PR 2 noise-budget guard's
+    compile-time half) exceeds the request's error tolerance.  Accepted
+    requests get a monotone id, are durably persisted (when the server has
+    a directory), and wait in the admission queue.
+
+    {!run_until_drained} plans the queue into batches: consecutive requests
+    for the same {e slotwise} program (see {!Slot_batch.slotwise}) share one
+    ciphertext, up to [batch_window] lanes of [lane] slots; everything else
+    is served one-request-per-ciphertext.  Batches execute on the domain
+    pool ({!Halo_ckks.Domain_pool}), each against its own deterministically
+    seeded backend under the resilient runtime (and, when configured, the
+    seeded fault injector) — so results are bit-identical for any pool size
+    and any crash/resume history.  Completed batches are journaled
+    (one atomic frame per batch), then each member's output lane is sealed
+    under its tenant's key ({!Tenant}) and delivered.
+
+    {2 Durability protocol}
+
+    The plan is a pure function of the accepted-request sequence, and each
+    batch's execution is a pure function of the manifest and its member
+    requests (its backend seed derives from the batch key — the first
+    member's request id — not from execution order).  So after a kill at
+    any instant, {!open_resume} rebuilds the server from the manifest, the
+    request log and the journal, re-executes exactly the batches without an
+    intact journal entry, and every accepted request completes with the
+    same bytes it would have produced uninterrupted.  Damaged journal
+    entries are reported and re-executed, never trusted. *)
+
+module Codec = Serve_codec
+
+type t
+
+type reject =
+  | Queue_full of { depth : int }
+  | Unknown_program of string
+  | Missing_input of string
+  | Over_slots of { input : string; len : int; slots : int }
+  | Noise_budget of { bound : float; scaled : float; tol : float }
+      (** static bound times margin exceeds the request's tolerance *)
+  | Unbounded_noise
+      (** the program's noise analysis found no finite bound to admit
+          against *)
+
+val reject_to_string : reject -> string
+
+(** Structured per-request failure: the batch degraded past its retry
+    budget; the rest of the batches are unaffected. *)
+type failure = {
+  f_req : int;
+  f_op : string;  (** operation that kept faulting *)
+  f_reason : string;
+  f_attempts : int;
+  f_iteration : int option;
+}
+
+type outcome =
+  | Served of {
+      batch_key : int;
+      lanes : int;  (** batch size it was packed with (1 = solo) *)
+      sealed : Tenant.sealed list;  (** one per program output *)
+    }
+  | Failed of failure
+
+type counters = {
+  accepted : int;
+  rejected_queue : int;
+  rejected_admission : int;
+  served : int;
+  failed : int;
+  batches : int;
+  batched_requests : int;  (** members of batches with >= 2 lanes *)
+  solo_requests : int;
+}
+
+exception Killed of { writes : int }
+(** Raised (when [kill_after] is set) right after the [writes]-th durable
+    journal append — the simulated-SIGKILL hook of the serving soak, same
+    protocol as {!Halo_persist.Ref_run.Simulated_crash}. *)
+
+val create : ?dir:string -> Codec.config -> programs:Codec.prog_def list -> t
+(** Compile the registry and (when [dir] is given) durably write the serve
+    manifest.  Raises [Invalid_argument] on an empty or duplicate-name
+    registry, a program whose slot count differs from the backend's, or a
+    dynamic iteration count (serving programs must be self-contained). *)
+
+val open_resume : dir:string -> t
+(** Rebuild a server from a serve directory: load and validate the
+    manifest, recompile the registry, reload every accepted request, scan
+    the journal, deliver intact batch results, and queue the rest for
+    re-execution.  Corrupt journal entries are collected in {!damaged};
+    corrupt manifest or request files raise
+    {!Halo_error.Persist_error} loudly (dropping an accepted request
+    silently would break the serving contract). *)
+
+val damaged : t -> (string * string) list
+(** Journal files discarded by the last {!open_resume} scan. *)
+
+val config : t -> Codec.config
+val solo_program : t -> string -> Halo.Ir.program
+(** The compiled one-request-per-ciphertext form of a registered program
+    (raises [Not_found] on an unknown name). *)
+
+val noise_report : t -> string -> Halo.Noise_budget.report
+val batchable : t -> string -> bool
+
+val submit :
+  ?tol:float ->
+  t ->
+  tenant:Tenant.t ->
+  program:string ->
+  payload:(string * float array) list ->
+  (int, reject) result
+(** Admission.  [tol] defaults to [infinity] (accept any bounded noise).
+    On [Ok id], the request is accepted and (for durable servers) already
+    persisted. *)
+
+val pending : t -> int
+(** Requests admitted but not yet completed. *)
+
+val run_until_drained :
+  ?kill_after:int -> ?on_batch:(key:int -> reqs:int list -> unit) -> t -> unit
+(** Plan the queue, execute every batch (waves of pool-size batches run in
+    parallel; journal appends and delivery stay in batch-key order), and
+    deliver every outcome.  [on_batch] fires after each batch is journaled
+    and delivered — the bench uses it to timestamp completions.
+    [kill_after] raises {!Killed} right after that many journal appends. *)
+
+val result : t -> int -> outcome option
+val results : t -> (int * outcome) list
+(** Every delivered outcome, in request-id order. *)
+
+val stats : t -> Halo_runtime.Stats.t
+(** Aggregate execution statistics: the per-batch counters folded in
+    batch-key order — deterministic for any pool size and identical after
+    any kill/resume history. *)
+
+val counters : t -> counters
+val report : t -> string
+(** Human-readable one-stop summary (counters + aggregate statistics);
+    the serving soak compares baseline and resumed reports for equality. *)

@@ -1,0 +1,81 @@
+open Halo
+
+type layout = { slots : int; lane : int; sizes : int array }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let plan ~slots ~lane ~sizes =
+  if not (is_pow2 lane) then
+    invalid_arg (Printf.sprintf "Slot_batch.plan: lane %d not a power of two" lane);
+  let sizes = Array.of_list sizes in
+  if Array.length sizes = 0 then invalid_arg "Slot_batch.plan: no lanes";
+  if Array.length sizes * lane > slots then
+    invalid_arg
+      (Printf.sprintf "Slot_batch.plan: %d lanes of %d slots exceed %d slots"
+         (Array.length sizes) lane slots);
+  Array.iteri
+    (fun i s ->
+      if s < 1 || s > lane then
+        invalid_arg
+          (Printf.sprintf "Slot_batch.plan: lane %d size %d outside [1, %d]" i s
+             lane))
+    sizes;
+  { slots; lane; sizes }
+
+let capacity ~slots ~lane = slots / lane
+let lanes l = Array.length l.sizes
+
+let pack l vectors =
+  let out = Array.make l.slots 0.0 in
+  List.iteri
+    (fun i v ->
+      let len = min (Array.length v) l.sizes.(i) in
+      Array.blit v 0 out (i * l.lane) len)
+    vectors;
+  out
+
+let unpack l ~index packed = Array.sub packed (index * l.lane) l.sizes.(index)
+
+let offsets l = List.init (lanes l) (fun i -> i * l.lane)
+
+let slotwise (p : Ir.program) =
+  let ok = ref true in
+  Ir.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i.op with
+          | Ir.Rotate _ | Ir.RotateMany _ | Ir.Pack _ | Ir.Unpack _ ->
+            ok := false
+          | Ir.Const { value = Ir.Vector _; _ } ->
+            (* A vector constant replicates with its own period, which would
+               give different lanes different plaintext operands. *)
+            ok := false
+          | _ -> ())
+        b.instrs)
+    p.body;
+  !ok
+
+let wrap (p : Ir.program) ~offsets =
+  if offsets = [] then invalid_arg "Slot_batch.wrap: no offsets";
+  let fresh = Ir.fresh_of_program p in
+  let rotated_yields = ref [] in
+  let epilogue =
+    List.map
+      (fun (y : Ir.var) ->
+        let results = List.map (fun _ -> Ir.fresh_var fresh) offsets in
+        rotated_yields := !rotated_yields @ results;
+        { Ir.results; op = Ir.RotateMany { src = y; offsets } })
+      p.body.yields
+  in
+  {
+    p with
+    prog_name = p.prog_name ^ "+lanes";
+    body =
+      {
+        p.body with
+        instrs = p.body.instrs @ epilogue;
+        yields = !rotated_yields;
+      };
+    next_var = fresh.Ir.next;
+  }

@@ -1,0 +1,41 @@
+type t = { id : int; key_seed : int }
+
+let create ~id ~key_seed = { id; key_seed }
+
+(* Spread tenant ids across the seed space; the multiplier is an arbitrary
+   odd prime so adjacent ids do not share RNG prefixes. *)
+let default_key_seed ~id = 0x7E4A11 + (7919 * id)
+
+type sealed = { s_tenant : int; s_nonce : int; s_data : float array }
+
+(* One pad word per slot: random sign and mantissa, exponent bits clear.
+   Keeping the exponent field zero is what makes wrong-key opens finite:
+   the two pads' exponent fields XOR to zero, so the victim slot keeps its
+   own exponent and only its mantissa and sign are scrambled. *)
+let pad_word st =
+  let mantissa =
+    Int64.logor
+      (Int64.of_int (Random.State.bits st))                  (* bits 0..29 *)
+      (Int64.shift_left (Int64.of_int (Random.State.bits st)) 30)
+    (* bits 30..59; bits above 51 are masked off below *)
+  in
+  let sign = Int64.shift_left (Int64.of_int (Random.State.bits st land 1)) 63 in
+  Int64.logor (Int64.logand mantissa 0xF_FFFF_FFFF_FFFFL) sign
+
+let pad_rng t ~nonce = Random.State.make [| 0x5EA1; t.key_seed; nonce |]
+
+(* Explicit ascending loop: the pad stream must be consumed in slot order
+   (Array.map's application order is unspecified). *)
+let mask t ~nonce data =
+  let st = pad_rng t ~nonce in
+  let out = Array.make (Array.length data) 0.0 in
+  for i = 0 to Array.length data - 1 do
+    out.(i) <-
+      Int64.float_of_bits
+        (Int64.logxor (Int64.bits_of_float data.(i)) (pad_word st))
+  done;
+  out
+
+let seal t ~nonce data = { s_tenant = t.id; s_nonce = nonce; s_data = data |> mask t ~nonce }
+
+let open_sealed t (s : sealed) = mask t ~nonce:s.s_nonce s.s_data

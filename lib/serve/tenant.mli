@@ -1,0 +1,47 @@
+(** Per-tenant key material and result sealing for the serving layer.
+
+    The reference backend carries slot values in the clear under a single
+    server-side evaluation context, so multi-tenant key isolation is modeled
+    at the boundary where a real deployment key-switches a result to the
+    recipient's secret key: the server {e seals} each tenant's unpacked
+    output lane under that tenant's key before handing it back, and only the
+    holder of the key can open it.
+
+    Sealing is an XOR one-time pad over the IEEE-754 bit patterns of the
+    slot values, with the pad's exponent bits left clear:
+
+    - opening with the {e right} key is bit-exact (XOR is an involution) —
+      the batched-vs-solo identity tests can compare sealed-and-opened
+      outputs down to the last bit;
+    - opening with the {e wrong} key XORs the two tenants' pads together:
+      the exponent fields cancel, so every slot keeps its magnitude but gets
+      a random mantissa and sign — finite, plaintext-magnitude garbage that
+      the decrypt-time noise guard flags as a [Breach], never a silent
+      almost-right value and never a NaN that would sneak past a comparison.
+
+    Following ARK's bounded-key-material design (PAPERS.md), pads are not
+    resident: they are regenerated on demand from the tenant's key seed and
+    the request nonce, used, and dropped. *)
+
+type t = { id : int;  (** tenant identity, for display and accounting *)
+           key_seed : int  (** secret seed the pad stream derives from *) }
+
+val create : id:int -> key_seed:int -> t
+
+val default_key_seed : id:int -> int
+(** The deterministic per-tenant key seed the simulated workloads use. *)
+
+type sealed = {
+  s_tenant : int;  (** intended recipient (display only — not a capability) *)
+  s_nonce : int;  (** pad-stream nonce: unique per request output *)
+  s_data : float array;  (** pad-masked slot values *)
+}
+
+val seal : t -> nonce:int -> float array -> sealed
+(** Mask [data] under the tenant's pad for [nonce].  The input array is not
+    modified. *)
+
+val open_sealed : t -> sealed -> float array
+(** Unmask with [t]'s key.  When [t] is the tenant the value was sealed for,
+    this is the bit-exact inverse of {!seal}; with any other key the result
+    is deterministic garbage (same magnitudes, random mantissas/signs). *)
