@@ -66,6 +66,7 @@ let run_mode ~mode ~batch_window ~slots ~lane ~iters ~queue_depth ~clients
       rotate_fuse = true;
       policy = Halo_runtime.Resilient.default_policy;
       faults = None;
+      sup = Serve_codec.default_sup;
     }
   in
   let server =

@@ -570,8 +570,9 @@ module Server = Halo_serve.Server
 module Tenant = Halo_serve.Tenant
 module Workload = Halo_serve.Workload
 
-let serve_config ~slots ~max_level ~queue_depth ~batch_window ~lane
-    ~rotate_fuse ~backend_seed ~policy ~faults =
+let serve_config ?(sup = Halo_serve.Serve_codec.default_sup) ~slots ~max_level
+    ~queue_depth ~batch_window ~lane ~rotate_fuse ~backend_seed ~policy ~faults
+    () =
   {
     Halo_serve.Serve_codec.backend =
       {
@@ -585,6 +586,7 @@ let serve_config ~slots ~max_level ~queue_depth ~batch_window ~lane
     rotate_fuse;
     policy;
     faults;
+    sup;
   }
 
 (* Submit simulated traffic with backpressure: a queue-full rejection
@@ -658,8 +660,10 @@ let write_serve_outputs path opened =
 let serve_cmd =
   let module Resilient = Halo_runtime.Resilient in
   let run clients per_client queue_depth batch_window lane slots iters seed
-      dir resume kill_after solo no_fuse fault_rate spike_rate no_retry out
-      verbose =
+      dir resume kill_after solo no_fuse fault_rate spike_rate no_retry
+      deadline_us ttl_us fallback tenant_threshold program_threshold
+      breaker_window cooldown_us quarantine_after poison guard_batches
+      drain_flag out verbose =
     handle_code (fun () ->
         if resume && dir = None then begin
           Printf.eprintf "serve: --resume requires --dir\n";
@@ -668,7 +672,7 @@ let serve_cmd =
         else begin
           let max_level = 16 in
           let faults =
-            if fault_rate = 0.0 && spike_rate = 0.0 then None
+            if fault_rate = 0.0 && spike_rate = 0.0 && poison = [] then None
             else
               Some
                 {
@@ -677,16 +681,31 @@ let serve_cmd =
                   f_bootstrap = fault_rate;
                   f_spike = spike_rate;
                   f_magnitude = 1e-4;
+                  f_poison = poison;
                 }
           in
+          let sup =
+            {
+              Halo_serve.Serve_codec.s_deadline_us = deadline_us;
+              s_ttl_us = ttl_us;
+              s_fallback = fallback;
+              s_tenant_window = breaker_window;
+              s_tenant_threshold = tenant_threshold;
+              s_program_window = breaker_window;
+              s_program_threshold = program_threshold;
+              s_cooldown_us = cooldown_us;
+              s_quarantine_after = quarantine_after;
+              s_guard = guard_batches;
+            }
+          in
           let cfg =
-            serve_config ~slots ~max_level ~queue_depth
+            serve_config ~sup ~slots ~max_level ~queue_depth
               ~batch_window:(if solo then 1 else batch_window)
               ~lane ~rotate_fuse:(not no_fuse) ~backend_seed:(0xB00 + seed)
               ~policy:
                 (if no_retry then Resilient.no_retry
                  else Resilient.default_policy)
-              ~faults
+              ~faults ()
           in
           let killed = ref None in
           let server =
@@ -704,8 +723,11 @@ let serve_cmd =
               Server.create ?dir cfg
                 ~programs:(Workload.programs ~slots ~max_level ~iters)
           in
+          let final_rejected = ref 0 in
           (try
-             if resume then Server.run_until_drained ?kill_after server
+             if resume then
+               if drain_flag then ignore (Server.drain ?kill_after server)
+               else Server.run_until_drained ?kill_after server
              else begin
                let reqs =
                  Workload.requests ~seed ~clients ~per_client ~lane ()
@@ -713,8 +735,10 @@ let serve_cmd =
                let accepted, rejected =
                  serve_submit ?kill_after server reqs
                in
+               final_rejected := rejected;
                Printf.printf "submitted %d requests: %d accepted, %d rejected\n"
-                 (List.length reqs) accepted rejected
+                 (List.length reqs) accepted rejected;
+               if drain_flag then ignore (Server.drain server)
              end
            with Server.Killed { writes } ->
              killed := Some writes);
@@ -726,6 +750,14 @@ let serve_cmd =
             0
           | None ->
             print_string (Server.report server);
+            (match Server.handoff server with
+             | Some (d : Halo_serve.Serve_codec.drain) ->
+               Printf.printf
+                 "drain handoff: accepted=%d served=%d failed=%d clock=%dus \
+                  quarantined=%d\n"
+                 d.dr_accepted d.dr_served d.dr_failed d.dr_clock_us
+                 (List.length d.dr_quarantined)
+             | None -> ());
             let opened = serve_opened server in
             if verbose then
               List.iter
@@ -736,7 +768,7 @@ let serve_cmd =
                       lanes;
                     print_outputs outs
                   | Error f ->
-                    Printf.printf "req %d degraded at %s: %s\n" id
+                    Printf.printf "req %d failed at %s: %s\n" id
                       f.Server.f_op f.Server.f_reason)
                 opened;
             (match out with
@@ -744,7 +776,10 @@ let serve_cmd =
                write_serve_outputs path opened;
                Printf.printf "wrote per-request outputs to %s\n" path
              | None -> ());
-            0
+            let c = Server.counters server in
+            if c.Server.failed > 0 then 4
+            else if !final_rejected > 0 then 3
+            else 0
         end)
   in
   let clients_arg =
@@ -838,6 +873,97 @@ let serve_cmd =
       & info [ "no-retry" ]
           ~doc:"First fault degrades the batch (structured report).")
   in
+  let deadline_us_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-us" ] ~docv:"US"
+          ~doc:
+            "Per-batch execution budget in virtual microseconds (charged \
+             from the cost model); a batch that blows it aborts at the \
+             next instruction boundary.  0 disables.")
+  in
+  let ttl_us_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "ttl-us" ] ~docv:"US"
+          ~doc:
+            "Admission time-to-live in virtual microseconds, checked once \
+             per request at its first planning.  0 disables.")
+  in
+  let fallback_arg =
+    Arg.(
+      value & flag
+      & info [ "fallback" ]
+          ~doc:
+            "Degraded mode: re-execute members of a failed multi-member \
+             batch solo, so the culprit fails alone and its lane-mates \
+             still succeed.")
+  in
+  let tenant_threshold_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "tenant-threshold" ] ~docv:"N"
+          ~doc:
+            "Failures within the window that open a tenant's circuit \
+             breaker.  0 disables the tenant breaker.")
+  in
+  let program_threshold_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "program-threshold" ] ~docv:"N"
+          ~doc:
+            "Failures within the window that open a program's circuit \
+             breaker.  0 disables the program breaker.")
+  in
+  let breaker_window_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "breaker-window" ] ~docv:"N"
+          ~doc:"Sliding outcome window of both breaker dimensions.")
+  in
+  let cooldown_us_arg =
+    Arg.(
+      value & opt int 50_000
+      & info [ "cooldown-us" ] ~docv:"US"
+          ~doc:
+            "Virtual time an open breaker waits before admitting one probe \
+             request.")
+  in
+  let quarantine_after_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "quarantine-after" ] ~docv:"N"
+          ~doc:
+            "Durably quarantine a tenant after N failed solo executions.  \
+             0 disables.")
+  in
+  let poison_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "poison" ] ~docv:"TENANTS"
+          ~doc:
+            "Comma-separated tenant ids whose batches get a fixed fault \
+             schedule dense enough to exhaust the retry budget \
+             deterministically (the poisoned-request scenario).")
+  in
+  let guard_batches_arg =
+    Arg.(
+      value & flag
+      & info [ "guard-batches" ]
+          ~doc:
+            "Run a noiseless reference for every batch and fail it on a \
+             noise breach against the static bound.")
+  in
+  let drain_arg =
+    Arg.(
+      value & flag
+      & info [ "drain" ]
+          ~doc:
+            "Graceful shutdown: close admission, finish and journal \
+             everything in flight, and write a durable handoff manifest \
+             that a later $(b,--resume) validates the journal against.")
+  in
   let out_arg =
     Arg.(
       value
@@ -848,20 +974,39 @@ let serve_cmd =
              (diffable with cmp).")
   in
   let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ]) in
+  let exits =
+    Cmd.Exit.info 3
+      ~doc:
+        "Admission-only rejections: every accepted request was served, but \
+         at least one request was refused at admission (queue, noise \
+         budget, breaker, quarantine or drain)."
+    :: Cmd.Exit.info 4
+         ~doc:"At least one accepted request failed (degraded, deadline, \
+               guard breach or admission TTL)."
+    :: Cmd.Exit.defaults
+  in
   Cmd.v
-    (Cmd.info "serve"
+    (Cmd.info "serve" ~exits
        ~doc:
          "Run the multi-tenant serving layer over simulated clients: \
           bounded admission with noise-budget refusal, cross-request slot \
           batching (several tenants' vectors share one ciphertext's \
           lanes), parallel batch execution, per-tenant sealed results, \
-          and durable kill/resume job state under $(b,--dir).")
+          durable kill/resume job state under $(b,--dir), and a \
+          supervision layer (per-batch deadlines, admission TTLs, circuit \
+          breakers, quarantine, degraded-mode fallback, graceful drain).  \
+          Exits 0 only when every accepted request was served and nothing \
+          was rejected; 4 if any accepted request failed; 3 on \
+          admission-only rejections.")
     Term.(
       const run $ clients_arg $ per_client_arg $ queue_depth_arg
       $ batch_window_arg $ lane_arg $ slots_arg $ iters_arg $ seed_arg
       $ dir_arg $ resume_arg $ kill_after_arg $ solo_arg $ no_rotate_fuse_arg
-      $ fault_rate_arg $ spike_rate_arg $ no_retry_arg $ out_arg
-      $ verbose_arg)
+      $ fault_rate_arg $ spike_rate_arg $ no_retry_arg $ deadline_us_arg
+      $ ttl_us_arg $ fallback_arg $ tenant_threshold_arg
+      $ program_threshold_arg $ breaker_window_arg $ cooldown_us_arg
+      $ quarantine_after_arg $ poison_arg $ guard_batches_arg $ drain_arg
+      $ out_arg $ verbose_arg)
 
 (* Serving crash soak: the PR 4 kill/resume discipline applied to the
    serving layer.  Each trial serves a seeded workload to completion (the
@@ -895,7 +1040,7 @@ let serve_crash_soak ~trials ~seed ~dir ~kill_after ~verbose =
       serve_config ~slots ~max_level ~queue_depth:(clients * per_client)
         ~batch_window:4 ~lane ~rotate_fuse:true
         ~backend_seed:(0xB00 + trial)
-        ~policy:Halo_runtime.Resilient.default_policy ~faults:None
+        ~policy:Halo_runtime.Resilient.default_policy ~faults:None ()
     in
     let programs = Workload.programs ~slots ~max_level ~iters:3 in
     let reqs =
@@ -1223,6 +1368,295 @@ let soak_cmd =
       $ spike_rate_arg $ no_retry_arg $ max_attempts_arg $ kill_after_arg
       $ checkpoint_dir_arg $ verbose_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Chaos soak: supervised serving under poisoned tenants, seeded        *)
+(* faults, breaker trips and a mid-chaos kill.                          *)
+
+(* Each trial plays the same multi-round workload twice: a baseline that
+   runs uninterrupted, and a chaos run that is killed after a
+   trial-dependent number of journal writes and resumed.  Tenant 0 is
+   poisoned (deterministic retry exhaustion), submitted last in each
+   round so the program breaker's probe after cooldown comes from a
+   healthy tenant.  Everything is asserted in virtual time, so the whole
+   soak is reproducible from the seed. *)
+let chaos_soak ~trials ~rounds ~clients ~per_client ~seed ~dir ~kill_after
+    ~fault_rate ~tenant_threshold ~program_threshold ~cooldown_us
+    ~quarantine_after ~max_latency_us ~verbose =
+  let module Serve_codec = Halo_serve.Serve_codec in
+  let slots = 64 and max_level = 16 and lane = 8 in
+  let sup =
+    {
+      Serve_codec.default_sup with
+      Serve_codec.s_fallback = true;
+      s_tenant_threshold = tenant_threshold;
+      s_program_threshold = program_threshold;
+      s_cooldown_us = cooldown_us;
+      s_quarantine_after = quarantine_after;
+    }
+  in
+  let programs = Workload.programs ~slots ~max_level ~iters:3 in
+  let mk_cfg trial =
+    serve_config ~sup ~slots ~max_level
+      ~queue_depth:(clients * per_client * rounds)
+      ~batch_window:4 ~lane ~rotate_fuse:true ~backend_seed:(0xB00 + trial)
+      ~policy:Halo_runtime.Resilient.default_policy
+      ~faults:
+        (Some
+           {
+             Serve_codec.f_seed = (seed * 7919) + trial;
+             f_transient = fault_rate;
+             f_bootstrap = fault_rate;
+             f_spike = 0.0;
+             f_magnitude = 1e-4;
+             f_poison = [ 0 ];
+           })
+      ()
+  in
+  (* Poisoned tenant last: its failures trip the breakers, and the next
+     round's probe comes from a healthy tenant so closes are observed. *)
+  let round_reqs trial r =
+    Workload.requests
+      ~seed:(seed + (trial * 6151) + (r * 389))
+      ~clients ~per_client ~lane ()
+    |> List.stable_sort (fun (a : Workload.req) (b : Workload.req) ->
+           compare (a.w_tenant.Tenant.id = 0) (b.w_tenant.Tenant.id = 0))
+  in
+  let submit_round server trial r =
+    List.iter
+      (fun (w : Workload.req) ->
+        ignore
+          (Server.submit server ~tenant:w.w_tenant ~tol:w.w_tol
+             ~program:w.w_program ~payload:w.w_payload))
+      (round_reqs trial r)
+  in
+  let chaos_path d = Filename.concat d "chaos.halo" in
+  let opened_equal a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun (ida, ra) (idb, rb) ->
+           ida = idb
+           &&
+           match (ra, rb) with
+           | Ok (ka, la, outa), Ok (kb, lb, outb) ->
+             ka = kb && la = lb && bit_identical outa outb
+           | Error (fa : Server.failure), Error fb -> fa = fb
+           | _ -> false)
+         a b
+  in
+  Printf.printf
+    "chaos soak: %d trials, %d rounds x %d clients x %d requests, tenant 0 \
+     poisoned, kill after %d+3*trial journal writes (dirs under %s)\n"
+    trials rounds clients per_client kill_after dir;
+  let ok = ref 0 in
+  for trial = 0 to trials - 1 do
+    let cfg = mk_cfg trial in
+    let fingerprint =
+      Serve_codec.manifest_fingerprint { Serve_codec.config = cfg; progs = programs }
+    in
+    let dir_a = Filename.concat dir (Printf.sprintf "trial%d-baseline" trial) in
+    let dir_b = Filename.concat dir (Printf.sprintf "trial%d-chaos" trial) in
+    let a = Server.create ~dir:dir_a cfg ~programs in
+    for r = 0 to rounds - 1 do
+      submit_round a trial r;
+      Server.run_until_drained a
+    done;
+    let b = Server.create ~dir:dir_b cfg ~programs in
+    let crashed = ref false in
+    (try
+       for r = 0 to rounds - 1 do
+         submit_round b trial r;
+         Serve_codec.save_chaos ~path:(chaos_path dir_b) ~fingerprint
+           ~rounds:(r + 1);
+         Server.run_until_drained ~kill_after:(kill_after + (3 * trial)) b
+       done
+     with Server.Killed _ -> crashed := true);
+    let b =
+      if not !crashed then b
+      else begin
+        (* The simulated SIGKILL: reopen from durable state only, finish
+           the interrupted round, then inject the remaining rounds. *)
+        let s = Server.open_resume ~dir:dir_b in
+        Server.run_until_drained s;
+        let done_rounds =
+          Serve_codec.load_chaos ~path:(chaos_path dir_b) ~fingerprint
+        in
+        for r = done_rounds to rounds - 1 do
+          submit_round s trial r;
+          Serve_codec.save_chaos ~path:(chaos_path dir_b) ~fingerprint
+            ~rounds:(r + 1);
+          Server.run_until_drained s
+        done;
+        s
+      end
+    in
+    let ca = Server.counters a and cb = Server.counters b in
+    let complete (s, c) =
+      Server.pending s = 0
+      && List.length (Server.results s) = c.Server.accepted
+    in
+    let no_lost = complete (a, ca) && complete (b, cb) in
+    let same_opened = opened_equal (serve_opened a) (serve_opened b) in
+    let same_stats =
+      Halo_runtime.Stats.to_string (Server.stats a)
+      = Halo_runtime.Stats.to_string (Server.stats b)
+    in
+    let same_quarantine = Server.quarantine a = Server.quarantine b in
+    let quarantine_converged =
+      List.mem_assoc 0 (Server.quarantine a)
+      && List.length (Server.quarantine a) = 1
+    in
+    let same_supervision =
+      ca.Server.expired = cb.Server.expired
+      && ca.Server.fallback_requests = cb.Server.fallback_requests
+      && ca.Server.breaker_opens = cb.Server.breaker_opens
+      && ca.Server.breaker_closes = cb.Server.breaker_closes
+      && ca.Server.breaker_reopens = cb.Server.breaker_reopens
+      && ca.Server.served = cb.Server.served
+      && ca.Server.failed = cb.Server.failed
+      && ca.Server.accepted = cb.Server.accepted
+    in
+    let transitions =
+      ca.Server.breaker_opens > 0
+      && ca.Server.breaker_closes + ca.Server.breaker_reopens > 0
+    in
+    let same_clock = Server.clock_us a = Server.clock_us b in
+    let same_latency = Server.latencies a = Server.latencies b in
+    let tail_bounded = Server.max_latency_us a <= max_latency_us in
+    if
+      no_lost && same_opened && same_stats && same_quarantine
+      && quarantine_converged && same_supervision && transitions && same_clock
+      && same_latency && tail_bounded
+    then begin
+      incr ok;
+      if verbose then
+        Printf.printf
+          "  trial %2d: survived%s (%d accepted, %d served, %d failed, %d \
+           breaker opens, %d closes, %d reopens, max latency %dus)\n"
+          trial
+          (if !crashed then " a mid-chaos kill" else " (no kill reached)")
+          ca.Server.accepted ca.Server.served ca.Server.failed
+          ca.Server.breaker_opens ca.Server.breaker_closes
+          ca.Server.breaker_reopens (Server.max_latency_us a)
+    end
+    else
+      Printf.printf
+        "  trial %2d: FAILED (lost: %b, outputs: %b, stats: %b, quarantine: \
+         %b/%b, supervision: %b, transitions: %b, clock: %b, latency: %b, \
+         tail: %b)\n"
+        trial (not no_lost) same_opened same_stats same_quarantine
+        quarantine_converged same_supervision transitions same_clock
+        same_latency tail_bounded
+  done;
+  Printf.printf "survived %d/%d chaos trials bit-identically\n" !ok trials;
+  if !ok = trials then 0 else 1
+
+let chaos_cmd =
+  let run trials rounds clients per_client seed dir kill_after fault_rate
+      tenant_threshold program_threshold cooldown_us quarantine_after
+      max_latency_us verbose =
+    let dir =
+      match dir with
+      | Some d -> d
+      | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "halo-chaos-%d" (Unix.getpid ()))
+    in
+    handle_code (fun () ->
+        chaos_soak ~trials ~rounds ~clients ~per_client ~seed ~dir ~kill_after
+          ~fault_rate ~tenant_threshold ~program_threshold ~cooldown_us
+          ~quarantine_after ~max_latency_us ~verbose)
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "trials" ] ~docv:"N"
+          ~doc:"Independent chaos trials (each is baseline + killed run).")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "rounds" ] ~docv:"N" ~doc:"Submission rounds per trial.")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Simulated tenants per round.")
+  in
+  let per_client_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client per round.")
+  in
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED") in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Base directory for the trial serve directories (defaults to a \
+             per-process directory under the system temp dir).")
+  in
+  let kill_after_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "kill-after" ] ~docv:"K"
+          ~doc:
+            "Kill the chaos run after K+3*trial durable journal writes, \
+             then resume it from the serve directory.")
+  in
+  let fault_rate_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:
+            "Per-op transient and bootstrap fault probability on top of \
+             the poisoned tenant.")
+  in
+  let tenant_threshold_arg =
+    Arg.(value & opt int 2 & info [ "tenant-threshold" ] ~docv:"N")
+  in
+  let program_threshold_arg =
+    Arg.(value & opt int 2 & info [ "program-threshold" ] ~docv:"N")
+  in
+  let cooldown_us_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "cooldown-us" ] ~docv:"US"
+          ~doc:
+            "Breaker cooldown in virtual microseconds (short, so probes \
+             happen within a few rounds).")
+  in
+  let quarantine_after_arg =
+    Arg.(value & opt int 2 & info [ "quarantine-after" ] ~docv:"N")
+  in
+  let max_latency_us_arg =
+    Arg.(
+      value & opt int 50_000_000
+      & info [ "max-latency-us" ] ~docv:"US"
+          ~doc:
+            "Upper bound every request's virtual completion latency must \
+             stay under.")
+  in
+  let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ]) in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos-soak the supervised serving layer: seeded fault schedules, \
+          a poisoned tenant, breaker trips, quarantine and a mid-chaos \
+          kill/resume per trial.  Asserts zero lost accepted requests, \
+          bit-identical outputs, statistics, quarantine, breaker history, \
+          clock and per-request latencies between the baseline and the \
+          killed-and-resumed run, observed breaker transitions, quarantine \
+          convergence on the poisoned tenant, and bounded tail latency in \
+          virtual time.  Exits non-zero unless every trial survives.")
+    Term.(
+      const run $ trials_arg $ rounds_arg $ clients_arg $ per_client_arg
+      $ seed_arg $ dir_arg $ kill_after_arg $ fault_rate_arg
+      $ tenant_threshold_arg $ program_threshold_arg $ cooldown_us_arg
+      $ quarantine_after_arg $ max_latency_us_arg $ verbose_arg)
+
 let () =
   let info =
     Cmd.info "halo_cli" ~version:"1.0.0"
@@ -1240,4 +1674,5 @@ let () =
             verify_cmd;
             soak_cmd;
             serve_cmd;
+            chaos_cmd;
           ]))

@@ -34,6 +34,12 @@ exception Retry_exhausted of {
   iteration : int option;
 }
 
+exception Deadline_exceeded of {
+  site : site;
+  now_us : int;
+  deadline_us : int;
+}
+
 exception Persist_error of {
   path : string option;
   offset : int option;
@@ -75,6 +81,11 @@ let describe = function
          (match iteration with
           | Some i -> Printf.sprintf " (loop iteration %d)" i
           | None -> ""))
+  | Deadline_exceeded { site; now_us; deadline_us } ->
+    Some
+      (Printf.sprintf
+         "deadline exceeded at %s: virtual time %dus past the %dus budget"
+         (site_to_string site) now_us deadline_us)
   | Persist_error { path; offset; expected; got; reason } ->
     let b = Buffer.create 64 in
     Buffer.add_string b "persist error";

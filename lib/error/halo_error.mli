@@ -59,6 +59,17 @@ exception Retry_exhausted of {
     retry budget; caught at the top of [Resilient.run] and converted into a
     structured degraded report. *)
 
+exception Deadline_exceeded of {
+  site : site;  (** the instruction boundary the abort was observed at *)
+  now_us : int;  (** virtual-clock reading when the budget was found blown *)
+  deadline_us : int;
+}
+(** Raised by the resilient runtime at the first instruction boundary after
+    an armed {!Halo_runtime.Clock} passes its deadline.  Deadlines are
+    virtual (charged from the cost model), so the abort point is a pure
+    function of the program and the seed.  Permanent (never retried): the
+    same program under the same budget would blow it again. *)
+
 exception Persist_error of {
   path : string option;  (** file the failure was detected in, when known *)
   offset : int option;  (** byte offset of the failing field, when known *)

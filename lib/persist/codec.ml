@@ -16,8 +16,12 @@ type kind =
   | Serve_manifest_frame
   | Serve_request_frame
   | Serve_entry_frame
+  | Serve_plan_frame
+  | Serve_quarantine_frame
+  | Serve_drain_frame
+  | Serve_chaos_frame
 
-let format_version = 2
+let format_version = 3
 let magic = "HALO"
 let header_len = 4 + 1 + 1 + 8 + 8
 
@@ -32,6 +36,10 @@ let kind_tag = function
   | Serve_manifest_frame -> 8
   | Serve_request_frame -> 9
   | Serve_entry_frame -> 10
+  | Serve_plan_frame -> 11
+  | Serve_quarantine_frame -> 12
+  | Serve_drain_frame -> 13
+  | Serve_chaos_frame -> 14
 
 let kind_name = function
   | Rns_poly_frame -> "rns_poly"
@@ -44,6 +52,10 @@ let kind_name = function
   | Serve_manifest_frame -> "serve manifest"
   | Serve_request_frame -> "serve request"
   | Serve_entry_frame -> "serve batch entry"
+  | Serve_plan_frame -> "serve plan record"
+  | Serve_quarantine_frame -> "serve quarantine snapshot"
+  | Serve_drain_frame -> "serve drain handoff"
+  | Serve_chaos_frame -> "chaos soak state"
 
 (* --- frames ------------------------------------------------------------ *)
 
@@ -322,7 +334,8 @@ let encode_stats b (s : Stats.t) =
   Wire.i64 b s.guard_trips;
   Wire.i64 b s.key_switches;
   Wire.i64 b s.hoisted_groups;
-  Wire.i64 b s.decompositions_saved
+  Wire.i64 b s.decompositions_saved;
+  Wire.i64 b s.deadline_aborts
 
 let decode_stats r =
   let s = Stats.create () in
@@ -347,6 +360,7 @@ let decode_stats r =
   s.Stats.key_switches <- Wire.ri64 r;
   s.Stats.hoisted_groups <- Wire.ri64 r;
   s.Stats.decompositions_saved <- Wire.ri64 r;
+  s.Stats.deadline_aborts <- Wire.ri64 r;
   s
 
 (* --- run manifest ------------------------------------------------------- *)

@@ -8,7 +8,7 @@
     {v
     offset  size  field
     0       4     magic "HALO"
-    4       1     format version (currently 2)
+    4       1     format version (currently 3)
     5       1     kind tag (which payload codec)
     6       8     fingerprint (LE): Params.fingerprint for lattice
                   artifacts, the manifest fingerprint for journal entries,
@@ -47,6 +47,18 @@ type kind =
       (** serving-layer configuration + program registry ([Halo_serve]) *)
   | Serve_request_frame  (** one accepted serving request ([Halo_serve]) *)
   | Serve_entry_frame  (** one completed serving batch ([Halo_serve]) *)
+  | Serve_plan_frame
+      (** one admission-TTL planning record: the requests evaluated for
+          expiry before a wave executed ([Halo_serve]) *)
+  | Serve_quarantine_frame
+      (** quarantine snapshot: tenants banned by the supervisor, with the
+          culprit request ids ([Halo_serve]) *)
+  | Serve_drain_frame
+      (** graceful-drain handoff manifest written after the last in-flight
+          batch was journaled ([Halo_serve]) *)
+  | Serve_chaos_frame
+      (** chaos-soak driver state: how many submission rounds a trial has
+          durably injected ([halo_cli chaos]) *)
 
 val format_version : int
 

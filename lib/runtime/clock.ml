@@ -1,0 +1,38 @@
+(* Deterministic virtual clock.  Time is integer microseconds charged from
+   the cost model (each advance rounds its float latency once), so sums are
+   associative: folding the same charges in any order yields the same
+   reading, which is what lets a resumed server rebuild its clock from the
+   journal bit-identically. *)
+
+type t = { mutable now : int; mutable deadline : int }
+
+let unarmed = max_int
+
+let create ?deadline_us () =
+  let deadline =
+    match deadline_us with
+    | None -> unarmed
+    | Some d ->
+      if d < 1 then invalid_arg "Clock.create: deadline below 1us";
+      d
+  in
+  { now = 0; deadline }
+
+let now_us t = t.now
+
+let deadline_us t = if t.deadline = unarmed then None else Some t.deadline
+
+let advance t ~us =
+  if us > 0.0 then t.now <- t.now + int_of_float (Float.round us)
+
+let tick t ~us = if us > 0 then t.now <- t.now + us
+
+let expired t = t.deadline <> unarmed && t.now > t.deadline
+
+let remaining_us t = if t.deadline = unarmed then unarmed else t.deadline - t.now
+
+let arm t ~deadline_us =
+  if deadline_us < 1 then invalid_arg "Clock.arm: deadline below 1us";
+  t.deadline <- deadline_us
+
+let disarm t = t.deadline <- unarmed

@@ -1,0 +1,35 @@
+(** Deterministic virtual clock for deadline and time-to-live logic.
+
+    The clock never reads wall time: it is {e charged} with modeled
+    microseconds from the cost model ({!Halo_cost.Cost_model}), the same
+    latencies {!Stats} accumulates.  Readings are integer microseconds —
+    each {!advance} rounds its charge once, so a clock rebuilt by folding
+    the same charges in a different order (crash recovery replaying a
+    journal) reads identically to the live one.  Everything downstream
+    (deadline aborts, admission TTL, circuit-breaker cooldowns) is
+    therefore reproducible from the seed, with no wall-time flakiness. *)
+
+type t
+
+val create : ?deadline_us:int -> unit -> t
+(** Fresh clock at 0, optionally armed.  Raises [Invalid_argument] on a
+    deadline below 1us. *)
+
+val now_us : t -> int
+val deadline_us : t -> int option
+
+val advance : t -> us:float -> unit
+(** Charge modeled latency in float microseconds (rounded once, never
+    negative). *)
+
+val tick : t -> us:int -> unit
+(** Charge already-integral microseconds (e.g. another clock's reading). *)
+
+val expired : t -> bool
+(** [true] once [now_us] has passed an armed deadline. *)
+
+val remaining_us : t -> int
+(** Microseconds until the armed deadline ([max_int] when unarmed). *)
+
+val arm : t -> deadline_us:int -> unit
+val disarm : t -> unit

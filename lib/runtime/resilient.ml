@@ -60,21 +60,56 @@ module Make (B : Backend.S) = struct
       (policy.base_backoff_us
       *. (policy.backoff_factor ** float_of_int (attempt - 1)))
 
-  let run ?(policy = default_policy) ?checkpoint ?guard ?stats st
+  let run ?(policy = default_policy) ?checkpoint ?guard ?clock ?stats st
       ?(bindings = []) ~inputs p =
     let stats = match stats with Some s -> s | None -> Stats.create () in
     let current_iteration = ref None in
+    (* Virtual-clock maintenance at the instruction boundary.  The clock is
+       charged with exactly the modeled latency the instruction (or its
+       simulated retry backoff) added to [stats], so clock readings are a
+       pure function of the executed op stream — no wall time anywhere.
+       The deadline is checked only between instructions: a batch that
+       blows its budget mid-instruction finishes that instruction and
+       aborts at the next boundary. *)
+    let view () = stats.Stats.total_latency_us +. stats.Stats.backoff_us in
+    let charge since =
+      match clock with
+      | None -> ()
+      | Some c -> Clock.advance c ~us:(view () -. since)
+    in
+    let deadline_check site =
+      match clock with
+      | Some c when Clock.expired c ->
+        Stats.record_deadline_abort stats;
+        raise
+          (Halo_error.Deadline_exceeded
+             {
+               site;
+               now_us = Clock.now_us c;
+               deadline_us = Option.value ~default:0 (Clock.deadline_us c);
+             })
+      | _ -> ()
+    in
     let instr site thunk =
       let rec attempt n =
+        let before = view () in
         match thunk () with
-        | () -> ()
+        | () ->
+          charge before;
+          deadline_check site
         | exception e when Halo_error.is_transient e ->
+          charge before;
           if n >= policy.max_attempts then
             raise
               (Halo_error.Retry_exhausted
                  { site; attempts = n; iteration = !current_iteration })
           else begin
-            Stats.record_retry stats ~backoff_us:(backoff_us policy n);
+            let b = backoff_us policy n in
+            Stats.record_retry stats ~backoff_us:b;
+            (match clock with
+             | None -> ()
+             | Some c -> Clock.advance c ~us:b);
+            deadline_check site;
             attempt (n + 1)
           end
       in

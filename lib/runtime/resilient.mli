@@ -84,10 +84,18 @@ module Make (B : Backend.S) : sig
     ?policy:policy ->
     ?checkpoint:checkpoint ->
     ?guard:guard ->
+    ?clock:Clock.t ->
     ?stats:Stats.t ->
     B.state ->
     ?bindings:(string * int) list ->
     inputs:(string * float array) list ->
     Halo.Ir.program ->
     outcome
+  (** [clock], when given, is charged at every instruction boundary with
+      the modeled latency the instruction added to [stats] (including
+      simulated retry backoff).  If the clock is armed and its deadline
+      passes, the run aborts at the next instruction boundary with
+      {!Halo_error.Deadline_exceeded} (after bumping
+      [Stats.deadline_aborts]) — a {e permanent} abort, never retried,
+      reproducible from the seed because the clock is virtual. *)
 end

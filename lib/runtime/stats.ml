@@ -20,6 +20,7 @@ type t = {
   mutable key_switches : int;
   mutable hoisted_groups : int;
   mutable decompositions_saved : int;
+  mutable deadline_aborts : int;
 }
 
 let create () =
@@ -45,6 +46,7 @@ let create () =
     key_switches = 0;
     hoisted_groups = 0;
     decompositions_saved = 0;
+    deadline_aborts = 0;
   }
 
 let record t (op : Halo_cost.Cost_model.op) ~level =
@@ -90,6 +92,8 @@ let record_hoisted_group t ~size =
   t.hoisted_groups <- t.hoisted_groups + 1;
   t.decompositions_saved <- t.decompositions_saved + (size - 1)
 
+let record_deadline_abort t = t.deadline_aborts <- t.deadline_aborts + 1
+
 let assign ~into src =
   into.addcc <- src.addcc;
   into.addcp <- src.addcp;
@@ -111,7 +115,8 @@ let assign ~into src =
   into.guard_trips <- src.guard_trips;
   into.key_switches <- src.key_switches;
   into.hoisted_groups <- src.hoisted_groups;
-  into.decompositions_saved <- src.decompositions_saved
+  into.decompositions_saved <- src.decompositions_saved;
+  into.deadline_aborts <- src.deadline_aborts
 
 let merge ~into src =
   into.addcc <- into.addcc + src.addcc;
@@ -137,7 +142,8 @@ let merge ~into src =
   into.key_switches <- into.key_switches + src.key_switches;
   into.hoisted_groups <- into.hoisted_groups + src.hoisted_groups;
   into.decompositions_saved <-
-    into.decompositions_saved + src.decompositions_saved
+    into.decompositions_saved + src.decompositions_saved;
+  into.deadline_aborts <- into.deadline_aborts + src.deadline_aborts
 
 let total_ops t =
   t.addcc + t.addcp + t.subcc + t.multcc + t.multcp + t.rotate + t.rescale
@@ -164,8 +170,11 @@ let to_string t =
        Printf.sprintf " checkpoints=%d (%d bytes)" t.checkpoint_writes
          t.checkpoint_bytes)
   ^ (if t.guard_trips = 0 then "" else Printf.sprintf " guard_trips=%d" t.guard_trips)
+  ^ (if t.key_switches = 0 && t.hoisted_groups = 0 then ""
+     else
+       Printf.sprintf
+         " key_switches=%d hoisted_groups=%d decompositions_saved=%d"
+         t.key_switches t.hoisted_groups t.decompositions_saved)
   ^
-  if t.key_switches = 0 && t.hoisted_groups = 0 then ""
-  else
-    Printf.sprintf " key_switches=%d hoisted_groups=%d decompositions_saved=%d"
-      t.key_switches t.hoisted_groups t.decompositions_saved
+  if t.deadline_aborts = 0 then ""
+  else Printf.sprintf " deadline_aborts=%d" t.deadline_aborts

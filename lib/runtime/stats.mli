@@ -39,6 +39,8 @@ type t = {
       (** grouped rotations executed with a shared digit decomposition *)
   mutable decompositions_saved : int;
       (** digit decompositions avoided by hoisting (group size - 1 each) *)
+  mutable deadline_aborts : int;
+      (** executions aborted by a blown virtual-clock deadline *)
 }
 
 val create : unit -> t
@@ -61,6 +63,9 @@ val record_hoisted_group : t -> size:int -> unit
 (** Count one executed hoisted-rotation group of [size] nonzero offsets:
     bumps [hoisted_groups] and charges [size - 1] to
     [decompositions_saved]. *)
+
+val record_deadline_abort : t -> unit
+(** Count one execution aborted by a blown {!Clock} deadline. *)
 
 val assign : into:t -> t -> unit
 (** Overwrite every counter of [into] with [src]'s values.  Crash recovery

@@ -17,7 +17,35 @@ type fault_cfg = {
   f_bootstrap : float;
   f_spike : float;
   f_magnitude : float;
+  f_poison : int list;
 }
+
+type sup_cfg = {
+  s_deadline_us : int;
+  s_ttl_us : int;
+  s_fallback : bool;
+  s_tenant_window : int;
+  s_tenant_threshold : int;
+  s_program_window : int;
+  s_program_threshold : int;
+  s_cooldown_us : int;
+  s_quarantine_after : int;
+  s_guard : bool;
+}
+
+let default_sup =
+  {
+    s_deadline_us = 0;
+    s_ttl_us = 0;
+    s_fallback = false;
+    s_tenant_window = 8;
+    s_tenant_threshold = 0;
+    s_program_window = 8;
+    s_program_threshold = 0;
+    s_cooldown_us = 50_000;
+    s_quarantine_after = 0;
+    s_guard = false;
+  }
 
 type config = {
   backend : Codec.backend_cfg;
@@ -28,6 +56,7 @@ type config = {
   rotate_fuse : bool;
   policy : Resilient.policy;
   faults : fault_cfg option;
+  sup : sup_cfg;
 }
 
 type manifest = { config : config; progs : prog_def list }
@@ -38,6 +67,7 @@ type request = {
   tenant_key : int;
   pname : string;
   tol : float;
+  admit_us : int;
   payload : (string * float array) list;
 }
 
@@ -49,12 +79,38 @@ type batch_status =
       d_attempts : int;
       d_iteration : int option;
     }
+  | Deadline of { dl_op : string; dl_now_us : int; dl_deadline_us : int }
+  | Breach of {
+      br_output : int;
+      br_slot : int;
+      br_observed : float;
+      br_bound : float;
+    }
 
 type entry = {
   e_key : int;
+  e_seq : int;
   e_reqs : int list;
   e_status : batch_status;
   e_stats : Stats.t;
+}
+
+type plan = {
+  pl_seq : int;
+  pl_clock_us : int;
+  pl_watermark : int;
+  pl_expired : int list;
+}
+
+type quarantine = { qr_tenants : (int * int) list }
+
+type drain = {
+  dr_accepted : int;
+  dr_served : int;
+  dr_failed : int;
+  dr_clock_us : int;
+  dr_seq : int;
+  dr_quarantined : int list;
 }
 
 (* --- payload codecs ----------------------------------------------------- *)
@@ -102,6 +158,69 @@ let decode_policy r : Resilient.policy =
   { max_attempts; max_restores; base_backoff_us; backoff_factor;
     max_backoff_us }
 
+let encode_sup b (s : sup_cfg) =
+  Wire.i64 b s.s_deadline_us;
+  Wire.i64 b s.s_ttl_us;
+  Wire.u8 b (if s.s_fallback then 1 else 0);
+  Wire.i64 b s.s_tenant_window;
+  Wire.i64 b s.s_tenant_threshold;
+  Wire.i64 b s.s_program_window;
+  Wire.i64 b s.s_program_threshold;
+  Wire.i64 b s.s_cooldown_us;
+  Wire.i64 b s.s_quarantine_after;
+  Wire.u8 b (if s.s_guard then 1 else 0)
+
+let decode_sup r : sup_cfg =
+  let s_deadline_us = Wire.ri64 r in
+  let s_ttl_us = Wire.ri64 r in
+  let s_fallback =
+    match Wire.ru8 r with
+    | 0 -> false
+    | 1 -> true
+    | n -> Wire.fail r ~got:(string_of_int n) "bad fallback flag"
+  in
+  let s_tenant_window = Wire.ri64 r in
+  let s_tenant_threshold = Wire.ri64 r in
+  let s_program_window = Wire.ri64 r in
+  let s_program_threshold = Wire.ri64 r in
+  let s_cooldown_us = Wire.ri64 r in
+  let s_quarantine_after = Wire.ri64 r in
+  let s_guard =
+    match Wire.ru8 r with
+    | 0 -> false
+    | 1 -> true
+    | n -> Wire.fail r ~got:(string_of_int n) "bad guard flag"
+  in
+  if s_deadline_us < 0 then
+    Wire.fail r ~got:(string_of_int s_deadline_us) "negative batch deadline";
+  if s_ttl_us < 0 then
+    Wire.fail r ~got:(string_of_int s_ttl_us) "negative admission TTL";
+  if s_tenant_window < 1 then
+    Wire.fail r ~got:(string_of_int s_tenant_window)
+      "tenant breaker window below 1";
+  if s_program_window < 1 then
+    Wire.fail r ~got:(string_of_int s_program_window)
+      "program breaker window below 1";
+  if s_tenant_threshold < 0 || s_tenant_threshold > s_tenant_window then
+    Wire.fail r
+      ~expected:(Printf.sprintf "0..%d" s_tenant_window)
+      ~got:(string_of_int s_tenant_threshold)
+      "tenant breaker threshold outside its window";
+  if s_program_threshold < 0 || s_program_threshold > s_program_window then
+    Wire.fail r
+      ~expected:(Printf.sprintf "0..%d" s_program_window)
+      ~got:(string_of_int s_program_threshold)
+      "program breaker threshold outside its window";
+  if s_cooldown_us < 1 then
+    Wire.fail r ~got:(string_of_int s_cooldown_us) "breaker cooldown below 1us";
+  if s_quarantine_after < 0 then
+    Wire.fail r
+      ~got:(string_of_int s_quarantine_after)
+      "negative quarantine threshold";
+  { s_deadline_us; s_ttl_us; s_fallback; s_tenant_window; s_tenant_threshold;
+    s_program_window; s_program_threshold; s_cooldown_us; s_quarantine_after;
+    s_guard }
+
 let encode_config b (c : config) =
   encode_backend_cfg b c.backend;
   Wire.i64 b c.queue_depth;
@@ -110,6 +229,7 @@ let encode_config b (c : config) =
   Wire.f64 b c.margin;
   Wire.u8 b (if c.rotate_fuse then 1 else 0);
   encode_policy b c.policy;
+  encode_sup b c.sup;
   match c.faults with
   | None -> Wire.u8 b 0
   | Some f ->
@@ -118,7 +238,8 @@ let encode_config b (c : config) =
     Wire.f64 b f.f_transient;
     Wire.f64 b f.f_bootstrap;
     Wire.f64 b f.f_spike;
-    Wire.f64 b f.f_magnitude
+    Wire.f64 b f.f_magnitude;
+    Wire.list b Wire.i64 f.f_poison
 
 let decode_config r =
   let backend = decode_backend_cfg r in
@@ -133,6 +254,7 @@ let decode_config r =
     | n -> Wire.fail r ~got:(string_of_int n) "bad rotate_fuse flag"
   in
   let policy = decode_policy r in
+  let sup = decode_sup r in
   let faults =
     match Wire.ru8 r with
     | 0 -> None
@@ -142,7 +264,13 @@ let decode_config r =
       let f_bootstrap = Wire.rf64 r in
       let f_spike = Wire.rf64 r in
       let f_magnitude = Wire.rf64 r in
-      Some { f_seed; f_transient; f_bootstrap; f_spike; f_magnitude }
+      let f_poison = Wire.rlist r Wire.ri64 in
+      List.iter
+        (fun t ->
+          if t < 0 then
+            Wire.fail r ~got:(string_of_int t) "negative poisoned tenant id")
+        f_poison;
+      Some { f_seed; f_transient; f_bootstrap; f_spike; f_magnitude; f_poison }
     | n -> Wire.fail r ~got:(string_of_int n) "bad fault-config flag"
   in
   if queue_depth < 1 then
@@ -158,7 +286,7 @@ let decode_config r =
   if not (margin > 0.0) then
     Wire.fail r ~got:(string_of_float margin) "non-positive admission margin";
   { backend; queue_depth; batch_window; lane; margin; rotate_fuse; policy;
-    faults }
+    faults; sup }
 
 let encode_manifest b (m : manifest) =
   encode_config b m.config;
@@ -192,6 +320,7 @@ let encode_request b (q : request) =
   Wire.i64 b q.tenant_key;
   Wire.str b q.pname;
   Wire.f64 b q.tol;
+  Wire.i64 b q.admit_us;
   Wire.list b
     (fun b (name, v) ->
       Wire.str b name;
@@ -204,6 +333,7 @@ let decode_request r =
   let tenant_key = Wire.ri64 r in
   let pname = Wire.rstr r in
   let tol = Wire.rf64 r in
+  let admit_us = Wire.ri64 r in
   let payload =
     Wire.rlist r (fun r ->
         let name = Wire.rstr r in
@@ -211,14 +341,17 @@ let decode_request r =
         (name, v))
   in
   if req_id < 0 then Wire.fail r ~got:(string_of_int req_id) "negative request id";
+  if admit_us < 0 then
+    Wire.fail r ~got:(string_of_int admit_us) "negative admission stamp";
   List.iter
     (fun (name, v) ->
       if Array.length v = 0 then Wire.fail r ~got:name "empty input vector")
     payload;
-  { req_id; tenant_id; tenant_key; pname; tol; payload }
+  { req_id; tenant_id; tenant_key; pname; tol; admit_us; payload }
 
 let encode_entry b (e : entry) =
   Wire.i64 b e.e_key;
+  Wire.i64 b e.e_seq;
   Wire.list b Wire.i64 e.e_reqs;
   (match e.e_status with
    | Ok sealed ->
@@ -233,11 +366,23 @@ let encode_entry b (e : entry) =
       | None -> Wire.u8 b 0
       | Some i ->
         Wire.u8 b 1;
-        Wire.i64 b i));
+        Wire.i64 b i)
+   | Deadline d ->
+     Wire.u8 b 2;
+     Wire.str b d.dl_op;
+     Wire.i64 b d.dl_now_us;
+     Wire.i64 b d.dl_deadline_us
+   | Breach br ->
+     Wire.u8 b 3;
+     Wire.i64 b br.br_output;
+     Wire.i64 b br.br_slot;
+     Wire.f64 b br.br_observed;
+     Wire.f64 b br.br_bound);
   Codec.encode_stats b e.e_stats
 
 let decode_entry r =
   let e_key = Wire.ri64 r in
+  let e_seq = Wire.ri64 r in
   let e_reqs = Wire.rlist r Wire.ri64 in
   let e_status =
     match Wire.ru8 r with
@@ -255,10 +400,23 @@ let decode_entry r =
         | n -> Wire.fail r ~got:(string_of_int n) "bad iteration flag"
       in
       Degraded { d_op; d_reason; d_attempts; d_iteration }
+    | 2 ->
+      let dl_op = Wire.rstr r in
+      let dl_now_us = Wire.ri64 r in
+      let dl_deadline_us = Wire.ri64 r in
+      Deadline { dl_op; dl_now_us; dl_deadline_us }
+    | 3 ->
+      let br_output = Wire.ri64 r in
+      let br_slot = Wire.ri64 r in
+      let br_observed = Wire.rf64 r in
+      let br_bound = Wire.rf64 r in
+      Breach { br_output; br_slot; br_observed; br_bound }
     | n -> Wire.fail r ~got:(string_of_int n) "bad batch-status tag"
   in
   let e_stats = Codec.decode_stats r in
   if e_reqs = [] then Wire.fail r "batch entry with no requests";
+  if e_seq < 0 then
+    Wire.fail r ~got:(string_of_int e_seq) "negative delivery sequence";
   if List.hd e_reqs <> e_key then
     Wire.fail r
       ~expected:(string_of_int e_key)
@@ -271,7 +429,94 @@ let decode_entry r =
        ~got:(string_of_int (List.length sealed))
        "sealed outputs do not cover the batch members"
    | _ -> ());
-  { e_key; e_reqs; e_status; e_stats }
+  { e_key; e_seq; e_reqs; e_status; e_stats }
+
+let encode_plan b (p : plan) =
+  Wire.i64 b p.pl_seq;
+  Wire.i64 b p.pl_clock_us;
+  Wire.i64 b p.pl_watermark;
+  Wire.list b Wire.i64 p.pl_expired
+
+let decode_plan r =
+  let pl_seq = Wire.ri64 r in
+  let pl_clock_us = Wire.ri64 r in
+  let pl_watermark = Wire.ri64 r in
+  let pl_expired = Wire.rlist r Wire.ri64 in
+  if pl_seq < 0 then
+    Wire.fail r ~got:(string_of_int pl_seq) "negative plan sequence";
+  if pl_clock_us < 0 then
+    Wire.fail r ~got:(string_of_int pl_clock_us) "negative plan clock";
+  List.iter
+    (fun id ->
+      if id < 0 || id > pl_watermark then
+        Wire.fail r
+          ~expected:(Printf.sprintf "0..%d" pl_watermark)
+          ~got:(string_of_int id)
+          "expired request id above the evaluation watermark")
+    pl_expired;
+  { pl_seq; pl_clock_us; pl_watermark; pl_expired }
+
+let encode_quarantine b (q : quarantine) =
+  Wire.list b
+    (fun b (tenant, culprit) ->
+      Wire.i64 b tenant;
+      Wire.i64 b culprit)
+    q.qr_tenants
+
+let decode_quarantine r =
+  let qr_tenants =
+    Wire.rlist r (fun r ->
+        let tenant = Wire.ri64 r in
+        let culprit = Wire.ri64 r in
+        if tenant < 0 then
+          Wire.fail r ~got:(string_of_int tenant) "negative quarantined tenant";
+        if culprit < 0 then
+          Wire.fail r ~got:(string_of_int culprit) "negative culprit request id";
+        (tenant, culprit))
+  in
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      if fst a >= fst b then
+        Wire.fail r
+          ~got:(Printf.sprintf "%d then %d" (fst a) (fst b))
+          "quarantine tenants not strictly increasing"
+      else sorted rest
+    | _ -> ()
+  in
+  sorted qr_tenants;
+  { qr_tenants }
+
+let encode_drain b (d : drain) =
+  Wire.i64 b d.dr_accepted;
+  Wire.i64 b d.dr_served;
+  Wire.i64 b d.dr_failed;
+  Wire.i64 b d.dr_clock_us;
+  Wire.i64 b d.dr_seq;
+  Wire.list b Wire.i64 d.dr_quarantined
+
+let decode_drain r =
+  let dr_accepted = Wire.ri64 r in
+  let dr_served = Wire.ri64 r in
+  let dr_failed = Wire.ri64 r in
+  let dr_clock_us = Wire.ri64 r in
+  let dr_seq = Wire.ri64 r in
+  let dr_quarantined = Wire.rlist r Wire.ri64 in
+  if dr_accepted < 0 then
+    Wire.fail r ~got:(string_of_int dr_accepted) "negative accepted count";
+  if dr_served < 0 || dr_failed < 0 then
+    Wire.fail r
+      ~got:(Printf.sprintf "served %d, failed %d" dr_served dr_failed)
+      "negative completion count";
+  if dr_served + dr_failed <> dr_accepted then
+    Wire.fail r
+      ~expected:(Printf.sprintf "served + failed = %d" dr_accepted)
+      ~got:(Printf.sprintf "%d + %d" dr_served dr_failed)
+      "drain handoff does not account for every accepted request";
+  if dr_clock_us < 0 then
+    Wire.fail r ~got:(string_of_int dr_clock_us) "negative drain clock";
+  if dr_seq < 0 then
+    Wire.fail r ~got:(string_of_int dr_seq) "negative drain sequence";
+  { dr_accepted; dr_served; dr_failed; dr_clock_us; dr_seq; dr_quarantined }
 
 (* --- fingerprint and typed file helpers --------------------------------- *)
 
@@ -326,3 +571,61 @@ let load_entry ~path ~fingerprint =
   let e = decode_entry r in
   Wire.expect_end r ~what:"serve batch entry";
   e
+
+let save_plan ~path ~fingerprint p =
+  Store.write_file path
+    (Codec.frame ~kind:Codec.Serve_plan_frame ~fingerprint (fun b ->
+         encode_plan b p))
+
+let load_plan ~path ~fingerprint =
+  let r =
+    Codec.unframe ~path ~kind:Codec.Serve_plan_frame
+      ~fingerprint:(Some fingerprint) (Store.read_file path)
+  in
+  let p = decode_plan r in
+  Wire.expect_end r ~what:"serve plan record";
+  p
+
+let save_quarantine ~path ~fingerprint q =
+  Store.write_file path
+    (Codec.frame ~kind:Codec.Serve_quarantine_frame ~fingerprint (fun b ->
+         encode_quarantine b q))
+
+let load_quarantine ~path ~fingerprint =
+  let r =
+    Codec.unframe ~path ~kind:Codec.Serve_quarantine_frame
+      ~fingerprint:(Some fingerprint) (Store.read_file path)
+  in
+  let q = decode_quarantine r in
+  Wire.expect_end r ~what:"serve quarantine snapshot";
+  q
+
+let save_drain ~path ~fingerprint d =
+  Store.write_file path
+    (Codec.frame ~kind:Codec.Serve_drain_frame ~fingerprint (fun b ->
+         encode_drain b d))
+
+let load_drain ~path ~fingerprint =
+  let r =
+    Codec.unframe ~path ~kind:Codec.Serve_drain_frame
+      ~fingerprint:(Some fingerprint) (Store.read_file path)
+  in
+  let d = decode_drain r in
+  Wire.expect_end r ~what:"serve drain handoff";
+  d
+
+let save_chaos ~path ~fingerprint ~rounds =
+  Store.write_file path
+    (Codec.frame ~kind:Codec.Serve_chaos_frame ~fingerprint (fun b ->
+         Wire.i64 b rounds))
+
+let load_chaos ~path ~fingerprint =
+  let r =
+    Codec.unframe ~path ~kind:Codec.Serve_chaos_frame
+      ~fingerprint:(Some fingerprint) (Store.read_file path)
+  in
+  let rounds = Wire.ri64 r in
+  Wire.expect_end r ~what:"chaos soak state";
+  if rounds < 0 then
+    Wire.fail r ~got:(string_of_int rounds) "negative chaos round count";
+  rounds

@@ -1,7 +1,7 @@
 (** Durable wire formats for the serving layer, framed and checksummed by
     {!Halo_persist.Codec}.
 
-    A serve directory contains three artifact kinds, all written through
+    A serve directory contains these artifact kinds, all written through
     {!Halo_persist.Store.write_file} (tmp + fsync + rename, crash-atomic):
 
     - [manifest.halo] — a {!Serve_manifest_frame}: the server configuration
@@ -9,9 +9,16 @@
       forms are deterministic and rebuilt on load);
     - [requests/req-<id>.halo] — one {!Serve_request_frame} per {e accepted}
       request, written at admission, stamped with the manifest fingerprint;
-    - [journal/batch-<key>.ckpt] — one {!Serve_entry_frame} per completed
-      batch: member request ids, sealed per-tenant outputs (or the
-      structured degraded report), and the batch's execution statistics.
+    - [journal/batch-<key>.ckpt] and [journal/solo-<key>.ckpt] — one
+      {!Serve_entry_frame} per completed batch (solo- for degraded-mode
+      fallback re-executions): member request ids, sealed per-tenant
+      outputs (or the structured failure report), and the batch's
+      execution statistics;
+    - [journal/plan-<seq>.ckpt] — one {!Serve_plan_frame} per admission-TTL
+      evaluation wave (only when [s_ttl_us > 0]);
+    - [quarantine.halo] — a {!Serve_quarantine_frame} mirror of the
+      journal-derived quarantine set;
+    - [drain.halo] — a {!Serve_drain_frame} graceful-shutdown handoff.
 
     Rejected requests are never persisted — admission is the durability
     boundary, which is exactly the "every {e accepted} request eventually
@@ -30,14 +37,47 @@ type prog_def = {
 
 (** Seeded fault-injection knobs for the serving backend (probabilities per
     {!Halo_runtime.Faults.config}; each batch derives its own fault seed
-    from [f_seed] and the batch key). *)
+    from [f_seed] and the batch key).  [f_poison] lists tenant ids whose
+    batches additionally receive a {e fixed} fault schedule dense enough to
+    exhaust the retry budget deterministically — the poisoned-request
+    isolation scenario the chaos soak exercises. *)
 type fault_cfg = {
   f_seed : int;
   f_transient : float;
   f_bootstrap : float;
   f_spike : float;
   f_magnitude : float;
+  f_poison : int list;
 }
+
+(** Supervision knobs.  Everything is off in {!default_sup}, in which case
+    supervised serving is bit-identical to the unsupervised layer.  All
+    durations are {e virtual} microseconds on the server's {!Halo_runtime.Clock}
+    (charged from the cost model), so every deadline and breaker decision is
+    reproducible from the seed. *)
+type sup_cfg = {
+  s_deadline_us : int;  (** per-batch execution budget; [0] disables *)
+  s_ttl_us : int;  (** admission TTL, checked at first planning; [0] off *)
+  s_fallback : bool;
+      (** re-execute members of a failed multi-member batch solo *)
+  s_tenant_window : int;  (** per-tenant breaker outcome window (>= 1) *)
+  s_tenant_threshold : int;
+      (** failures within the window that open the tenant breaker; [0]
+          disables the tenant breaker *)
+  s_program_window : int;  (** per-program breaker outcome window (>= 1) *)
+  s_program_threshold : int;  (** as above, per program; [0] disables *)
+  s_cooldown_us : int;
+      (** virtual time an open breaker waits before admitting a probe *)
+  s_quarantine_after : int;
+      (** solo failures that quarantine a tenant durably; [0] disables *)
+  s_guard : bool;
+      (** run a noiseless reference per batch and abort on a noise breach *)
+}
+
+val default_sup : sup_cfg
+(** All supervision off: deadline 0, TTL 0, no fallback, breaker thresholds
+    0 (windows 8, cooldown 50ms for when a threshold is raised), no
+    quarantine, no guard. *)
 
 type config = {
   backend : Codec.backend_cfg;  (** per-batch reference-backend knobs *)
@@ -49,6 +89,7 @@ type config = {
   rotate_fuse : bool;  (** compile with rotation fusion (default true) *)
   policy : Halo_runtime.Resilient.policy;  (** per-batch retry policy *)
   faults : fault_cfg option;  (** seeded fault injection, off when [None] *)
+  sup : sup_cfg;  (** supervision; {!default_sup} = PR 6 behavior *)
 }
 
 type manifest = { config : config; progs : prog_def list }
@@ -59,12 +100,16 @@ type request = {
   tenant_key : int;  (** tenant key seed (the simulation holds all keys) *)
   pname : string;
   tol : float;  (** largest acceptable worst-case output error *)
+  admit_us : int;  (** server virtual clock at admission (TTL anchor) *)
   payload : (string * float array) list;  (** one vector per program input *)
 }
 
 (** Result of one executed batch.  [Ok] carries each member's sealed output
-    lanes (request-major, then program-output-major); [Degraded] is the
-    structured failure report shared by every member of the batch. *)
+    lanes (request-major, then program-output-major); the other three are
+    structured failure reports shared by every member of the batch:
+    [Degraded] is retry-budget exhaustion, [Deadline] a blown virtual-time
+    budget, [Breach] a noise-guard violation against the noiseless
+    reference. *)
 type batch_status =
   | Ok of float array list list
   | Degraded of {
@@ -73,12 +118,51 @@ type batch_status =
       d_attempts : int;
       d_iteration : int option;
     }
+  | Deadline of { dl_op : string; dl_now_us : int; dl_deadline_us : int }
+  | Breach of {
+      br_output : int;
+      br_slot : int;
+      br_observed : float;
+      br_bound : float;
+    }
 
 type entry = {
   e_key : int;  (** batch key: the first member's request id *)
+  e_seq : int;
+      (** delivery sequence: journal append order, which is also the order
+          the supervisor observed outcomes in.  Crash recovery folds entries
+          sorted by [e_seq] to reconstruct breaker and clock state exactly. *)
   e_reqs : int list;  (** member request ids, lane order *)
   e_status : batch_status;
   e_stats : Stats.t;  (** execution counters for this batch alone *)
+}
+
+(** One admission-TTL planning record, journaled {e before} the wave it
+    covers executes.  Requests with ids at or below [pl_watermark] have had
+    their TTL evaluated exactly once; a resumed server treats them as
+    immune, so a crash between planning and execution cannot flip a verdict. *)
+type plan = {
+  pl_seq : int;  (** plan sequence, monotone across resumes *)
+  pl_clock_us : int;  (** server virtual clock at planning time *)
+  pl_watermark : int;  (** highest request id whose TTL has been evaluated *)
+  pl_expired : int list;  (** ids expired (terminal) at this planning *)
+}
+
+(** Durable quarantine snapshot: tenants banned by the supervisor, each with
+    the request id that pushed them over the threshold.  The journal fold is
+    the authority; this snapshot is the cheap-to-read mirror. *)
+type quarantine = { qr_tenants : (int * int) list }
+
+(** Graceful-drain handoff manifest, written after the last in-flight batch
+    was journaled.  [open_resume] validates the journal against it: a
+    journal {e behind} the handoff means lost durability and is refused. *)
+type drain = {
+  dr_accepted : int;
+  dr_served : int;
+  dr_failed : int;
+  dr_clock_us : int;  (** server virtual clock at drain completion *)
+  dr_seq : int;  (** delivery sequences handed out (journaled entries) *)
+  dr_quarantined : int list;  (** quarantined tenant ids at drain *)
 }
 
 val manifest_fingerprint : manifest -> int64
@@ -103,3 +187,18 @@ val save_entry : path:string -> fingerprint:int64 -> entry -> int
 (** Returns the on-disk frame size in bytes. *)
 
 val load_entry : path:string -> fingerprint:int64 -> entry
+
+val save_plan : path:string -> fingerprint:int64 -> plan -> unit
+val load_plan : path:string -> fingerprint:int64 -> plan
+
+val save_quarantine : path:string -> fingerprint:int64 -> quarantine -> unit
+val load_quarantine : path:string -> fingerprint:int64 -> quarantine
+
+val save_drain : path:string -> fingerprint:int64 -> drain -> unit
+val load_drain : path:string -> fingerprint:int64 -> drain
+
+val save_chaos : path:string -> fingerprint:int64 -> rounds:int -> unit
+val load_chaos : path:string -> fingerprint:int64 -> int
+(** Chaos-soak driver state: how many submission rounds have been durably
+    injected into the serve directory (so a killed trial resumes submission
+    exactly where it left off). *)

@@ -2,8 +2,10 @@ open Halo
 module Codec = Serve_codec
 module Stats = Halo_runtime.Stats
 module Guard = Halo_runtime.Guard
+module Clock = Halo_runtime.Clock
 module Resilient = Halo_runtime.Resilient
 module Faults = Halo_runtime.Faults
+module Interp = Halo_runtime.Interp
 module Domain_pool = Halo_ckks.Domain_pool
 module Ref_backend = Halo_ckks.Ref_backend
 module Store = Halo_persist.Store
@@ -16,6 +18,9 @@ module Store = Halo_persist.Store
 module Faulty = Faults.Make (Ref_backend)
 module Recover = Resilient.Make (Faulty)
 
+(* Noiseless reference interpreter for the per-batch guard (s_guard). *)
+module Plain = Interp.Make (Ref_backend)
+
 type reject =
   | Queue_full of { depth : int }
   | Unknown_program of string
@@ -23,6 +28,13 @@ type reject =
   | Over_slots of { input : string; len : int; slots : int }
   | Noise_budget of { bound : float; scaled : float; tol : float }
   | Unbounded_noise
+  | Quarantined of { tenant : int; culprit : int }
+  | Breaker_open of {
+      scope : Supervisor.scope;
+      until_us : int;
+      now_us : int;
+    }
+  | Draining
 
 let reject_to_string = function
   | Queue_full { depth } -> Printf.sprintf "queue full (depth %d)" depth
@@ -36,6 +48,13 @@ let reject_to_string = function
       "noise budget refused: bound %.3g (scaled %.3g) exceeds tolerance %.3g"
       bound scaled tol
   | Unbounded_noise -> "noise budget refused: no finite bound"
+  | Quarantined { tenant; culprit } ->
+    Printf.sprintf "tenant %d quarantined (culprit request %d)" tenant culprit
+  | Breaker_open { scope; until_us; now_us } ->
+    Printf.sprintf "circuit breaker open for %s: %dus of cooldown left"
+      (Supervisor.scope_to_string scope)
+      (max 0 (until_us - now_us))
+  | Draining -> "server draining: admission closed"
 
 type failure = {
   f_req : int;
@@ -53,11 +72,18 @@ type counters = {
   accepted : int;
   rejected_queue : int;
   rejected_admission : int;
+  rejected_supervised : int;
   served : int;
   failed : int;
   batches : int;
   batched_requests : int;
   solo_requests : int;
+  expired : int;
+  fallback_requests : int;
+  breaker_opens : int;
+  breaker_closes : int;
+  breaker_reopens : int;
+  quarantined_tenants : int;
 }
 
 exception Killed of { writes : int }
@@ -71,21 +97,34 @@ type compiled = {
   wrappers : (int, Ir.program) Hashtbl.t;  (* lanes -> compiled wrapper *)
 }
 
+(* Batch tables are keyed [(key, solo)]: a request id can key both a failed
+   primary batch and its own fallback re-execution, and the two entries
+   must not shadow each other. *)
 type t = {
   cfg : Codec.config;
   dir : string option;
   fingerprint : int64;
   progs : (string * compiled) list;
+  sup : Supervisor.t;
+  lock : Mutex.t;  (* serializes admission; submit is domain-safe *)
   requests : (int, Codec.request) Hashtbl.t;  (* every accepted request *)
   results : (int, outcome) Hashtbl.t;
-  batch_stats : (int, Stats.t) Hashtbl.t;
-  batch_members : (int, int list) Hashtbl.t;
+  batch_stats : (int * bool, Stats.t) Hashtbl.t;
+  batch_members : (int * bool, int list) Hashtbl.t;
+  expired : (int, unit) Hashtbl.t;  (* requests failed by admission TTL *)
   mutable next_id : int;
   mutable pending_rev : Codec.request list;
   mutable pending_n : int;
+  mutable fallback_rev : Codec.request list;  (* awaiting solo re-execution *)
   mutable accepted : int;
   mutable rejected_queue : int;
   mutable rejected_admission : int;
+  mutable rejected_supervised : int;
+  mutable seq : int;  (* delivery sequences handed out (journal order) *)
+  mutable plan_seq : int;  (* TTL planning records written *)
+  mutable ttl_watermark : int;  (* highest request id TTL-evaluated *)
+  mutable draining : bool;
+  mutable handoff : Codec.drain option;  (* drain manifest found or written *)
   mutable writes : int;  (* journal appends by this process *)
   mutable damaged : (string * string) list;
 }
@@ -103,10 +142,16 @@ type batch = {
 let manifest_path dir = Filename.concat dir "manifest.halo"
 let requests_dir dir = Filename.concat dir "requests"
 let journal_dir dir = Filename.concat dir "journal"
+let quarantine_path dir = Filename.concat dir "quarantine.halo"
+let drain_path dir = Filename.concat dir "drain.halo"
 let request_path dir id =
   Filename.concat (requests_dir dir) (Printf.sprintf "req-%010d.halo" id)
 let entry_path dir key =
   Filename.concat (journal_dir dir) (Printf.sprintf "batch-%010d.ckpt" key)
+let solo_path dir key =
+  Filename.concat (journal_dir dir) (Printf.sprintf "solo-%010d.ckpt" key)
+let plan_path dir seq =
+  Filename.concat (journal_dir dir) (Printf.sprintf "plan-%010d.ckpt" seq)
 
 (* Nonce for output [j] of request [id]: unique per sealed artifact as long
    as a program has fewer than 1024 outputs. *)
@@ -160,6 +205,12 @@ let build ?dir (cfg : Codec.config) progs =
     invalid_arg "Server.create: lane wider than the ciphertext";
   if not (cfg.margin > 0.0) then
     invalid_arg "Server.create: non-positive admission margin";
+  if cfg.sup.s_deadline_us < 0 || cfg.sup.s_ttl_us < 0 then
+    invalid_arg "Server.create: negative supervision budget";
+  if cfg.sup.s_tenant_window < 1 || cfg.sup.s_program_window < 1 then
+    invalid_arg "Server.create: breaker window below 1";
+  if cfg.sup.s_cooldown_us < 1 then
+    invalid_arg "Server.create: breaker cooldown below 1us";
   if progs = [] then invalid_arg "Server.create: empty program registry";
   let names = List.map (fun (d : Codec.prog_def) -> d.pd_name) progs in
   if List.length (List.sort_uniq compare names) <> List.length names then
@@ -170,16 +221,26 @@ let build ?dir (cfg : Codec.config) progs =
     dir;
     fingerprint = Codec.manifest_fingerprint manifest;
     progs = List.map (fun d -> (d.Codec.pd_name, compile_def cfg d)) progs;
+    sup = Supervisor.create cfg.sup;
+    lock = Mutex.create ();
     requests = Hashtbl.create 64;
     results = Hashtbl.create 64;
     batch_stats = Hashtbl.create 16;
     batch_members = Hashtbl.create 16;
+    expired = Hashtbl.create 4;
     next_id = 0;
     pending_rev = [];
     pending_n = 0;
+    fallback_rev = [];
     accepted = 0;
     rejected_queue = 0;
     rejected_admission = 0;
+    rejected_supervised = 0;
+    seq = 0;
+    plan_seq = 0;
+    ttl_watermark = -1;
+    draining = false;
+    handoff = None;
     writes = 0;
     damaged = [];
   }
@@ -207,6 +268,12 @@ let create ?dir cfg ~programs =
 
 let config t = t.cfg
 let damaged t = t.damaged
+let handoff t = t.handoff
+let clock_us t = Supervisor.now_us t.sup
+let tick t ~us = Supervisor.tick t.sup ~us
+let quarantine t = Supervisor.quarantined t.sup
+let latencies t = Supervisor.latencies t.sup
+let max_latency_us t = Supervisor.max_latency_us t.sup
 
 let find_prog t name =
   match List.assoc_opt name t.progs with
@@ -218,6 +285,13 @@ let noise_report t name = (find_prog t name).bound
 let batchable t name = (find_prog t name).can_batch
 let pending t = t.pending_n
 
+let persist_quarantine t =
+  match t.dir with
+  | None -> ()
+  | Some d ->
+    Codec.save_quarantine ~path:(quarantine_path d) ~fingerprint:t.fingerprint
+      { Codec.qr_tenants = Supervisor.quarantined t.sup }
+
 let accept t (q : Codec.request) =
   Hashtbl.replace t.requests q.req_id q;
   t.pending_rev <- q :: t.pending_rev;
@@ -225,79 +299,97 @@ let accept t (q : Codec.request) =
   t.accepted <- t.accepted + 1
 
 let submit ?(tol = infinity) t ~tenant ~program ~payload =
-  match List.assoc_opt program t.progs with
-  | None ->
-    t.rejected_admission <- t.rejected_admission + 1;
-    Error (Unknown_program program)
-  | Some cp ->
-    let missing =
-      List.find_opt
-        (fun (i : Ir.input) -> not (List.mem_assoc i.in_name payload))
-        cp.solo.inputs
-    in
-    let oversized =
-      List.find_opt
-        (fun (i : Ir.input) ->
-          match List.assoc_opt i.in_name payload with
-          | Some v -> Array.length v > t.cfg.backend.slots
-          | None -> false)
-        cp.solo.inputs
-    in
-    (match missing, oversized with
-     | Some i, _ ->
-       t.rejected_admission <- t.rejected_admission + 1;
-       Error (Missing_input i.in_name)
-     | None, Some i ->
-       t.rejected_admission <- t.rejected_admission + 1;
-       Error
-         (Over_slots
-            {
-              input = i.in_name;
-              len = Array.length (List.assoc i.in_name payload);
-              slots = t.cfg.backend.slots;
-            })
-     | None, None ->
-       if t.pending_n >= t.cfg.queue_depth then begin
-         t.rejected_queue <- t.rejected_queue + 1;
-         Error (Queue_full { depth = t.cfg.queue_depth })
-       end
-       else if not cp.bound.bounded then begin
+  Mutex.protect t.lock @@ fun () ->
+  if t.draining then begin
+    t.rejected_supervised <- t.rejected_supervised + 1;
+    Error Draining
+  end
+  else
+    match List.assoc_opt program t.progs with
+    | None ->
+      t.rejected_admission <- t.rejected_admission + 1;
+      Error (Unknown_program program)
+    | Some cp ->
+      let missing =
+        List.find_opt
+          (fun (i : Ir.input) -> not (List.mem_assoc i.in_name payload))
+          cp.solo.inputs
+      in
+      let oversized =
+        List.find_opt
+          (fun (i : Ir.input) ->
+            match List.assoc_opt i.in_name payload with
+            | Some v -> Array.length v > t.cfg.backend.slots
+            | None -> false)
+          cp.solo.inputs
+      in
+      (match missing, oversized with
+       | Some i, _ ->
          t.rejected_admission <- t.rejected_admission + 1;
-         Error Unbounded_noise
-       end
-       else begin
-         let scaled = cp.bound.worst *. t.cfg.margin in
-         if scaled > tol then begin
+         Error (Missing_input i.in_name)
+       | None, Some i ->
+         t.rejected_admission <- t.rejected_admission + 1;
+         Error
+           (Over_slots
+              {
+                input = i.in_name;
+                len = Array.length (List.assoc i.in_name payload);
+                slots = t.cfg.backend.slots;
+              })
+       | None, None ->
+         if t.pending_n >= t.cfg.queue_depth then begin
+           t.rejected_queue <- t.rejected_queue + 1;
+           Error (Queue_full { depth = t.cfg.queue_depth })
+         end
+         else if not cp.bound.bounded then begin
            t.rejected_admission <- t.rejected_admission + 1;
-           Error (Noise_budget { bound = cp.bound.worst; scaled; tol })
+           Error Unbounded_noise
          end
          else begin
-           let q =
-             {
-               Codec.req_id = t.next_id;
-               tenant_id = tenant.Tenant.id;
-               tenant_key = tenant.Tenant.key_seed;
-               pname = program;
-               tol;
-               (* Store exactly the program's inputs, in program order, so
-                  the durable request is canonical. *)
-               payload =
-                 List.map
-                   (fun (i : Ir.input) ->
-                     (i.in_name, List.assoc i.in_name payload))
-                   cp.solo.inputs;
-             }
-           in
-           t.next_id <- t.next_id + 1;
-           (match t.dir with
-            | None -> ()
-            | Some d ->
-              Codec.save_request ~path:(request_path d q.req_id)
-                ~fingerprint:t.fingerprint q);
-           accept t q;
-           Ok q.req_id
-         end
-       end)
+           let scaled = cp.bound.worst *. t.cfg.margin in
+           if scaled > tol then begin
+             t.rejected_admission <- t.rejected_admission + 1;
+             Error (Noise_budget { bound = cp.bound.worst; scaled; tol })
+           end
+           else
+             match
+               Supervisor.admit t.sup ~tenant:tenant.Tenant.id ~pname:program
+             with
+             | Supervisor.Quarantined { tenant; culprit } ->
+               t.rejected_supervised <- t.rejected_supervised + 1;
+               Error (Quarantined { tenant; culprit })
+             | Supervisor.Breaker_open { scope; until_us; now_us } ->
+               t.rejected_supervised <- t.rejected_supervised + 1;
+               Error (Breaker_open { scope; until_us; now_us })
+             | Supervisor.Admit ->
+               let q =
+                 {
+                   Codec.req_id = t.next_id;
+                   tenant_id = tenant.Tenant.id;
+                   tenant_key = tenant.Tenant.key_seed;
+                   pname = program;
+                   tol;
+                   admit_us = Supervisor.now_us t.sup;
+                   (* Store exactly the program's inputs, in program order,
+                      so the durable request is canonical. *)
+                   payload =
+                     List.map
+                       (fun (i : Ir.input) ->
+                         (i.in_name, List.assoc i.in_name payload))
+                       cp.solo.inputs;
+                 }
+               in
+               t.next_id <- t.next_id + 1;
+               (* [Store.write_file] is tmp + fsync + rename: the accepted
+                  request is durable before submit returns. *)
+               (match t.dir with
+                | None -> ()
+                | Some d ->
+                  Codec.save_request ~path:(request_path d q.req_id)
+                    ~fingerprint:t.fingerprint q);
+               accept t q;
+               Ok q.req_id
+         end)
 
 (* --- planning ----------------------------------------------------------- *)
 
@@ -342,6 +434,69 @@ let close_batch t (cp : compiled) members =
       b_outputs = cp.outputs;
     }
 
+let ttl_failure t ~now (q : Codec.request) =
+  {
+    f_req = q.req_id;
+    f_op = "admission-ttl";
+    f_reason =
+      Printf.sprintf "admission TTL expired: waited %dus, budget %dus"
+        (now - q.admit_us) t.cfg.sup.s_ttl_us;
+    f_attempts = 0;
+    f_iteration = None;
+  }
+
+(* Admission-TTL gate, run once per request at its first planning.  The
+   verdicts (and the evaluation watermark) are journaled {e before} the
+   wave executes, so a crash between planning and execution can never
+   re-evaluate a request's TTL against a different clock: on resume,
+   requests at or below the watermark are immune and the journaled expired
+   set is terminal. *)
+let ttl_expire t queue =
+  if t.cfg.sup.s_ttl_us <= 0 then queue
+  else begin
+    let now = Supervisor.now_us t.sup in
+    let fresh =
+      List.filter
+        (fun (q : Codec.request) -> q.req_id > t.ttl_watermark)
+        queue
+    in
+    if fresh <> [] then begin
+      let expired_now =
+        List.filter
+          (fun (q : Codec.request) -> now - q.admit_us > t.cfg.sup.s_ttl_us)
+          fresh
+      in
+      let watermark =
+        List.fold_left
+          (fun w (q : Codec.request) -> max w q.req_id)
+          t.ttl_watermark fresh
+      in
+      (match t.dir with
+       | None -> ()
+       | Some d ->
+         Codec.save_plan ~path:(plan_path d t.plan_seq)
+           ~fingerprint:t.fingerprint
+           {
+             Codec.pl_seq = t.plan_seq;
+             pl_clock_us = now;
+             pl_watermark = watermark;
+             pl_expired =
+               List.map (fun (q : Codec.request) -> q.Codec.req_id) expired_now;
+           });
+      t.plan_seq <- t.plan_seq + 1;
+      t.ttl_watermark <- watermark;
+      List.iter
+        (fun (q : Codec.request) ->
+          Hashtbl.replace t.expired q.req_id ();
+          Supervisor.record_expired t.sup;
+          Hashtbl.replace t.results q.req_id (Failed (ttl_failure t ~now q)))
+        expired_now
+    end;
+    List.filter
+      (fun (q : Codec.request) -> not (Hashtbl.mem t.expired q.req_id))
+      queue
+  end
+
 (* Greedy FIFO planning.  The plan is a pure function of the pending
    request sequence (in id order): consecutive requests for the same
    batchable program accumulate into one open batch per program until it
@@ -350,7 +505,7 @@ let close_batch t (cp : compiled) members =
    un-journaled suffix of requests reproduces the original remaining
    batches exactly. *)
 let plan_batches t =
-  let queue = List.rev t.pending_rev in
+  let queue = ttl_expire t (List.rev t.pending_rev) in
   t.pending_rev <- [];
   t.pending_n <- 0;
   let cap = lane_capacity t in
@@ -386,17 +541,45 @@ let plan_batches t =
 
 (* --- execution ---------------------------------------------------------- *)
 
-let fault_config cfg_faults key =
-  match cfg_faults with
+let fault_config (cfg : Codec.config) (b : batch) =
+  match cfg.faults with
   | None -> Faults.config ~seed:0 ()
   | Some (f : Codec.fault_cfg) ->
+    (* A batch containing a poisoned tenant gets a fixed schedule dense
+       enough to fault the first instruction through every retry and every
+       checkpoint restore: retry exhaustion is certain and deterministic,
+       batched or solo. *)
+    let poisoned =
+      f.f_poison <> []
+      && List.exists
+           (fun (q : Codec.request) -> List.mem q.Codec.tenant_id f.f_poison)
+           b.b_members
+    in
+    let schedule =
+      if not poisoned then []
+      else
+        List.init
+          (cfg.policy.max_attempts * (cfg.policy.max_restores + 1))
+          (fun _ -> { Faults.at = 0; kind = Faults.Transient_op })
+    in
     Faults.config ~transient_prob:f.f_transient ~bootstrap_prob:f.f_bootstrap
-      ~spike_prob:f.f_spike ~spike_magnitude:f.f_magnitude
-      ~seed:(f.f_seed + key) ()
+      ~spike_prob:f.f_spike ~spike_magnitude:f.f_magnitude ~schedule
+      ~seed:(f.f_seed + b.b_key) ()
+
+(* Noiseless reference for the batch guard: the exact semantics of the
+   batch program on its packed inputs. *)
+let reference_outputs (cfg : Codec.config) (prog : Ir.program) inputs =
+  let nb =
+    Ref_backend.create ~seed:0 ~enc_noise:0.0 ~mult_noise:0.0 ~boot_noise:0.0
+      ~rescale_noise:0.0 ~slots:prog.Ir.slots ~max_level:prog.Ir.max_level
+      ~scale_bits:cfg.backend.scale_bits ()
+  in
+  fst (Plain.run nb ~inputs prog)
 
 (* Execute one batch.  Pure function of (config, batch): the backend and
-   fault seeds derive from the batch key, not from scheduling, so the
-   entry is bit-identical for any pool size and any crash history. *)
+   fault seeds derive from the batch key, not from scheduling, and the
+   deadline clock is virtual, so the entry is bit-identical for any pool
+   size and any crash history. *)
 let exec_batch (cfg : Codec.config) (b : batch) =
   let prog = b.b_prog in
   let stats = Stats.create () in
@@ -411,8 +594,7 @@ let exec_batch (cfg : Codec.config) (b : batch) =
   let st =
     Faulty.wrap
       ~on_fault:(fun _ -> Stats.record_fault stats)
-      (fault_config cfg.faults b.b_key)
-      backend
+      (fault_config cfg b) backend
   in
   let member_input name (q : Codec.request) = List.assoc name q.payload in
   let inputs =
@@ -429,30 +611,57 @@ let exec_batch (cfg : Codec.config) (b : batch) =
   in
   let ids = List.map (fun (q : Codec.request) -> q.Codec.req_id) b.b_members in
   let lanes = List.length b.b_members in
+  let clock =
+    if cfg.sup.s_deadline_us > 0 then
+      Some (Clock.create ~deadline_us:cfg.sup.s_deadline_us ())
+    else None
+  in
   let status =
-    match Recover.run ~policy:cfg.policy ~stats st ~inputs prog with
-    | Recover.Complete { outputs; stats = _ } ->
-      let outputs = Array.of_list outputs in
-      let groups =
-        List.mapi
-          (fun i (q : Codec.request) ->
-            let rsize = request_size q in
-            List.init b.b_outputs (fun j ->
-                let raw =
-                  match b.b_layout with
-                  | None -> outputs.(j)
-                  | Some _ -> outputs.((j * lanes) + i)
-                in
-                let data = Array.sub raw 0 (min rsize (Array.length raw)) in
-                let tenant =
-                  { Tenant.id = q.tenant_id; key_seed = q.tenant_key }
-                in
-                (Tenant.seal tenant ~nonce:(nonce ~req:q.req_id ~output:j)
-                   data)
-                  .Tenant.s_data))
-          b.b_members
+    match Recover.run ~policy:cfg.policy ?clock ~stats st ~inputs prog with
+    | Recover.Complete { outputs; stats = _ } -> (
+      let breach =
+        if not cfg.sup.s_guard then None
+        else
+          match
+            Guard.check ~margin:cfg.margin prog
+              ~reference:(reference_outputs cfg prog inputs)
+              ~observed:outputs
+          with
+          | Guard.Breach { observed; bound; output; slot } ->
+            Some
+              (Codec.Breach
+                 {
+                   br_output = output;
+                   br_slot = slot;
+                   br_observed = observed;
+                   br_bound = bound;
+                 })
+          | Guard.Healthy _ | Guard.Unbounded _ -> None
       in
-      Codec.Ok groups
+      match breach with
+      | Some s -> s
+      | None ->
+        let outputs = Array.of_list outputs in
+        let groups =
+          List.mapi
+            (fun i (q : Codec.request) ->
+              let rsize = request_size q in
+              List.init b.b_outputs (fun j ->
+                  let raw =
+                    match b.b_layout with
+                    | None -> outputs.(j)
+                    | Some _ -> outputs.((j * lanes) + i)
+                  in
+                  let data = Array.sub raw 0 (min rsize (Array.length raw)) in
+                  let tenant =
+                    { Tenant.id = q.tenant_id; key_seed = q.tenant_key }
+                  in
+                  (Tenant.seal tenant ~nonce:(nonce ~req:q.req_id ~output:j)
+                     data)
+                    .Tenant.s_data))
+            b.b_members
+        in
+        Codec.Ok groups)
     | Recover.Degraded d ->
       Codec.Degraded
         {
@@ -461,15 +670,63 @@ let exec_batch (cfg : Codec.config) (b : batch) =
           d_attempts = d.attempts;
           d_iteration = d.iteration;
         }
+    | exception Halo_error.Deadline_exceeded { site; now_us; deadline_us } ->
+      Codec.Deadline
+        { dl_op = site.Halo_error.op; dl_now_us = now_us;
+          dl_deadline_us = deadline_us }
   in
-  { Codec.e_key = b.b_key; e_reqs = ids; e_status = status; e_stats = stats }
+  { Codec.e_key = b.b_key; e_seq = 0; e_reqs = ids; e_status = status;
+    e_stats = stats }
+
+let failure_of_status rid = function
+  | Codec.Degraded d ->
+    {
+      f_req = rid;
+      f_op = d.d_op;
+      f_reason = d.d_reason;
+      f_attempts = d.d_attempts;
+      f_iteration = d.d_iteration;
+    }
+  | Codec.Deadline dl ->
+    {
+      f_req = rid;
+      f_op = dl.dl_op;
+      f_reason =
+        Printf.sprintf
+          "deadline exceeded: virtual time %dus past the %dus budget"
+          dl.dl_now_us dl.dl_deadline_us;
+      f_attempts = 1;
+      f_iteration = None;
+    }
+  | Codec.Breach br ->
+    {
+      f_req = rid;
+      f_op = "guard";
+      f_reason =
+        Printf.sprintf
+          "noise breach at output %d slot %d: observed %.3g exceeds bound %.3g"
+          br.br_output br.br_slot br.br_observed br.br_bound;
+      f_attempts = 1;
+      f_iteration = None;
+    }
+  | Codec.Ok _ -> assert false
 
 (* Record a completed batch's outcome for each member.  Works identically
    for a freshly executed entry and one reloaded from the journal — the
-   sealed records are reconstituted from the member requests, so delivery
-   after resume is byte-for-byte the original delivery. *)
-let deliver t (e : Codec.entry) =
+   sealed records are reconstituted from the member requests and the
+   supervisor is driven purely by the entry's stats and outcomes — so both
+   delivery and supervision state after resume match the uninterrupted
+   run exactly. *)
+let deliver t ~solo (e : Codec.entry) =
+  Supervisor.charge t.sup e.Codec.e_stats;
   let lanes = List.length e.e_reqs in
+  let success = match e.e_status with Codec.Ok _ -> true | _ -> false in
+  List.iter
+    (fun rid ->
+      let q = Hashtbl.find t.requests rid in
+      Supervisor.observe t.sup ~tenant:q.Codec.tenant_id ~pname:q.Codec.pname
+        ~success)
+    e.e_reqs;
   (match e.e_status with
    | Codec.Ok groups ->
      List.iter2
@@ -486,38 +743,49 @@ let deliver t (e : Codec.entry) =
              group
          in
          Hashtbl.replace t.results rid
-           (Served { batch_key = e.e_key; lanes; sealed }))
+           (Served { batch_key = e.e_key; lanes; sealed });
+         Supervisor.record_latency t.sup ~req:rid ~admit_us:q.Codec.admit_us)
        e.e_reqs groups
-   | Codec.Degraded d ->
-     List.iter
-       (fun rid ->
-         Hashtbl.replace t.results rid
-           (Failed
-              {
-                f_req = rid;
-                f_op = d.d_op;
-                f_reason = d.d_reason;
-                f_attempts = d.d_attempts;
-                f_iteration = d.d_iteration;
-              }))
-       e.e_reqs);
-  Hashtbl.replace t.batch_stats e.e_key e.e_stats;
-  Hashtbl.replace t.batch_members e.e_key e.e_reqs
+   | status ->
+     if (not solo) && lanes >= 2 && t.cfg.sup.s_fallback then begin
+       (* Degraded-mode fallback: don't fail the members — queue each for a
+          solo re-execution, where the culprit fails alone. *)
+       let members = List.map (Hashtbl.find t.requests) e.e_reqs in
+       t.fallback_rev <- List.rev_append members t.fallback_rev;
+       Supervisor.record_fallbacks t.sup ~count:lanes
+     end
+     else
+       List.iter
+         (fun rid ->
+           let q = Hashtbl.find t.requests rid in
+           Hashtbl.replace t.results rid
+             (Failed (failure_of_status rid status));
+           Supervisor.record_latency t.sup ~req:rid ~admit_us:q.Codec.admit_us;
+           if lanes = 1 then
+             if
+               Supervisor.record_solo_failure t.sup ~tenant:q.Codec.tenant_id
+                 ~req:rid
+             then persist_quarantine t)
+         e.e_reqs);
+  Hashtbl.replace t.batch_stats (e.e_key, solo) e.e_stats;
+  Hashtbl.replace t.batch_members (e.e_key, solo) e.e_reqs
 
-let journal_append t ?kill_after (e : Codec.entry) =
-  match t.dir with
-  | None -> ()
-  | Some d ->
-    ignore
-      (Codec.save_entry ~path:(entry_path d e.Codec.e_key)
-         ~fingerprint:t.fingerprint e);
-    t.writes <- t.writes + 1;
-    (match kill_after with
-     | Some k when t.writes >= k -> raise (Killed { writes = t.writes })
-     | _ -> ())
+let journal_append t ?kill_after ~solo (e : Codec.entry) =
+  let e = { e with Codec.e_seq = t.seq } in
+  t.seq <- t.seq + 1;
+  (match t.dir with
+   | None -> ()
+   | Some d ->
+     let path = (if solo then solo_path else entry_path) d e.Codec.e_key in
+     ignore (Codec.save_entry ~path ~fingerprint:t.fingerprint e);
+     t.writes <- t.writes + 1;
+     (match kill_after with
+      | Some k when t.writes >= k -> raise (Killed { writes = t.writes })
+      | _ -> ()));
+  e
 
-let run_until_drained ?kill_after ?on_batch t =
-  let batches = Array.of_list (plan_batches t) in
+let exec_wave t ?kill_after ?on_batch ~solo batches =
+  let batches = Array.of_list batches in
   let entries = Array.make (Array.length batches) None in
   let wave = max 1 (Domain_pool.size ()) in
   let i = ref 0 in
@@ -530,15 +798,61 @@ let run_until_drained ?kill_after ?on_batch t =
     Domain_pool.parallel_for ~n:(hi - lo) (fun k ->
         entries.(lo + k) <- Some (exec_batch t.cfg batches.(lo + k)));
     for j = lo to hi - 1 do
-      let e = Option.get entries.(j) in
-      journal_append t ?kill_after e;
-      deliver t e;
+      let e = journal_append t ?kill_after ~solo (Option.get entries.(j)) in
+      deliver t ~solo e;
       match on_batch with
       | Some f -> f ~key:e.Codec.e_key ~reqs:e.Codec.e_reqs
       | None -> ()
     done;
     i := hi
   done
+
+let run_until_drained ?kill_after ?on_batch t =
+  exec_wave t ?kill_after ?on_batch ~solo:false (plan_batches t);
+  (* Fallback phase: members of failed multi-member batches re-execute
+     solo, in request-id order.  Solo failures are terminal, so this
+     converges in one round per primary phase. *)
+  while t.fallback_rev <> [] do
+    let members =
+      List.sort
+        (fun (a : Codec.request) b -> compare a.req_id b.Codec.req_id)
+        t.fallback_rev
+    in
+    t.fallback_rev <- [];
+    let batches =
+      List.map (fun (q : Codec.request) ->
+          close_batch t (find_prog t q.pname) [ q ])
+        members
+    in
+    exec_wave t ?kill_after ?on_batch ~solo:true batches
+  done
+
+let count_results t =
+  Hashtbl.fold
+    (fun _ o (s, f) ->
+      match o with Served _ -> (s + 1, f) | Failed _ -> (s, f + 1))
+    t.results (0, 0)
+
+let drain ?kill_after ?on_batch t =
+  t.draining <- true;
+  run_until_drained ?kill_after ?on_batch t;
+  let served, failed = count_results t in
+  let d =
+    {
+      Codec.dr_accepted = t.accepted;
+      dr_served = served;
+      dr_failed = failed;
+      dr_clock_us = Supervisor.now_us t.sup;
+      dr_seq = t.seq;
+      dr_quarantined = List.map fst (Supervisor.quarantined t.sup);
+    }
+  in
+  (match t.dir with
+   | None -> ()
+   | Some dir ->
+     Codec.save_drain ~path:(drain_path dir) ~fingerprint:t.fingerprint d);
+  t.handoff <- Some d;
+  d
 
 (* --- resume ------------------------------------------------------------- *)
 
@@ -575,31 +889,92 @@ let open_resume ~dir =
       accept t q;
       t.next_id <- max t.next_id (id + 1))
     req_ids;
+  (* TTL planning records also load loudly: they carry terminal verdicts
+     about accepted requests (and the evaluation watermark that makes
+     those verdicts crash-immune), so discarding a damaged one would
+     re-evaluate admission TTLs against a different clock. *)
+  List.iter
+    (fun seq ->
+      let p =
+        Codec.load_plan ~path:(plan_path dir seq) ~fingerprint:t.fingerprint
+      in
+      t.plan_seq <- max t.plan_seq (p.Codec.pl_seq + 1);
+      t.ttl_watermark <- max t.ttl_watermark p.pl_watermark;
+      List.iter
+        (fun rid ->
+          let q = Hashtbl.find t.requests rid in
+          Hashtbl.replace t.expired rid ();
+          Supervisor.record_expired t.sup;
+          Hashtbl.replace t.results rid
+            (Failed (ttl_failure t ~now:p.pl_clock_us q)))
+        p.pl_expired)
+    (scan_ids (journal_dir dir) ~prefix:"plan-" ~suffix:".ckpt");
   (* Journal entries follow the scan-and-discard-damaged discipline: an
      intact entry is delivered as-is; a damaged one is reported and its
-     batch simply re-executed (deterministically, to the same bytes). *)
+     batch simply re-executed (deterministically, to the same bytes).
+     Intact entries are folded in delivery order ([e_seq]) so the clock
+     advances and the breaker transitions replay exactly as they happened
+     live. *)
+  let loaded = ref [] in
+  let load ~solo key =
+    let path = (if solo then solo_path else entry_path) dir key in
+    match Codec.load_entry ~path ~fingerprint:t.fingerprint with
+    | e -> loaded := (e, solo) :: !loaded
+    | exception Halo_error.Persist_error { reason; _ } ->
+      t.damaged <- (path, reason) :: t.damaged
+  in
+  List.iter (load ~solo:false)
+    (scan_ids (journal_dir dir) ~prefix:"batch-" ~suffix:".ckpt");
+  List.iter (load ~solo:true)
+    (scan_ids (journal_dir dir) ~prefix:"solo-" ~suffix:".ckpt");
+  t.damaged <- List.rev t.damaged;
   let completed = Hashtbl.create 16 in
   List.iter
-    (fun key ->
-      let path = entry_path dir key in
-      match
-        Codec.load_entry ~path ~fingerprint:t.fingerprint
-      with
-      | e ->
-        deliver t e;
-        List.iter (fun rid -> Hashtbl.replace completed rid ()) e.Codec.e_reqs
-      | exception Halo_error.Persist_error { reason; _ } ->
-        t.damaged <- (path, reason) :: t.damaged)
-    (scan_ids (journal_dir dir) ~prefix:"batch-" ~suffix:".ckpt");
-  t.damaged <- List.rev t.damaged;
-  (* Pending = accepted minus completed, in id order. *)
+    (fun ((e : Codec.entry), solo) ->
+      deliver t ~solo e;
+      t.seq <- max t.seq (e.e_seq + 1);
+      List.iter (fun rid -> Hashtbl.replace completed rid ()) e.e_reqs)
+    (List.sort
+       (fun ((a : Codec.entry), _) ((b : Codec.entry), _) ->
+         compare a.e_seq b.e_seq)
+       !loaded);
+  (* Fallback members whose solo entry was already journaled have results;
+     the rest still owe a solo re-execution. *)
+  t.fallback_rev <-
+    List.filter
+      (fun (q : Codec.request) -> not (Hashtbl.mem t.results q.Codec.req_id))
+      t.fallback_rev;
+  (* Pending = accepted minus completed minus TTL-expired, in id order. *)
   let pending =
     List.rev t.pending_rev
     |> List.filter (fun (q : Codec.request) ->
-           not (Hashtbl.mem completed q.Codec.req_id))
+           (not (Hashtbl.mem completed q.Codec.req_id))
+           && not (Hashtbl.mem t.expired q.Codec.req_id))
   in
   t.pending_rev <- List.rev pending;
   t.pending_n <- List.length pending;
+  (* A drain handoff pins what the journal must already contain: fewer
+     delivery sequences than the handoff recorded means durable state was
+     lost after the drain, which resume must refuse to paper over. *)
+  (if Sys.file_exists (drain_path dir) then begin
+     let d =
+       Codec.load_drain ~path:(drain_path dir) ~fingerprint:t.fingerprint
+     in
+     if t.seq < d.Codec.dr_seq then
+       Halo_error.persist_error ~path:(drain_path dir)
+         ~expected:(Printf.sprintf "%d delivery sequences" d.Codec.dr_seq)
+         ~got:(string_of_int t.seq)
+         "journal behind the drain handoff";
+     if t.accepted < d.Codec.dr_accepted then
+       Halo_error.persist_error ~path:(drain_path dir)
+         ~expected:(Printf.sprintf "%d accepted requests" d.Codec.dr_accepted)
+         ~got:(string_of_int t.accepted)
+         "request log behind the drain handoff";
+     t.handoff <- Some d
+   end);
+  (* Quarantine is journal-derived; refresh the durable mirror so it can
+     never lag the fold. *)
+  if Supervisor.quarantined t.sup <> [] then persist_quarantine t;
   t
 
 (* --- results and accounting --------------------------------------------- *)
@@ -621,12 +996,7 @@ let stats t =
   acc
 
 let counters t =
-  let served, failed =
-    Hashtbl.fold
-      (fun _ o (s, f) ->
-        match o with Served _ -> (s + 1, f) | Failed _ -> (s, f + 1))
-      t.results (0, 0)
-  in
+  let served, failed = count_results t in
   let batched_requests, solo_requests =
     Hashtbl.fold
       (fun _ members (b, s) ->
@@ -639,11 +1009,18 @@ let counters t =
     accepted = t.accepted;
     rejected_queue = t.rejected_queue;
     rejected_admission = t.rejected_admission;
+    rejected_supervised = t.rejected_supervised;
     served;
     failed;
     batches = Hashtbl.length t.batch_members;
     batched_requests;
     solo_requests;
+    expired = Supervisor.expired t.sup;
+    fallback_requests = Supervisor.fallbacks t.sup;
+    breaker_opens = Supervisor.opens t.sup;
+    breaker_closes = Supervisor.closes t.sup;
+    breaker_reopens = Supervisor.reopens t.sup;
+    quarantined_tenants = List.length (Supervisor.quarantined t.sup);
   }
 
 let report t =
@@ -656,6 +1033,18 @@ let report t =
   Printf.bprintf b
     "batching: batches=%d batched_requests=%d solo_requests=%d pending=%d\n"
     c.batches c.batched_requests c.solo_requests t.pending_n;
+  if
+    c.expired + c.fallback_requests + c.breaker_opens + c.breaker_closes
+    + c.breaker_reopens + c.quarantined_tenants + c.rejected_supervised
+    > 0
+  then
+    Printf.bprintf b
+      "supervision: expired=%d fallbacks=%d breaker_opens=%d \
+       breaker_closes=%d breaker_reopens=%d quarantined=%d \
+       rejected_supervised=%d clock=%dus\n"
+      c.expired c.fallback_requests c.breaker_opens c.breaker_closes
+      c.breaker_reopens c.quarantined_tenants c.rejected_supervised
+      (clock_us t);
   Buffer.add_string b (Stats.to_string (stats t));
   Buffer.add_char b '\n';
   Buffer.contents b

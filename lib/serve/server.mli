@@ -1,26 +1,48 @@
 (** Multi-tenant encrypted serving: bounded admission, cross-request slot
-    batching, parallel batch execution, durable job state.
+    batching, parallel batch execution, durable job state, and a
+    supervision layer (deadlines, admission TTLs, circuit breakers,
+    quarantine, degraded-mode fallback, graceful drain).
 
     {2 Life of a request}
 
     A client submits [(tenant, program, payload, tol)].  Admission rejects
-    it synchronously when the queue is full, the program is unknown, an
-    input is missing or oversized, or the program's static noise bound
-    (scaled by the configured margin — the PR 2 noise-budget guard's
-    compile-time half) exceeds the request's error tolerance.  Accepted
-    requests get a monotone id, are durably persisted (when the server has
-    a directory), and wait in the admission queue.
+    it synchronously when the server is draining, the queue is full, the
+    program is unknown, an input is missing or oversized, the program's
+    static noise bound (scaled by the configured margin) exceeds the
+    request's error tolerance, the tenant is quarantined, or a circuit
+    breaker for the tenant or the program is open.  Accepted requests get
+    a monotone id, an admission stamp on the server's virtual clock, are
+    durably persisted (when the server has a directory — the frame is
+    fsynced before {!submit} returns), and wait in the admission queue.
+    {!submit} is domain-safe: concurrent submitters serialize on an
+    internal lock and ids stay dense.
 
     {!run_until_drained} plans the queue into batches: consecutive requests
     for the same {e slotwise} program (see {!Slot_batch.slotwise}) share one
     ciphertext, up to [batch_window] lanes of [lane] slots; everything else
-    is served one-request-per-ciphertext.  Batches execute on the domain
-    pool ({!Halo_ckks.Domain_pool}), each against its own deterministically
-    seeded backend under the resilient runtime (and, when configured, the
-    seeded fault injector) — so results are bit-identical for any pool size
-    and any crash/resume history.  Completed batches are journaled
-    (one atomic frame per batch), then each member's output lane is sealed
-    under its tenant's key ({!Tenant}) and delivered.
+    is served one-request-per-ciphertext.  When an admission TTL is
+    configured, each request's age is checked once, at its first planning,
+    and the verdicts are journaled before the wave executes.  Batches
+    execute on the domain pool ({!Halo_ckks.Domain_pool}), each against its
+    own deterministically seeded backend under the resilient runtime (and,
+    when configured, the seeded fault injector) — so results are
+    bit-identical for any pool size and any crash/resume history.  A
+    configured per-batch deadline runs on a private virtual clock charged
+    by the cost model; blowing it aborts the batch at the next instruction
+    boundary.  Completed batches are journaled (one atomic frame per
+    batch, stamped with its delivery sequence), then each member's output
+    lane is sealed under its tenant's key ({!Tenant}) and delivered.
+
+    {2 Supervision}
+
+    Delivered outcomes drive the supervisor ({!Supervisor}): the server
+    clock is charged with each batch's modeled latency, and every member
+    outcome feeds the tenant and program circuit breakers.  When fallback
+    is enabled, members of a failed multi-member batch are not failed but
+    re-executed solo (journaled under [solo-<id>.ckpt]) — healthy
+    lane-mates succeed bit-identically to a run that never shared a
+    ciphertext with the culprit, and the culprit fails alone.  Repeated
+    solo failures quarantine the tenant durably ([quarantine.halo]).
 
     {2 Durability protocol}
 
@@ -29,10 +51,14 @@
     requests (its backend seed derives from the batch key — the first
     member's request id — not from execution order).  So after a kill at
     any instant, {!open_resume} rebuilds the server from the manifest, the
-    request log and the journal, re-executes exactly the batches without an
-    intact journal entry, and every accepted request completes with the
-    same bytes it would have produced uninterrupted.  Damaged journal
-    entries are reported and re-executed, never trusted. *)
+    request log and the journal (folding intact entries in delivery-
+    sequence order, which replays the clock and every breaker transition
+    exactly), re-executes exactly the batches without an intact journal
+    entry, and every accepted request completes with the same bytes it
+    would have produced uninterrupted.  Damaged journal entries are
+    reported and re-executed, never trusted.  A graceful {!drain} writes a
+    handoff manifest that a later {!open_resume} validates the journal
+    against. *)
 
 module Codec = Serve_codec
 
@@ -48,14 +74,25 @@ type reject =
   | Unbounded_noise
       (** the program's noise analysis found no finite bound to admit
           against *)
+  | Quarantined of { tenant : int; culprit : int }
+      (** the tenant is durably quarantined; [culprit] is the request that
+          tripped it *)
+  | Breaker_open of {
+      scope : Supervisor.scope;
+      until_us : int;  (** virtual time the cooldown ends *)
+      now_us : int;
+    }
+  | Draining  (** admission is closed for a graceful drain *)
 
 val reject_to_string : reject -> string
 
-(** Structured per-request failure: the batch degraded past its retry
-    budget; the rest of the batches are unaffected. *)
+(** Structured per-request failure: retry-budget exhaustion, a blown
+    per-batch deadline ([f_op] is the aborting instruction), a noise-guard
+    breach ([f_op = "guard"]), or an expired admission TTL
+    ([f_op = "admission-ttl"], [f_attempts = 0]). *)
 type failure = {
   f_req : int;
-  f_op : string;  (** operation that kept faulting *)
+  f_op : string;
   f_reason : string;
   f_attempts : int;
   f_iteration : int option;
@@ -73,11 +110,19 @@ type counters = {
   accepted : int;
   rejected_queue : int;
   rejected_admission : int;
+  rejected_supervised : int;
+      (** draining, quarantine and breaker rejections (process-local) *)
   served : int;
   failed : int;
-  batches : int;
+  batches : int;  (** includes fallback solo re-executions *)
   batched_requests : int;  (** members of batches with >= 2 lanes *)
-  solo_requests : int;
+  solo_requests : int;  (** solo batches, including fallback re-executions *)
+  expired : int;  (** requests failed by the admission TTL *)
+  fallback_requests : int;  (** members queued for solo re-execution *)
+  breaker_opens : int;
+  breaker_closes : int;
+  breaker_reopens : int;
+  quarantined_tenants : int;
 }
 
 exception Killed of { writes : int }
@@ -88,17 +133,20 @@ exception Killed of { writes : int }
 val create : ?dir:string -> Codec.config -> programs:Codec.prog_def list -> t
 (** Compile the registry and (when [dir] is given) durably write the serve
     manifest.  Raises [Invalid_argument] on an empty or duplicate-name
-    registry, a program whose slot count differs from the backend's, or a
-    dynamic iteration count (serving programs must be self-contained). *)
+    registry, a program whose slot count differs from the backend's, a
+    dynamic iteration count, or malformed supervision knobs. *)
 
 val open_resume : dir:string -> t
 (** Rebuild a server from a serve directory: load and validate the
-    manifest, recompile the registry, reload every accepted request, scan
-    the journal, deliver intact batch results, and queue the rest for
+    manifest, recompile the registry, reload every accepted request, apply
+    the TTL planning records, fold intact journal entries in delivery
+    order (reconstructing clock, breakers and quarantine exactly), and
+    queue the rest — including unfinished fallback re-executions — for
     re-execution.  Corrupt journal entries are collected in {!damaged};
-    corrupt manifest or request files raise
-    {!Halo_error.Persist_error} loudly (dropping an accepted request
-    silently would break the serving contract). *)
+    corrupt manifest, request or planning files raise
+    {!Halo_error.Persist_error} loudly, as does a journal that has fewer
+    delivery sequences than a drain handoff recorded.  Admission is open
+    after resume (a drain does not survive its process). *)
 
 val damaged : t -> (string * string) list
 (** Journal files discarded by the last {!open_resume} scan. *)
@@ -120,18 +168,48 @@ val submit :
   (int, reject) result
 (** Admission.  [tol] defaults to [infinity] (accept any bounded noise).
     On [Ok id], the request is accepted and (for durable servers) already
-    persisted. *)
+    fsynced to the request log.  Domain-safe. *)
 
 val pending : t -> int
-(** Requests admitted but not yet completed. *)
+(** Requests admitted but not yet planned. *)
 
 val run_until_drained :
   ?kill_after:int -> ?on_batch:(key:int -> reqs:int list -> unit) -> t -> unit
 (** Plan the queue, execute every batch (waves of pool-size batches run in
-    parallel; journal appends and delivery stay in batch-key order), and
-    deliver every outcome.  [on_batch] fires after each batch is journaled
-    and delivered — the bench uses it to timestamp completions.
-    [kill_after] raises {!Killed} right after that many journal appends. *)
+    parallel; journal appends and delivery stay in batch-key order), run
+    fallback solo re-executions until none remain, and deliver every
+    outcome.  [on_batch] fires after each batch is journaled and
+    delivered.  [kill_after] raises {!Killed} right after that many
+    journal appends. *)
+
+val drain :
+  ?kill_after:int ->
+  ?on_batch:(key:int -> reqs:int list -> unit) ->
+  t ->
+  Codec.drain
+(** Graceful shutdown: close admission ({!submit} answers [Draining]),
+    finish and journal everything in flight, then durably write the
+    handoff manifest ([drain.halo]) and return it. *)
+
+val handoff : t -> Codec.drain option
+(** The handoff written by {!drain}, or found (and validated) by
+    {!open_resume}. *)
+
+val clock_us : t -> int
+(** The server virtual clock, in microseconds. *)
+
+val tick : t -> us:int -> unit
+(** Inject idle virtual time (ages the admission queue for TTL tests and
+    the chaos harness).  Not durable — only tick between drained cycles. *)
+
+val quarantine : t -> (int * int) list
+(** [(tenant, culprit request id)], sorted by tenant. *)
+
+val latencies : t -> (int * int) list
+(** [(request id, virtual completion latency in us)] for every delivered
+    request, sorted by id. *)
+
+val max_latency_us : t -> int
 
 val result : t -> int -> outcome option
 val results : t -> (int * outcome) list
@@ -145,4 +223,6 @@ val stats : t -> Halo_runtime.Stats.t
 val counters : t -> counters
 val report : t -> string
 (** Human-readable one-stop summary (counters + aggregate statistics);
-    the serving soak compares baseline and resumed reports for equality. *)
+    the serving soak compares baseline and resumed reports for equality.
+    The supervision line appears only when supervision did something, so
+    unsupervised reports are unchanged from the pre-supervision layer. *)

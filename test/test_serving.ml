@@ -55,7 +55,8 @@ let fresh_dir =
    batched, solo, killed-and-resumed and pool-resized runs can all be
    compared down to the last bit. *)
 let mk_cfg ?(queue_depth = 64) ?(batch_window = 8) ?(lane = lane)
-    ?(rotate_fuse = true) ?(policy = Resilient.default_policy) ?faults () =
+    ?(rotate_fuse = true) ?(policy = Resilient.default_policy) ?faults
+    ?(sup = Serve_codec.default_sup) () =
   {
     Serve_codec.backend =
       {
@@ -75,6 +76,7 @@ let mk_cfg ?(queue_depth = 64) ?(batch_window = 8) ?(lane = lane)
     rotate_fuse;
     policy;
     faults;
+    sup;
   }
 
 let programs () = Workload.programs ~slots ~max_level ~iters:3
@@ -613,6 +615,7 @@ let faulty_cfg rate =
     f_bootstrap = rate;
     f_spike = 0.0;
     f_magnitude = 1e-4;
+    f_poison = [];
   }
 
 (* Under no-retry, a faulted batch degrades with a structured report while
