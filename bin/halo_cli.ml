@@ -72,6 +72,32 @@ let no_rotate_fuse_arg =
            group.  Outputs are bit-identical either way; use this to \
            measure the hoisting counters' effect.")
 
+let no_lazy_switch_arg =
+  Arg.(
+    value & flag
+    & info [ "no-lazy-switch" ]
+        ~doc:
+          "Disable the lazy key-switching pass: rotate-and-sum reductions \
+           stay unfused, paying one digit decomposition and one mod-down \
+           per member instead of one per group.  Outputs are bit-identical \
+           either way.")
+
+let key_budget_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "key-budget" ] ~docv:"BYTES"
+        ~doc:
+          "Rotation-key byte budget with optional K/M/G suffix (0 or empty \
+           = unbounded; overrides $(b,HALO_KEY_BUDGET)).  Keys evicted \
+           under the budget regenerate deterministically, so the budget is \
+           bit-invisible — it only trades memory for regeneration time.")
+
+(* --key-budget BYTES, falling back to HALO_KEY_BUDGET, then unbounded. *)
+let resolve_key_budget s =
+  let parse s = Halo_ckks.Keys.parse_budget (String.trim s) in
+  if String.trim s <> "" then parse s
+  else match Sys.getenv_opt "HALO_KEY_BUDGET" with Some e -> parse e | None -> 0
+
 let load path = Parser.parse_program (read_file path)
 
 let handle_code f =
@@ -105,11 +131,12 @@ let handle f = handle_code (fun () -> f (); 0)
 (* ------------------------------------------------------------------ *)
 
 let compile_cmd =
-  let run file strategy bindings no_fuse output =
+  let run file strategy bindings no_fuse no_lazy output =
     handle (fun () ->
         let p = load file in
         let compiled =
-          Strategy.compile ~bindings ~rotate_fuse:(not no_fuse) ~strategy p
+          Strategy.compile ~bindings ~rotate_fuse:(not no_fuse)
+            ~lazy_switch:(not no_lazy) ~strategy p
         in
         let text = Printer.program_to_string compiled in
         match output with
@@ -129,7 +156,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a textual IR program.")
     Term.(
       const run $ file_arg $ strategy_arg $ bindings_arg $ no_rotate_fuse_arg
-      $ output_arg)
+      $ no_lazy_switch_arg $ output_arg)
 
 let inspect_cmd =
   let run file =
@@ -257,12 +284,13 @@ let report_checkpointed ?out (outcome, damaged) =
     1
 
 let run_cmd =
-  let run file strategy bindings no_fuse seed guard checkpoint_dir every retain
-      guard_every kill_after out =
+  let run file strategy bindings no_fuse no_lazy seed guard checkpoint_dir
+      every retain guard_every kill_after out =
     handle_code (fun () ->
         let p = load file in
         let compiled =
-          Strategy.compile ~bindings ~rotate_fuse:(not no_fuse) ~strategy p
+          Strategy.compile ~bindings ~rotate_fuse:(not no_fuse)
+            ~lazy_switch:(not no_lazy) ~strategy p
         in
         let rng = Random.State.make [| seed |] in
         let inputs =
@@ -386,8 +414,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute with random inputs on the reference backend.")
     Term.(
       const run $ file_arg $ strategy_arg $ bindings_arg $ no_rotate_fuse_arg
-      $ seed_arg $ guard_arg $ checkpoint_dir_arg $ every_arg $ retain_arg
-      $ guard_every_arg $ kill_after_arg $ out_arg)
+      $ no_lazy_switch_arg $ seed_arg $ guard_arg $ checkpoint_dir_arg
+      $ every_arg $ retain_arg $ guard_every_arg $ kill_after_arg $ out_arg)
 
 let resume_cmd =
   let run dir out kill_after =
@@ -663,7 +691,7 @@ let serve_cmd =
       dir resume kill_after solo no_fuse fault_rate spike_rate no_retry
       deadline_us ttl_us fallback tenant_threshold program_threshold
       breaker_window cooldown_us quarantine_after poison guard_batches
-      drain_flag out verbose =
+      drain_flag key_budget out verbose =
     handle_code (fun () ->
         if resume && dir = None then begin
           Printf.eprintf "serve: --resume requires --dir\n";
@@ -750,6 +778,13 @@ let serve_cmd =
             0
           | None ->
             print_string (Server.report server);
+            if
+              String.trim key_budget <> ""
+              || Sys.getenv_opt "HALO_KEY_BUDGET" <> None
+            then
+              print_string
+                (Server.key_budget_report server
+                   ~budget:(resolve_key_budget key_budget));
             (match Server.handoff server with
              | Some (d : Halo_serve.Serve_codec.drain) ->
                Printf.printf
@@ -1006,7 +1041,7 @@ let serve_cmd =
       $ ttl_us_arg $ fallback_arg $ tenant_threshold_arg
       $ program_threshold_arg $ breaker_window_arg $ cooldown_us_arg
       $ quarantine_after_arg $ poison_arg $ guard_batches_arg $ drain_arg
-      $ out_arg $ verbose_arg)
+      $ key_budget_arg $ out_arg $ verbose_arg)
 
 (* Serving crash soak: the PR 4 kill/resume discipline applied to the
    serving layer.  Each trial serves a seeded workload to completion (the

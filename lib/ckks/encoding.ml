@@ -23,7 +23,7 @@ let zeta_pow (params : Params.t) k =
   let ang = Float.pi *. float_of_int k /. float_of_int params.n in
   { Complex.re = cos ang; im = sin ang }
 
-let encode (params : Params.t) ~level ~scale values =
+let encode_centered (params : Params.t) ~scale values =
   let n = params.n and slots = params.slots in
   if Array.length values > slots then invalid_arg "Encoding.encode: too many values";
   let group = rot_group params in
@@ -38,16 +38,20 @@ let encode (params : Params.t) ~level ~scale values =
   done;
   (* b_k = (1/n) * FFT(evals)[k]; coefficients a_k = Re(b_k * zeta^{-k}). *)
   Fft.fft evals;
-  let coeffs =
-    Array.init n (fun k ->
-        let b =
-          { Complex.re = evals.(k).re /. float_of_int n;
-            im = evals.(k).im /. float_of_int n }
-        in
-        let untwisted = Complex.mul b (zeta_pow params (-k)) in
-        int_of_float (Float.round untwisted.re))
-  in
-  Rns_poly.of_centered_coeffs params ~level coeffs
+  Array.init n (fun k ->
+      let b =
+        { Complex.re = evals.(k).re /. float_of_int n;
+          im = evals.(k).im /. float_of_int n }
+      in
+      let untwisted = Complex.mul b (zeta_pow params (-k)) in
+      int_of_float (Float.round untwisted.re))
+
+let encode (params : Params.t) ~level ~scale values =
+  Rns_poly.of_centered_coeffs params ~level (encode_centered params ~scale values)
+
+let encode_real_centered params ~scale values =
+  encode_centered params ~scale
+    (Array.map (fun re -> { Complex.re; im = 0.0 }) values)
 
 let decode (params : Params.t) ~scale poly =
   let n = params.n and slots = params.slots in

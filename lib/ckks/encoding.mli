@@ -19,6 +19,14 @@ val decode : Params.t -> scale:float -> Rns_poly.t -> Complex.t array
 val encode_real :
   Params.t -> level:int -> scale:float -> float array -> Rns_poly.t
 
+val encode_centered : Params.t -> scale:float -> Complex.t array -> int array
+(** The canonical-embedding rounding only: centered integer coefficients
+    before any RNS reduction, so callers needing the same plaintext at
+    several moduli (e.g. the extended chain of a lazy key switch) pay the
+    FFT once. *)
+
+val encode_real_centered : Params.t -> scale:float -> float array -> int array
+
 val decode_real : Params.t -> scale:float -> Rns_poly.t -> float array
 
 val rot_group : Params.t -> int array

@@ -1,8 +1,46 @@
-type ct = { c0 : Rns_poly.t; c1 : Rns_poly.t; scale : float }
+type ct = {
+  c0 : Rns_poly.t;
+  c1 : Rns_poly.t;
+  scale : float;
+  mutable digits : (Rns_poly.t * Keys.decomposed) option;
+      (* cross-op digit memo: the mod-up decomposition of [c1], tagged with
+         the exact [c1] object it was computed from.  Validity is physical
+         identity of that tag with the current [c1] — any functional update
+         that replaces [c1] makes a carried memo self-invalidating, while
+         updates that keep the same [c1] object (e.g. plaintext adds into
+         [c0]) keep it live.  The single-word store is atomic in OCaml, so
+         a concurrent race costs at worst one redundant (bit-identical)
+         recompute, never a wrong result. *)
+}
 
 let level ct = Rns_poly.level ct.c0
 let scale ct = ct.scale
-let of_parts ~c0 ~c1 ~scale = { c0; c1; scale }
+let mk c0 c1 scale = { c0; c1; scale; digits = None }
+let of_parts ~c0 ~c1 ~scale = mk c0 c1 scale
+
+let digit_cache_enabled =
+  ref
+    (match Sys.getenv_opt "HALO_DIGIT_CACHE" with
+    | Some ("0" | "off" | "false" | "OFF" | "FALSE") -> false
+    | _ -> true)
+
+let set_digit_cache on = digit_cache_enabled := on
+
+(* Fetch or compute the digit decomposition of [a.c1].  Reuse is counted in
+   the key-set cache statistics; disabling the cache degrades to a fresh
+   decomposition per call with bit-identical results (the decomposition is
+   a deterministic function of [c1]). *)
+let decompose_cached (keys : Keys.t) a =
+  if not !digit_cache_enabled then Keys.decompose keys a.c1
+  else
+    match a.digits with
+    | Some (src, dec) when src == a.c1 ->
+      Keys.record_digit_hit keys;
+      dec
+    | _ ->
+      let dec = Keys.decompose keys a.c1 in
+      a.digits <- Some (a.c1, dec);
+      dec
 
 let pad_slots (params : Params.t) values =
   if Array.length values = params.slots then values
@@ -29,7 +67,7 @@ let encrypt_sym (keys : Keys.t) ~level values =
   let c0 =
     Rns_poly.add params (Rns_poly.add params (Rns_poly.neg params (Rns_poly.mul params a s)) m) e
   in
-  { c0; c1 = a; scale = params.scale }
+  mk c0 a params.scale
 
 let encrypt (keys : Keys.t) ~level values =
   let params = keys.params in
@@ -54,7 +92,7 @@ let encrypt (keys : Keys.t) ~level values =
     Rns_poly.add params (Rns_poly.add params (Rns_poly.mul params v pk0) m) e0
   in
   let c1 = Rns_poly.add params (Rns_poly.mul params v pk1) e1 in
-  { c0; c1; scale = params.scale }
+  mk c0 c1 params.scale
 
 let decrypt_poly (keys : Keys.t) ct =
   let params = keys.params in
@@ -81,13 +119,13 @@ let addcc (keys : Keys.t) a b =
   check_levels "addcc" a b;
   check_scales "addcc" a b;
   let p = keys.params in
-  { c0 = Rns_poly.add p a.c0 b.c0; c1 = Rns_poly.add p a.c1 b.c1; scale = a.scale }
+  mk (Rns_poly.add p a.c0 b.c0) (Rns_poly.add p a.c1 b.c1) a.scale
 
 let subcc (keys : Keys.t) a b =
   check_levels "subcc" a b;
   check_scales "subcc" a b;
   let p = keys.params in
-  { c0 = Rns_poly.sub p a.c0 b.c0; c1 = Rns_poly.sub p a.c1 b.c1; scale = a.scale }
+  mk (Rns_poly.sub p a.c0 b.c0) (Rns_poly.sub p a.c1 b.c1) a.scale
 
 let addcp (keys : Keys.t) a values =
   let params = keys.params in
@@ -106,11 +144,7 @@ let multcc (keys : Keys.t) a b =
   let d1 = Rns_poly.add p (Rns_poly.mul p a0 b1) (Rns_poly.mul p a1 b0) in
   let d2 = Rns_poly.mul p a1 b1 in
   let u0, u1 = Keys.key_switch keys (Keys.relin_key keys) d2 in
-  {
-    c0 = Rns_poly.add p d0 u0;
-    c1 = Rns_poly.add p d1 u1;
-    scale = a.scale *. b.scale;
-  }
+  mk (Rns_poly.add p d0 u0) (Rns_poly.add p d1 u1) (a.scale *. b.scale)
 
 let multcp (keys : Keys.t) a values =
   let params = keys.params in
@@ -119,44 +153,43 @@ let multcp (keys : Keys.t) a values =
     Rns_poly.to_eval params
       (Encoding.encode_real params ~level:(level a) ~scale:params.scale values)
   in
-  {
-    c0 = Rns_poly.mul params a.c0 m;
-    c1 = Rns_poly.mul params a.c1 m;
-    scale = a.scale *. params.scale;
-  }
+  mk (Rns_poly.mul params a.c0 m) (Rns_poly.mul params a.c1 m)
+    (a.scale *. params.scale)
 
+(* Every rotation key-switches against the digit decomposition of the
+   unrotated [c1], with the Galois automorphism fused into the inner
+   product as a slot permutation ({!Keys.apply_rotated}) — bit-identical to
+   key-switching the rotated polynomial because the whole path is exact
+   modular integer arithmetic.  Phrasing single rotations this way lets
+   consecutive ops on the same ciphertext share one decomposition through
+   the cross-op digit memo, not just members of one hoisted group. *)
 let rotate (keys : Keys.t) a ~offset =
   let params = keys.params in
   if offset = 0 then a
   else begin
     let k = Keys.galois_element params ~offset in
-    let r0 = Rns_poly.automorphism params ~k a.c0 in
-    let r1 = Rns_poly.automorphism params ~k a.c1 in
     let sk = Keys.rotation_key keys ~offset in
-    let u0, u1 = Keys.key_switch keys sk r1 in
-    { c0 = Rns_poly.add params r0 u0; c1 = u1; scale = a.scale }
+    let dec = decompose_cached keys a in
+    let r0 = Rns_poly.automorphism params ~k a.c0 in
+    let u0, u1 = Keys.apply_rotated keys sk ~k dec in
+    mk (Rns_poly.add params r0 u0) u1 a.scale
   end
 
-(* Hoisted rotations: decompose [c1] once and key-switch every offset
-   against the shared digits (the automorphism is applied to the digits as
-   a slot permutation fused into the inner product).  The whole key-switch
-   path is exact modular integer arithmetic, so each result is bit-identical
-   to the corresponding single [rotate]. *)
+(* Hoisted rotations: one decomposition of [c1] (possibly already memoized
+   by an earlier op on this ciphertext) shared by every offset. *)
 let rotate_many (keys : Keys.t) a ~offsets =
   let params = keys.params in
   if List.for_all (fun o -> o = 0) offsets then List.map (fun _ -> a) offsets
   else begin
-    (* Fetch every switching key up front, in offset order: on-demand key
-       generation consumes the key-set RNG, and the hoisted path must
-       consume it in exactly the order the equivalent sequence of single
-       rotates would. *)
+    (* Key fetches stay in offset order: generation is deterministic per
+       key, but the LRU accounting observes the access order. *)
     let sks =
       List.map
         (fun offset ->
           if offset = 0 then None else Some (Keys.rotation_key keys ~offset))
         offsets
     in
-    let dec = Keys.decompose keys a.c1 in
+    let dec = decompose_cached keys a in
     List.map2
       (fun offset sk ->
         match sk with
@@ -165,17 +198,18 @@ let rotate_many (keys : Keys.t) a ~offsets =
           let k = Keys.galois_element params ~offset in
           let r0 = Rns_poly.automorphism params ~k a.c0 in
           let u0, u1 = Keys.apply_rotated keys sk ~k dec in
-          { c0 = Rns_poly.add params r0 u0; c1 = u1; scale = a.scale })
+          mk (Rns_poly.add params r0 u0) u1 a.scale)
       offsets sks
   end
 
 let conjugate (keys : Keys.t) a =
   let params = keys.params in
   let k = (2 * params.n) - 1 in
+  let sk = Keys.conjugation_key keys in
+  let dec = decompose_cached keys a in
   let r0 = Rns_poly.automorphism params ~k a.c0 in
-  let r1 = Rns_poly.automorphism params ~k a.c1 in
-  let u0, u1 = Keys.key_switch keys (Keys.conjugation_key keys) r1 in
-  { c0 = Rns_poly.add params r0 u0; c1 = u1; scale = a.scale }
+  let u0, u1 = Keys.apply_rotated keys sk ~k dec in
+  mk (Rns_poly.add params r0 u0) u1 a.scale
 
 let multcp_complex (keys : Keys.t) a values =
   let params = keys.params in
@@ -183,20 +217,16 @@ let multcp_complex (keys : Keys.t) a values =
     Rns_poly.to_eval params
       (Encoding.encode params ~level:(level a) ~scale:params.scale values)
   in
-  {
-    c0 = Rns_poly.mul params a.c0 m;
-    c1 = Rns_poly.mul params a.c1 m;
-    scale = a.scale *. params.scale;
-  }
+  mk (Rns_poly.mul params a.c0 m) (Rns_poly.mul params a.c1 m)
+    (a.scale *. params.scale)
 
 let rescale (keys : Keys.t) a =
   let params = keys.params in
   let dropped = Params.modulus_at params ~level:(level a) in
-  {
-    c0 = Rns_poly.rescale_last params a.c0;
-    c1 = Rns_poly.rescale_last params a.c1;
-    scale = a.scale /. float_of_int dropped;
-  }
+  mk
+    (Rns_poly.rescale_last params a.c0)
+    (Rns_poly.rescale_last params a.c1)
+    (a.scale /. float_of_int dropped)
 
 let modswitch (keys : Keys.t) a ~down =
   if down < 0 then invalid_arg "Eval.modswitch: negative";
@@ -224,11 +254,8 @@ let multcp_exact (keys : Keys.t) a values ~target =
       (Encoding.encode_real params ~level:l ~scale:encode_scale values)
   in
   let product =
-    {
-      c0 = Rns_poly.mul params a.c0 m;
-      c1 = Rns_poly.mul params a.c1 m;
-      scale = a.scale *. encode_scale;
-    }
+    mk (Rns_poly.mul params a.c0 m) (Rns_poly.mul params a.c1 m)
+      (a.scale *. encode_scale)
   in
   let r = rescale keys product in
   (* Floating bookkeeping can be off by one ulp; pin the target. *)
@@ -236,3 +263,115 @@ let multcp_exact (keys : Keys.t) a values ~target =
 
 let adjust_scale (keys : Keys.t) a ~target =
   multcp_exact keys a (Array.make keys.params.slots 1.0) ~target
+
+(* --- lazy key switching: fused rotate-and-sum --------------------------- *)
+
+let eager_switch_env () =
+  match Sys.getenv_opt "HALO_EAGER_SWITCH" with
+  | Some ("1" | "on" | "true" | "ON" | "TRUE") -> true
+  | _ -> false
+
+(* Fused rotate-and-sum: sum_g coeff_g * rotate(a, o_g), paying the
+   mod-down and (with coefficients) the rescale once for the whole group.
+   The canonical algebra accumulates every member's key-switch MAC in the
+   extended basis (plaintext factors folded into the MAC over Q*P), mods
+   down once, adds the direct Q-side parts, and rescales the sum once.
+
+   Lazy mode shares one digit decomposition of [c1] across the group (via
+   the cross-op memo); eager mode recomputes it per member, exactly as an
+   unfused sequence of rotations would.  Decomposition is a deterministic
+   function of [c1] and the extended-basis accumulation is exact modular
+   arithmetic, so the two modes are bit-identical — as is any key-cache
+   configuration, since evicted keys regenerate deterministically. *)
+let rot_sum (keys : Keys.t) ?mode a ~terms =
+  let params = keys.params in
+  let eager =
+    match mode with Some `Eager -> true | Some `Lazy -> false | None -> eager_switch_env ()
+  in
+  if terms = [] then invalid_arg "Eval.rot_sum: empty term list";
+  let with_coeffs = match terms with (_, c) :: _ -> c <> None | [] -> false in
+  List.iter
+    (fun (_, c) ->
+      if (c <> None) <> with_coeffs then
+        invalid_arg "Eval.rot_sum: mixed plain and pure terms")
+    terms;
+  let l = level a in
+  if with_coeffs && l < 2 then invalid_arg "Eval.rot_sum: level below 2";
+  let has_rotation = List.exists (fun (o, _) -> o <> 0) terms in
+  let shared_dec =
+    if has_rotation && not eager then Some (decompose_cached keys a) else None
+  in
+  let term_dec () =
+    match shared_dec with Some d -> d | None -> Keys.decompose keys a.c1
+  in
+  let mac = ref None in
+  let q0 = ref None (* direct Q-side contributions to c0 *)
+  and q1 = ref None (* zero-offset contributions to c1 *) in
+  let add_into r x =
+    match !r with None -> r := Some x | Some y -> r := Some (Rns_poly.add params y x)
+  in
+  List.iter
+    (fun (offset, coeff) ->
+      (* One canonical-embedding rounding per coefficient; the first [l]
+         rows of the extended images double as its mod-Q evaluation-domain
+         residues, so the Q-side factor costs no extra transform. *)
+      let ext =
+        match coeff with
+        | None -> None
+        | Some values ->
+          let values = pad_slots params values in
+          let centered =
+            Encoding.encode_real_centered params ~scale:params.scale values
+          in
+          Some (Keys.ext_of_centered keys ~level:l centered)
+      in
+      let m_q =
+        match ext with
+        | None -> None
+        | Some e -> Some (Rns_poly.of_residues ~domain:Rns_poly.Eval (Array.sub e 0 l))
+      in
+      if offset = 0 then begin
+        match m_q with
+        | None ->
+          add_into q0 a.c0;
+          add_into q1 a.c1
+        | Some m ->
+          add_into q0 (Rns_poly.mul params a.c0 m);
+          add_into q1 (Rns_poly.mul params a.c1 m)
+      end
+      else begin
+        let k = Keys.galois_element params ~offset in
+        let sk = Keys.rotation_key keys ~offset in
+        let dec = term_dec () in
+        let m =
+          match !mac with
+          | Some m -> m
+          | None ->
+            let m = Keys.mac_create keys dec in
+            mac := Some m;
+            m
+        in
+        Keys.mac_accumulate keys ~k ?coeff:ext sk dec m;
+        let r0 = Rns_poly.automorphism params ~k a.c0 in
+        match m_q with
+        | None -> add_into q0 r0
+        | Some mq -> add_into q0 (Rns_poly.mul params r0 mq)
+      end)
+    terms;
+  let c0, c1 =
+    match !mac with
+    | None -> (Option.get !q0, Option.get !q1)
+    | Some m ->
+      let u0, u1 = Keys.mac_finish keys m in
+      let c0 = match !q0 with None -> u0 | Some q -> Rns_poly.add params q u0 in
+      let c1 = match !q1 with None -> u1 | Some q -> Rns_poly.add params q u1 in
+      (c0, c1)
+  in
+  if with_coeffs then begin
+    let dropped = Params.modulus_at params ~level:l in
+    mk
+      (Rns_poly.rescale_last params c0)
+      (Rns_poly.rescale_last params c1)
+      (a.scale *. params.scale /. float_of_int dropped)
+  end
+  else mk c0 c1 a.scale

@@ -7,7 +7,15 @@
     Level semantics follow the paper: a ciphertext at level [l] carries [l]
     residue polynomials and any operation requires [l >= 1]. *)
 
-type ct = private { c0 : Rns_poly.t; c1 : Rns_poly.t; scale : float }
+type ct = private {
+  c0 : Rns_poly.t;
+  c1 : Rns_poly.t;
+  scale : float;
+  mutable digits : (Rns_poly.t * Keys.decomposed) option;
+      (** cross-op digit memo: the mod-up decomposition of [c1] tagged with
+          the [c1] object it was computed from; valid only while the tag is
+          physically equal to the current [c1] (see {!set_digit_cache}) *)
+}
 
 val level : ct -> int
 val scale : ct -> float
@@ -71,3 +79,30 @@ val multcp_exact : Keys.t -> ct -> float array -> target:float -> ct
 val adjust_scale : Keys.t -> ct -> target:float -> ct
 (** Multiply by an exact-scale plaintext one: rescales the ciphertext's
     scale to exactly [target] at the cost of one level. *)
+
+(** {2 Cross-op digit caching and lazy key switching} *)
+
+val set_digit_cache : bool -> unit
+(** Enables/disables the cross-op digit memo (default on, or off when
+    [HALO_DIGIT_CACHE] is [0]/[off]/[false]).  Purely a time/memory trade:
+    results are bit-identical either way, because the decomposition is a
+    deterministic function of [c1].  Reuses are counted in the key-set
+    cache statistics and fold into [Stats.decompositions_saved]. *)
+
+val rot_sum :
+  Keys.t -> ?mode:[ `Lazy | `Eager ] -> ct -> terms:(int * float array option) list -> ct
+(** Fused rotate-and-sum reduction: [sum_g coeff_g * rotate(a, o_g)] with
+    the mod-down paid once for the whole group.  Terms must be uniformly
+    pure ([None] coefficients: plain rotate-and-sum, level preserved) or
+    weighted ([Some] coefficients, encoded at the default scale: the
+    matvec_diag shape, consuming one level via a single final rescale).
+    Zero offsets contribute the (scaled) input directly without a key
+    switch.
+
+    [`Lazy] (default) shares one digit decomposition of [c1] across the
+    group; [`Eager] recomputes it per member (set [HALO_EAGER_SWITCH=1] to
+    default to eager).  The two modes are bit-identical down to the last
+    bit: decomposition is deterministic and the extended-basis MAC
+    accumulation is exact modular arithmetic.  Raises [Invalid_argument]
+    on an empty group, mixed pure/weighted terms, or a weighted group below
+    level 2. *)

@@ -12,19 +12,53 @@ type switch_key = {
   k1s : int array array array;
 }
 
+(* One resident rotation key.  [bytes] is the exact heap footprint measured
+   at generation ([Obj.reachable_words]); [last_use] is the LRU clock tick
+   of the most recent fetch. *)
+type cached_key = { sk : switch_key; bytes : int; mutable last_use : int }
+
+type cache_stats = {
+  mutable hits : int;
+  mutable misses : int;  (* first-ever generations *)
+  mutable evictions : int;
+  mutable regenerations : int;  (* re-generation after eviction *)
+  mutable digit_hits : int;  (* cross-op digit decompositions reused *)
+}
+
+type cache_snapshot = {
+  snap_hits : int;
+  snap_misses : int;
+  snap_evictions : int;
+  snap_regenerations : int;
+  snap_digit_hits : int;
+  snap_resident_bytes : int;
+  snap_budget : int;
+}
+
 type t = {
   params : Params.t;
   secret : secret;
   pk0 : Rns_poly.t;
   pk1 : Rns_poly.t;
   relin : switch_key;
-  rotations : (int, switch_key) Hashtbl.t;
+  rotations : (int, cached_key) Hashtbl.t;
+  generated : (int, unit) Hashtbl.t;
+      (* Galois elements generated at least once, so a re-miss after
+         eviction counts as a regeneration, not a first miss *)
   rotations_mutex : Mutex.t;
-      (* serializes on-demand rotation-key generation: lookups may come from
-         several domains at once, and a bare Hashtbl race on first use could
-         generate (and consume RNG for) the same key twice *)
+      (* serializes on-demand rotation-key generation, LRU bookkeeping and
+         eviction: lookups may come from several domains at once, and a bare
+         Hashtbl race on first use could generate the same key twice or
+         evict an entry mid-insert *)
   mutable rng : Random.State.t;
       (* mutable so a restored key set resumes its key-generation stream *)
+  mutable key_budget : int;  (* bytes; 0 = unbounded *)
+  mutable clock : int;  (* LRU clock, strictly increasing under the mutex *)
+  mutable resident_bytes : int;  (* rotation keys only; relin/pk exempt *)
+  cache : cache_stats;
+  seed_base : int;
+      (* derived from the secret: seeds the per-key generation streams, so
+         an evicted key regenerates bit-identically in any fetch order *)
 }
 
 (* Per-position loops fan out across the domain pool; tiny rings stay
@@ -129,6 +163,43 @@ let galois_element (params : Params.t) ~offset =
 let secret_poly keys ~level =
   Rns_poly.of_centered_coeffs keys.params ~level keys.secret.coeffs
 
+(* --- memory budget ------------------------------------------------------ *)
+
+let parse_budget s =
+  let s = String.trim s in
+  let len = String.length s in
+  if len = 0 then 0
+  else begin
+    let mult, digits =
+      match Char.uppercase_ascii s.[len - 1] with
+      | 'K' -> (1024, String.sub s 0 (len - 1))
+      | 'M' -> (1024 * 1024, String.sub s 0 (len - 1))
+      | 'G' -> (1024 * 1024 * 1024, String.sub s 0 (len - 1))
+      | _ -> (1, s)
+    in
+    match int_of_string_opt (String.trim digits) with
+    | Some v when v >= 0 -> v * mult
+    | _ -> invalid_arg (Printf.sprintf "Keys: bad key budget %S" s)
+  end
+
+let budget_from_env () =
+  match Sys.getenv_opt "HALO_KEY_BUDGET" with
+  | None | Some "" -> 0
+  | Some s -> parse_budget s
+
+(* Exact resident footprint of one switching key: every word reachable from
+   it (digit arrays, Shoup companions, headers), measured once at
+   generation.  Word size is 8 on every supported platform. *)
+let key_bytes (sk : switch_key) = 8 * Obj.reachable_words (Obj.repr sk)
+
+let seed_base_of_secret coeffs =
+  Array.fold_left
+    (fun acc c -> ((acc * 31) + c + 0x1003F) land 0x3FFFFFFF)
+    0x632BE5A coeffs
+
+let fresh_cache () =
+  { hits = 0; misses = 0; evictions = 0; regenerations = 0; digit_hits = 0 }
+
 let keygen ?(seed = 0x51CC5) params =
   let rng = Random.State.make [| seed |] in
   let n = (params : Params.t).n in
@@ -150,8 +221,14 @@ let keygen ?(seed = 0x51CC5) params =
     pk1 = a;
     relin;
     rotations = Hashtbl.create 8;
+    generated = Hashtbl.create 8;
     rotations_mutex = Mutex.create ();
     rng;
+    key_budget = budget_from_env ();
+    clock = 0;
+    resident_bytes = 0;
+    cache = fresh_cache ();
+    seed_base = seed_base_of_secret s;
   }
 
 let apply_automorphism_small ~n ~k coeffs =
@@ -164,27 +241,75 @@ let apply_automorphism_small ~n ~k coeffs =
   done;
   out
 
+(* Per-key generation stream: a deterministic function of the secret and the
+   Galois element only.  Generation order, eviction history and pool size
+   cannot perturb it, so a key evicted under memory pressure regenerates
+   bit-identically on re-miss — eviction is invisible in every ciphertext
+   bit — and a restored key set regenerates missing keys identically too. *)
+let rotation_rng keys k = Random.State.make [| 0x6A105; keys.seed_base; k |]
+
+(* Evict least-recently-used rotation keys until the resident set fits the
+   budget.  Caller holds the mutex.  The newest entry (highest clock) always
+   survives, so the key just fetched stays resident; fetched references a
+   caller already holds remain valid after eviction (the GC keeps them
+   alive), eviction only drops the cache's pointer. *)
+let evict_over_budget keys =
+  if keys.key_budget > 0 then
+    while
+      keys.resident_bytes > keys.key_budget && Hashtbl.length keys.rotations > 1
+    do
+      let victim =
+        Hashtbl.fold
+          (fun k (e : cached_key) acc ->
+            match acc with
+            | Some (_, (e' : cached_key)) when e'.last_use <= e.last_use -> acc
+            | _ -> Some (k, e))
+          keys.rotations None
+      in
+      match victim with
+      | None -> ()
+      | Some (k, e) ->
+        Hashtbl.remove keys.rotations k;
+        keys.resident_bytes <- keys.resident_bytes - e.bytes;
+        keys.cache.evictions <- keys.cache.evictions + 1
+    done
+
 (* The whole lookup-or-generate runs under the mutex: concurrent first-use
-   lookups of the same Galois element must observe exactly one generation
-   (and one RNG draw), so a racing caller blocks until the winner has
-   published the key. *)
+   lookups of the same Galois element must observe exactly one generation,
+   and eviction bookkeeping must never interleave with an insert. *)
 let galois_key keys k =
   let params = keys.params in
   Mutex.lock keys.rotations_mutex;
   let sk =
     match Hashtbl.find_opt keys.rotations k with
-    | Some sk -> sk
+    | Some entry ->
+      keys.clock <- keys.clock + 1;
+      entry.last_use <- keys.clock;
+      keys.cache.hits <- keys.cache.hits + 1;
+      entry.sk
     | None ->
-      let rotated = apply_automorphism_small ~n:params.n ~k keys.secret.coeffs in
       let sk =
         try
-          make_switch_key params keys.rng ~secret_coeffs:keys.secret.coeffs
-            ~source_coeffs:rotated
+          let rotated =
+            apply_automorphism_small ~n:params.n ~k keys.secret.coeffs
+          in
+          make_switch_key params (rotation_rng keys k)
+            ~secret_coeffs:keys.secret.coeffs ~source_coeffs:rotated
         with e ->
           Mutex.unlock keys.rotations_mutex;
           raise e
       in
-      Hashtbl.add keys.rotations k sk;
+      let bytes = key_bytes sk in
+      keys.clock <- keys.clock + 1;
+      Hashtbl.replace keys.rotations k { sk; bytes; last_use = keys.clock };
+      keys.resident_bytes <- keys.resident_bytes + bytes;
+      if Hashtbl.mem keys.generated k then
+        keys.cache.regenerations <- keys.cache.regenerations + 1
+      else begin
+        keys.cache.misses <- keys.cache.misses + 1;
+        Hashtbl.replace keys.generated k ()
+      end;
+      evict_over_budget keys;
       sk
   in
   Mutex.unlock keys.rotations_mutex;
@@ -195,6 +320,43 @@ let rotation_key keys ~offset = galois_key keys (galois_element keys.params ~off
 let conjugation_key keys = galois_key keys ((2 * keys.params.n) - 1)
 
 let relin_key keys = keys.relin
+
+let set_key_budget keys budget =
+  if budget < 0 then invalid_arg "Keys.set_key_budget: negative budget";
+  Mutex.lock keys.rotations_mutex;
+  keys.key_budget <- budget;
+  evict_over_budget keys;
+  Mutex.unlock keys.rotations_mutex
+
+let record_digit_hit keys =
+  Mutex.lock keys.rotations_mutex;
+  keys.cache.digit_hits <- keys.cache.digit_hits + 1;
+  Mutex.unlock keys.rotations_mutex
+
+let cache_stats keys =
+  Mutex.lock keys.rotations_mutex;
+  let s =
+    {
+      snap_hits = keys.cache.hits;
+      snap_misses = keys.cache.misses;
+      snap_evictions = keys.cache.evictions;
+      snap_regenerations = keys.cache.regenerations;
+      snap_digit_hits = keys.cache.digit_hits;
+      snap_resident_bytes = keys.resident_bytes;
+      snap_budget = keys.key_budget;
+    }
+  in
+  Mutex.unlock keys.rotations_mutex;
+  s
+
+let reset_cache_stats keys =
+  Mutex.lock keys.rotations_mutex;
+  keys.cache.hits <- 0;
+  keys.cache.misses <- 0;
+  keys.cache.evictions <- 0;
+  keys.cache.regenerations <- 0;
+  keys.cache.digit_hits <- 0;
+  Mutex.unlock keys.rotations_mutex
 
 (* --- codec hooks for Halo_persist -------------------------------------- *)
 
@@ -223,23 +385,46 @@ let switch_key_of_raw (params : Params.t) ~k0 ~k1 =
   { k0; k1; k0s = shoup_companions params k0; k1s = shoup_companions params k1 }
 
 let rotation_entries keys =
-  List.sort compare (Hashtbl.fold (fun k sk acc -> (k, sk) :: acc) keys.rotations [])
+  Mutex.lock keys.rotations_mutex;
+  let entries =
+    Hashtbl.fold (fun k (e : cached_key) acc -> (k, e.sk) :: acc) keys.rotations []
+  in
+  Mutex.unlock keys.rotations_mutex;
+  List.sort compare entries
 
 let of_parts params ~secret ~pk0 ~pk1 ~relin ~rotations ~rng =
   if Array.length secret <> (params : Params.t).n then
     invalid_arg "Keys.of_parts: secret length mismatch";
-  let tbl = Hashtbl.create (max 8 (List.length rotations)) in
-  List.iter (fun (k, sk) -> Hashtbl.replace tbl k sk) rotations;
-  {
-    params;
-    secret = { coeffs = secret };
-    pk0;
-    pk1;
-    relin;
-    rotations = tbl;
-    rotations_mutex = Mutex.create ();
-    rng = Random.State.copy rng;
-  }
+  let keys =
+    {
+      params;
+      secret = { coeffs = secret };
+      pk0;
+      pk1;
+      relin;
+      rotations = Hashtbl.create (max 8 (List.length rotations));
+      generated = Hashtbl.create (max 8 (List.length rotations));
+      rotations_mutex = Mutex.create ();
+      rng = Random.State.copy rng;
+      key_budget = budget_from_env ();
+      clock = 0;
+      resident_bytes = 0;
+      cache = fresh_cache ();
+      seed_base = seed_base_of_secret secret;
+    }
+  in
+  List.iter
+    (fun (k, sk) ->
+      let bytes = key_bytes sk in
+      keys.clock <- keys.clock + 1;
+      Hashtbl.replace keys.rotations k { sk; bytes; last_use = keys.clock };
+      keys.resident_bytes <- keys.resident_bytes + bytes;
+      Hashtbl.replace keys.generated k ())
+    rotations;
+  (* A restored set honors the budget immediately; deterministic
+     regeneration makes any eviction here bit-invisible downstream. *)
+  evict_over_budget keys;
+  keys
 
 (* --- key switching: decompose once, apply per key ----------------------- *)
 
@@ -359,3 +544,107 @@ let apply_rotated keys sk ~k dec =
   apply_perm keys ~perm sk dec
 
 let key_switch keys sk d = apply keys sk (decompose keys d)
+
+(* --- lazy key switching: accumulate MACs, mod down once ----------------- *)
+
+(* Extended-basis MAC accumulator for a whole rotate-and-sum reduction: each
+   [mac_accumulate] adds one rotation's digit/key inner product (optionally
+   scaled by a plaintext factor) into the running sums mod Q*P, still in the
+   NTT domain; [mac_finish] pays the inverse transforms and the exact
+   division by P once for the whole group.  Modular addition is exact,
+   associative and commutative, so the finished pair is bit-identical
+   whether the digits were shared (lazy) or recomputed per term (eager),
+   for any accumulation partitioning across the domain pool. *)
+type mac = {
+  mac_level : int;
+  mac_positions : int array;
+  mac0 : int array array;
+  mac1 : int array array;
+}
+
+let mac_create keys dec =
+  let n = keys.params.n in
+  let np = Array.length dec.positions in
+  {
+    mac_level = dec.d_level;
+    mac_positions = Array.copy dec.positions;
+    mac0 = Array.init np (fun _ -> Array.make n 0);
+    mac1 = Array.init np (fun _ -> Array.make n 0);
+  }
+
+let mac_accumulate keys ?k ?coeff sk dec mac =
+  let params = keys.params in
+  let n = params.n in
+  let l = dec.d_level in
+  if mac.mac_level <> l then invalid_arg "Keys.mac_accumulate: level mismatch";
+  let perm =
+    match k with
+    | None -> None
+    | Some k -> Some (Ntt.eval_perm (Params.ntt_at params ~idx:0) ~k)
+  in
+  let np = Array.length dec.positions in
+  par params np (fun pos ->
+      let t = dec.positions.(pos) in
+      let q = chain_modulus params t in
+      let a0 = Array.make n 0 and a1 = Array.make n 0 in
+      for i = 0 to l - 1 do
+        let d_ntt = dec.digits.(pos).(i) in
+        let k0 = sk.k0.(i).(t) and k1 = sk.k1.(i).(t) in
+        let k0s = sk.k0s.(i).(t) and k1s = sk.k1s.(i).(t) in
+        match perm with
+        | None ->
+          for j = 0 to n - 1 do
+            let dj = d_ntt.(j) in
+            a0.(j) <-
+              Modarith.add ~m:q a0.(j) (Modarith.mul_shoup ~m:q dj k0.(j) k0s.(j));
+            a1.(j) <-
+              Modarith.add ~m:q a1.(j) (Modarith.mul_shoup ~m:q dj k1.(j) k1s.(j))
+          done
+        | Some perm ->
+          for j = 0 to n - 1 do
+            let dj = d_ntt.(perm.(j)) in
+            a0.(j) <-
+              Modarith.add ~m:q a0.(j) (Modarith.mul_shoup ~m:q dj k0.(j) k0s.(j));
+            a1.(j) <-
+              Modarith.add ~m:q a1.(j) (Modarith.mul_shoup ~m:q dj k1.(j) k1s.(j))
+          done
+      done;
+      let acc0 = mac.mac0.(pos) and acc1 = mac.mac1.(pos) in
+      match coeff with
+      | None ->
+        for j = 0 to n - 1 do
+          acc0.(j) <- Modarith.add ~m:q acc0.(j) a0.(j);
+          acc1.(j) <- Modarith.add ~m:q acc1.(j) a1.(j)
+        done
+      | Some c ->
+        let cv = c.(pos) in
+        for j = 0 to n - 1 do
+          acc0.(j) <- Modarith.add ~m:q acc0.(j) (Modarith.mul ~m:q cv.(j) a0.(j));
+          acc1.(j) <- Modarith.add ~m:q acc1.(j) (Modarith.mul ~m:q cv.(j) a1.(j))
+        done)
+
+let mac_finish keys mac =
+  (* Consumes the accumulator: the inverse transforms run in place. *)
+  let params = keys.params in
+  let np = Array.length mac.mac_positions in
+  par params np (fun pos ->
+      let ctx = chain_ntt params mac.mac_positions.(pos) in
+      Ntt.inverse_in_place ctx mac.mac0.(pos);
+      Ntt.inverse_in_place ctx mac.mac1.(pos));
+  ( divide_by_p params ~level:mac.mac_level mac.mac0,
+    divide_by_p params ~level:mac.mac_level mac.mac1 )
+
+(* NTT-domain images of a centered integer polynomial at every extended
+   chain position for a level-[level] ciphertext: the plaintext factors of
+   a lazy rotate-and-sum must multiply the MAC over Q AND the special
+   prime.  The first [level] rows double as the evaluation-domain residues
+   of the mod-Q encoding, so callers pay only one extra transform (the
+   special prime) over a plain [multcp] encode. *)
+let ext_of_centered keys ~level coeffs =
+  let params = keys.params in
+  let np = level + 1 in
+  let out = Array.make np [||] in
+  par params np (fun pos ->
+      let t = if pos < level then pos else params.max_level in
+      out.(pos) <- ntt_of_centered params t coeffs);
+  out

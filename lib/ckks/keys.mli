@@ -6,7 +6,19 @@
     per-prime decomposition keeps every digit's coefficients below its prime,
     so no multi-precision base extension is required, and dividing the
     switched ciphertext by [P] (an exact RNS rescale) keeps the added noise
-    at the scale of a fresh encryption error. *)
+    at the scale of a fresh encryption error.
+
+    {b Memory-bounded key cache.}  Rotation keys are generated on first use
+    and kept in an LRU cache bounded by a byte budget ([HALO_KEY_BUDGET] or
+    {!set_key_budget}; 0 = unbounded).  Each key's exact heap footprint is
+    measured at generation; when the resident set exceeds the budget, the
+    least-recently-used keys are dropped (the relinearization and public
+    keys are exempt — they are few and always hot).  Every key is generated
+    from its own RNG stream seeded only by the secret and the Galois
+    element, so an evicted key regenerates {e bit-identically} on re-miss:
+    eviction can never change a ciphertext bit, only timing.  All lookup,
+    generation, accounting and eviction run under [rotations_mutex], so the
+    cache is safe under [Domain_pool] concurrency. *)
 
 type secret = private { coeffs : int array (* ternary *) }
 
@@ -14,16 +26,41 @@ type switch_key
 (** One key per RNS digit, stored in the NTT domain over the extended chain
     (all ciphertext moduli followed by the special prime). *)
 
+type cached_key
+(** A resident rotation key plus its measured byte footprint and LRU tick. *)
+
+type cache_stats
+(** Mutable cache counters (read them through the [cache_stats] snapshot
+    function below). *)
+
+type cache_snapshot = {
+  snap_hits : int;  (** lookups served from the resident set *)
+  snap_misses : int;  (** first-ever generations *)
+  snap_evictions : int;  (** keys dropped under budget pressure *)
+  snap_regenerations : int;  (** re-misses regenerated after eviction *)
+  snap_digit_hits : int;  (** cross-op digit decompositions reused *)
+  snap_resident_bytes : int;  (** current rotation-key footprint *)
+  snap_budget : int;  (** configured budget in bytes; 0 = unbounded *)
+}
+
 type t = private {
   params : Params.t;
   secret : secret;
   pk0 : Rns_poly.t;
   pk1 : Rns_poly.t;
   relin : switch_key;
-  rotations : (int, switch_key) Hashtbl.t;  (** keyed by Galois element *)
+  rotations : (int, cached_key) Hashtbl.t;  (** keyed by Galois element *)
+  generated : (int, unit) Hashtbl.t;
+      (** Galois elements generated at least once (regeneration counting) *)
   rotations_mutex : Mutex.t;
-      (** serializes on-demand rotation-key generation across domains *)
+      (** serializes rotation-key generation, LRU accounting and eviction
+          across domains *)
   mutable rng : Random.State.t;
+  mutable key_budget : int;  (** bytes; 0 = unbounded *)
+  mutable clock : int;  (** LRU clock *)
+  mutable resident_bytes : int;
+  cache : cache_stats;
+  seed_base : int;  (** seeds the per-key generation streams *)
 }
 
 val keygen : ?seed:int -> Params.t -> t
@@ -33,8 +70,10 @@ val galois_element : Params.t -> offset:int -> int
     [offset] slots (negative offsets rotate right). *)
 
 val rotation_key : t -> offset:int -> switch_key
-(** Fetches (generating and caching on first use) the switching key for the
-    rotation by [offset]. *)
+(** Fetches (generating and caching on first use, regenerating
+    deterministically after eviction) the switching key for the rotation by
+    [offset].  The returned key stays valid even if the cache evicts it
+    later: eviction only drops the cache's reference. *)
 
 val conjugation_key : t -> switch_key
 (** Switching key for the conjugation automorphism [X -> X^{2n-1}], needed
@@ -44,6 +83,30 @@ val key_switch : t -> switch_key -> Rns_poly.t -> Rns_poly.t * Rns_poly.t
 (** [key_switch keys k d] returns [(u0, u1)] such that
     [u0 + u1 * s ~ d * s'] where [s'] is the key [k] was generated for.
     Equivalent to [apply keys k (decompose keys d)]. *)
+
+(** {2 Memory budget and cache statistics} *)
+
+val parse_budget : string -> int
+(** Parses a byte budget with optional [K]/[M]/[G] suffix (powers of 1024).
+    The empty string means unbounded (0).  Raises [Invalid_argument] on
+    malformed input. *)
+
+val key_bytes : switch_key -> int
+(** Exact heap footprint of one switching key in bytes (every reachable
+    word, including the Shoup companions), as charged against the budget. *)
+
+val set_key_budget : t -> int -> unit
+(** Sets the budget in bytes (0 = unbounded) and evicts immediately if the
+    resident set no longer fits.  Overrides [HALO_KEY_BUDGET]. *)
+
+val cache_stats : t -> cache_snapshot
+(** Consistent snapshot of the cache counters (taken under the mutex). *)
+
+val reset_cache_stats : t -> unit
+(** Zeroes the counters (not the resident-set accounting). *)
+
+val record_digit_hit : t -> unit
+(** Counts one cross-op digit-decomposition reuse (see [Eval]). *)
 
 (** {2 Hoisted key switching}
 
@@ -72,6 +135,41 @@ val apply_rotated : t -> switch_key -> k:int -> decomposed -> Rns_poly.t * Rns_p
     inner product; the digits are not copied).  [sk] must be the switching
     key for that automorphism. *)
 
+(** {2 Lazy key switching}
+
+    An extended-basis MAC accumulator for a whole rotate-and-sum reduction:
+    each {!mac_accumulate} adds one rotation's digit/key inner product
+    (optionally scaled by a plaintext factor) into running sums modulo
+    [Q * P], still in the NTT domain; {!mac_finish} pays the inverse
+    transforms and the exact division by [P] {e once} for the whole group
+    instead of once per member.  Modular addition is exact and associative,
+    so the finished pair is bit-identical whether the digits were shared
+    across members (lazy) or recomputed per member (eager). *)
+
+type mac
+
+val mac_create : t -> decomposed -> mac
+(** A zeroed accumulator shaped for the given decomposition's level. *)
+
+val mac_accumulate :
+  t -> ?k:int -> ?coeff:int array array -> switch_key -> decomposed -> mac -> unit
+(** Adds one member's inner product into the accumulator.  [?k] reads the
+    digits through the Galois automorphism's slot permutation (as
+    [apply_rotated]); [?coeff] multiplies the member by a plaintext factor
+    given as NTT-domain residues per extended-chain position (see
+    {!ext_of_centered}).  The decomposition's level must match the
+    accumulator's. *)
+
+val mac_finish : t -> mac -> Rns_poly.t * Rns_poly.t
+(** Inverse transforms plus exact division by [P], once for the whole
+    group.  Consumes the accumulator (the transforms run in place). *)
+
+val ext_of_centered : t -> level:int -> int array -> int array array
+(** NTT-domain images of a centered integer polynomial at every extended
+    chain position ([level] ciphertext moduli then the special prime),
+    shaped for [mac_accumulate]'s [?coeff].  The first [level] rows are
+    exactly the evaluation-domain mod-Q residues of the polynomial. *)
+
 val relin_key : t -> switch_key
 
 val secret_poly : t -> level:int -> Rns_poly.t
@@ -85,8 +183,9 @@ val secret_poly : t -> level:int -> Rns_poly.t
     [Invalid_argument] on any mismatch. *)
 
 val rng_state : t -> Random.State.t
-(** Copy of the key set's RNG (consumed when rotation keys are generated on
-    demand), so a restored key set continues the identical stream. *)
+(** Copy of the key set's RNG (consumed by encryption), so a restored key
+    set continues the identical stream.  Rotation-key generation draws from
+    per-key derived streams instead, so cache state never perturbs it. *)
 
 val set_rng_state : t -> Random.State.t -> unit
 
@@ -97,7 +196,9 @@ val switch_key_of_raw :
   Params.t -> k0:int array array array -> k1:int array array array -> switch_key
 
 val rotation_entries : t -> (int * switch_key) list
-(** Cached rotation keys, keyed by Galois element, in sorted order. *)
+(** Cached rotation keys, keyed by Galois element, in sorted order.  A key
+    evicted before the snapshot is simply absent; it regenerates
+    bit-identically on demand after restore. *)
 
 val of_parts :
   Params.t ->
@@ -108,3 +209,6 @@ val of_parts :
   rotations:(int * switch_key) list ->
   rng:Random.State.t ->
   t
+(** Restored entries are marked as previously generated and the resident
+    set is brought under the (environment-configured) budget immediately;
+    deterministic regeneration keeps any eviction here bit-invisible. *)

@@ -131,6 +131,23 @@ let rescale st a =
     scale_bits = a.scale_bits -. st.default_scale_bits;
   }
 
+(* Fused rotate-and-sum evaluates the exact unfused sequence — rotations
+   (no RNG), then each member's multcp + rescale in term order, then the
+   add chain — so the noise-stream draws are identical to the unfused run
+   and fused vs. unfused programs stay bit-identical on this backend. *)
+let rot_sum st a ~terms =
+  if terms = [] then fail "rot_sum" ~level:a.ct_level "empty term list";
+  let rotated = List.map (fun (o, c) -> (rotate st a ~offset:o, c)) terms in
+  let members =
+    List.map
+      (fun (r, c) ->
+        match c with None -> r | Some m -> rescale st (multcp st r m))
+      rotated
+  in
+  match members with
+  | [] -> assert false
+  | m :: ms -> List.fold_left (addcc st) m ms
+
 let modswitch _st a ~down =
   if down < 0 then fail "modswitch" ~level:a.ct_level "negative drop %d" down;
   check_level "modswitch" a (down + 1);

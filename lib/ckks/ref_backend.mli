@@ -71,6 +71,12 @@ val rotate_many : state -> ct -> offsets:int list -> ct list
     sequence of single {!rotate} calls (there is no key-switch work to
     share, and cleartext rotation consumes no RNG). *)
 
+val rot_sum : state -> ct -> terms:(int * float array option) list -> ct
+(** Fused rotate-and-sum; on this backend exactly the unfused per-term
+    sequence — rotations, then each member's {!multcp} + {!rescale} in
+    term order, then the add chain — so the noise-stream draws match the
+    unfused program and fused vs. unfused runs are bit-identical. *)
+
 val rescale : state -> ct -> ct
 val modswitch : state -> ct -> down:int -> ct
 val bootstrap : state -> ct -> target:int -> ct

@@ -36,6 +36,10 @@ let key_of_op : Ir.op -> key option = function
        Rotate_fuse ever groups them, so fused groups carry no duplicates
        in the standard pipeline. *)
     None
+  | Ir.RotSum _ ->
+    (* Built by Lazy_switch after CSE has already run; identical reductions
+       would have been merged at their unfused form. *)
+    None
   | Ir.Bootstrap _ | Ir.For _ -> None
 
 let rec block (b : Ir.block) : Ir.block =

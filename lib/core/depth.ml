@@ -25,6 +25,18 @@ let rec block_depths ~status ~depth ~param_depths (b : Ir.block) =
       | Ir.RotateMany { src; _ } ->
         let d = d_of src in
         List.iter (fun r -> Hashtbl.replace depth r d) i.results
+      | Ir.RotSum { src; terms } ->
+        (* Weighted terms absorb one plaintext multiply per member. *)
+        let weighted = List.exists (fun (_, c) -> c <> None) terms in
+        let base =
+          List.fold_left
+            (fun a (_, c) ->
+              match c with None -> a | Some v -> max a (d_of v))
+            (d_of src) terms
+        in
+        Hashtbl.replace depth (Ir.result i)
+          (if weighted && status_of status src = Ir.Cipher then base + 1
+           else base)
       | Ir.Bootstrap _ ->
         (* Bootstrapping resets the chain. *)
         Hashtbl.replace depth (Ir.result i) 0

@@ -18,6 +18,13 @@ type op =
       (** Grouped rotation of one source: one result per offset, hoisted to
           a single key-switch decomposition by capable backends.  The only
           multi-result operation besides [For]. *)
+  | RotSum of { src : var; terms : (int * var option) list }
+      (** Fused rotate-and-sum reduction: [sum_g coeff_g * rotate(src, o_g)]
+          folded left in term order.  Coefficient operands must be plain and
+          are all present (the matvec_diag shape, absorbing each member's
+          multiply and rescale: the result drops one level) or all absent (a
+          pure rotate-and-sum at the source's level).  Capable backends pay
+          one digit decomposition and one mod-down for the whole group. *)
   | Rescale of { src : var }
   | Modswitch of { src : var; down : int }
   | Bootstrap of { src : var; target : int }
@@ -58,6 +65,8 @@ let op_operands = function
   | Rotate { src; _ } | RotateMany { src; _ } | Rescale { src }
   | Modswitch { src; _ } | Bootstrap { src; _ } | Unpack { src; _ } ->
     [ src ]
+  | RotSum { src; terms } ->
+    src :: List.filter_map (fun (_, c) -> c) terms
   | Pack { srcs; _ } -> srcs
   | For { inits; _ } -> inits
 
@@ -66,6 +75,9 @@ let map_op_operands f = function
   | Binary b -> Binary { b with lhs = f b.lhs; rhs = f b.rhs }
   | Rotate r -> Rotate { r with src = f r.src }
   | RotateMany r -> RotateMany { r with src = f r.src }
+  | RotSum { src; terms } ->
+    RotSum
+      { src = f src; terms = List.map (fun (o, c) -> (o, Option.map f c)) terms }
   | Rescale { src } -> Rescale { src = f src }
   | Modswitch m -> Modswitch { m with src = f m.src }
   | Bootstrap b -> Bootstrap { b with src = f b.src }

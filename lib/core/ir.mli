@@ -38,6 +38,15 @@ type op =
           backends with hoistable key-switch work share one digit
           decomposition across the group.  The only multi-result operation
           besides [For]. *)
+  | RotSum of { src : var; terms : (int * var option) list }
+      (** Fused rotate-and-sum reduction: [sum_g coeff_g * rotate(src, o_g)]
+          folded left in term order.  Coefficients must be plain operands
+          and are either all present (the matvec_diag shape: each member's
+          multiply and rescale is absorbed, the result drops one level and
+          keeps the source's scale) or all absent (a pure rotate-and-sum at
+          the source's level).  Zero offsets contribute the (scaled) source
+          without a key switch.  Backends with hoistable key-switch work pay
+          one digit decomposition and one mod-down for the whole group. *)
   | Rescale of { src : var }
   | Modswitch of { src : var; down : int }
   | Bootstrap of { src : var; target : int }

@@ -157,6 +157,14 @@ let rec w_op b : Ir.op -> unit = function
     w_u8 b 9;
     w_i64 b src;
     w_list b w_i64 offsets
+  | Ir.RotSum { src; terms } ->
+    w_u8 b 10;
+    w_i64 b src;
+    w_list b
+      (fun b (o, c) ->
+        w_i64 b o;
+        w_opt b w_i64 c)
+      terms
 
 and w_block b (blk : Ir.block) =
   w_list b w_i64 blk.params;
@@ -217,6 +225,15 @@ let rec r_op r : Ir.op =
     let src = r_i64 r in
     let offsets = r_list r r_i64 in
     Ir.RotateMany { src; offsets }
+  | 10 ->
+    let src = r_i64 r in
+    let terms =
+      r_list r (fun r ->
+          let o = r_i64 r in
+          let c = r_opt r r_i64 in
+          (o, c))
+    in
+    Ir.RotSum { src; terms }
   | t -> err r "bad op tag %d" t
 
 and r_block r : Ir.block =

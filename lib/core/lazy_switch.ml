@@ -1,0 +1,279 @@
+(* Fuses a post-normalize rotate-and-sum reduction into a single [RotSum]:
+
+     %r1, ..., %rk = rotate_many %v, o1, ..., ok
+     %mj = mul %rj, %cj            (each %rj used once; %cj plain)
+     %wj = rescale %mj             (each %mj used once)
+     %a  = ((%w1 + %w2) + ...) + %wk   (left-linear add chain; each %wj and
+                                        every intermediate used once)
+
+   becomes
+
+     %a = rot_sum %v, o1:%c1, ..., ok:%ck
+
+   which the lattice backend executes with one shared digit decomposition,
+   extended-basis MAC accumulation and a single mod-down + rescale instead
+   of k of each (DESIGN.md section 15).  The pure variant — the rotation
+   results summed directly, no multiplies — fuses to a coefficient-free
+   [RotSum] likewise.
+
+   Fusion must be bit-invisible on the reference backend, whose calibrated
+   noise draws follow instruction order: the fused op replays each member's
+   multcp and rescale draws in term order at the final add's position.  A
+   cluster therefore only fuses when the add chain's leaf order matches the
+   multiply emission order and no foreign noise-drawing instruction sits
+   inside the cluster's span.  Interleaved clusters are left unfused — a
+   performance opportunity foregone, never a semantics change. *)
+
+open Typecheck
+
+(* Ops whose reference-backend execution consumes noise draws (multiplies,
+   rescales, bootstraps), or composites that may contain such ops.  Plain
+   multiplies never reach a backend, but treating them as drawing merely
+   declines a fusion. *)
+let draws (op : Ir.op) =
+  match op with
+  | Ir.Binary { kind = Ir.Mul; _ }
+  | Ir.Rescale _ | Ir.Bootstrap _ | Ir.RotSum _ | Ir.For _ | Ir.Pack _
+  | Ir.Unpack _ ->
+    true
+  | Ir.Const _ | Ir.Binary _ | Ir.Rotate _ | Ir.RotateMany _ | Ir.Modswitch _
+    ->
+    false
+
+type member =
+  | Pure of Ir.var  (* the rotation result is itself an add-chain leaf *)
+  | Weighted of {
+      mul_idx : int;
+      coeff : Ir.var;
+      rescale_idx : int;
+      leaf : Ir.var;  (* the rescale result entering the add chain *)
+    }
+
+let program (p : Ir.program) =
+  match infer_program p with
+  | exception _ ->
+    (* Not (yet) a typed program; nothing to fuse safely. *)
+    p
+  | tys ->
+    (* Whole-program use counts: a fused-away intermediate must have exactly
+       one use anywhere — including nested loop bodies and yields. *)
+    let uses : (Ir.var, int) Hashtbl.t = Hashtbl.create 256 in
+    let bump v =
+      Hashtbl.replace uses v
+        (1 + Option.value ~default:0 (Hashtbl.find_opt uses v))
+    in
+    Ir.iter_blocks
+      (fun b ->
+        List.iter
+          (fun (i : Ir.instr) -> List.iter bump (Ir.op_operands i.op))
+          b.instrs;
+        List.iter bump b.yields)
+      p.body;
+    let is_plain v = Hashtbl.find_opt tys v = Some Tplain in
+    let canonical_cipher v =
+      match Hashtbl.find_opt tys v with
+      | Some (Tcipher { scale = 1; _ }) -> true
+      | _ -> false
+    in
+    let rec fuse_block (b : Ir.block) : Ir.block =
+      let instrs =
+        List.map
+          (fun (i : Ir.instr) ->
+            match i.op with
+            | Ir.For fo ->
+              { i with op = Ir.For { fo with body = fuse_block fo.body } }
+            | _ -> i)
+          b.instrs
+      in
+      let arr = Array.of_list instrs in
+      let n = Array.length arr in
+      let drop = Array.make n false in
+      (* Same-block use sites; a free-variable use inside a nested loop body
+         does not appear here, but then the global count exceeds one and the
+         variable is rejected anyway. *)
+      let use_sites : (Ir.var, int list) Hashtbl.t = Hashtbl.create 64 in
+      Array.iteri
+        (fun idx (i : Ir.instr) ->
+          List.iter
+            (fun v ->
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt use_sites v)
+              in
+              Hashtbl.replace use_sites v (idx :: prev))
+            (Ir.op_operands i.op))
+        arr;
+      let sole_use v =
+        if Option.value ~default:0 (Hashtbl.find_opt uses v) <> 1 then None
+        else
+          match Hashtbl.find_opt use_sites v with
+          | Some [ j ] when not drop.(j) -> Some j
+          | _ -> None
+      in
+      let member r =
+        match sole_use r with
+        | None -> None
+        | Some mi ->
+          (match arr.(mi).Ir.op with
+           | Ir.Binary { kind = Ir.Add; _ } -> Some (Pure r)
+           | Ir.Binary { kind = Ir.Mul; lhs; rhs } when lhs <> rhs ->
+             let coeff = if lhs = r then rhs else lhs in
+             if not (is_plain coeff) then None
+             else begin
+               let m = Ir.result arr.(mi) in
+               match sole_use m with
+               | Some ri ->
+                 (match arr.(ri).Ir.op with
+                  | Ir.Rescale _ ->
+                    Some
+                      (Weighted
+                         {
+                           mul_idx = mi;
+                           coeff;
+                           rescale_idx = ri;
+                           leaf = Ir.result arr.(ri);
+                         })
+                  | _ -> None)
+               | None -> None
+             end
+           | _ -> None)
+      in
+      (* Walk a left-linear add chain over exactly the given leaves; returns
+         the final add's index, the leaves in consumption order and the
+         chain's instruction indices. *)
+      let chain leaf_tbl =
+        let is_leaf v = Hashtbl.mem leaf_tbl v in
+        let leaf_uses =
+          Hashtbl.fold
+            (fun l _ acc ->
+              match sole_use l with Some j -> (l, j) :: acc | None -> acc)
+            leaf_tbl []
+        in
+        if List.length leaf_uses <> Hashtbl.length leaf_tbl then None
+        else begin
+          let heads =
+            List.sort_uniq compare
+              (List.filter_map
+                 (fun (_, j) ->
+                   match arr.(j).Ir.op with
+                   | Ir.Binary { kind = Ir.Add; lhs; rhs }
+                     when is_leaf lhs && is_leaf rhs && lhs <> rhs ->
+                     Some j
+                   | _ -> None)
+                 leaf_uses)
+          in
+          match heads with
+          | [ h ] ->
+            (match arr.(h).Ir.op with
+             | Ir.Binary { lhs; rhs; _ } ->
+               let consumed = ref [ rhs; lhs ] (* reverse term order *) in
+               let add_idxs = ref [ h ] in
+               let rec walk j =
+                 if List.length !consumed = Hashtbl.length leaf_tbl then
+                   Some (j, List.rev !consumed, List.rev !add_idxs)
+                 else begin
+                   let a = Ir.result arr.(j) in
+                   match sole_use a with
+                   | None -> None
+                   | Some j' ->
+                     (match arr.(j').Ir.op with
+                      | Ir.Binary { kind = Ir.Add; lhs; rhs } ->
+                        let other =
+                          if lhs = a then rhs
+                          else if rhs = a then lhs
+                          else a
+                        in
+                        if
+                          other = a
+                          || (not (is_leaf other))
+                          || List.mem other !consumed
+                        then None
+                        else begin
+                          consumed := other :: !consumed;
+                          add_idxs := j' :: !add_idxs;
+                          walk j'
+                        end
+                      | _ -> None)
+                 end
+               in
+               walk h
+             | _ -> None)
+          | _ -> None
+        end
+      in
+      let try_fuse idx src offsets results =
+        let members = List.map member results in
+        if List.length results >= 2 && List.for_all Option.is_some members
+        then begin
+          let members = List.map Option.get members in
+          let weighted =
+            List.for_all (function Weighted _ -> true | _ -> false) members
+          in
+          let pure =
+            List.for_all (function Pure _ -> true | _ -> false) members
+          in
+          if (weighted && canonical_cipher src) || pure then begin
+            let leaf_tbl = Hashtbl.create 8 in
+            List.iter2
+              (fun o m ->
+                match m with
+                | Pure r -> Hashtbl.replace leaf_tbl r (o, None, [])
+                | Weighted { mul_idx; coeff; rescale_idx; leaf } ->
+                  Hashtbl.replace leaf_tbl leaf
+                    (o, Some (coeff, mul_idx), [ mul_idx; rescale_idx ]))
+              offsets members;
+            match chain leaf_tbl with
+            | None -> ()
+            | Some (final_idx, term_leaves, add_idxs) ->
+              let infos = List.map (Hashtbl.find leaf_tbl) term_leaves in
+              let draw_order_ok =
+                if pure then true
+                else begin
+                  (* The fused op draws mul/rescale noise in term order at
+                     the final add's position; require the span to contain
+                     exactly those draws in exactly that order. *)
+                  let expected =
+                    List.concat_map (fun (_, _, ds) -> ds) infos
+                  in
+                  let span = ref [] in
+                  for j = final_idx - 1 downto idx + 1 do
+                    if (not drop.(j)) && draws arr.(j).Ir.op then
+                      span := j :: !span
+                  done;
+                  !span = expected
+                end
+              in
+              if draw_order_ok then begin
+                let terms =
+                  List.map
+                    (fun (o, c, _) -> (o, Option.map fst c))
+                    infos
+                in
+                let final_result = Ir.result arr.(final_idx) in
+                arr.(final_idx) <-
+                  {
+                    Ir.results = [ final_result ];
+                    op = Ir.RotSum { src; terms };
+                  };
+                drop.(idx) <- true;
+                List.iter
+                  (fun (_, _, ds) -> List.iter (fun j -> drop.(j) <- true) ds)
+                  infos;
+                List.iter
+                  (fun j -> if j <> final_idx then drop.(j) <- true)
+                  add_idxs
+              end
+          end
+        end
+      in
+      Array.iteri
+        (fun idx (i : Ir.instr) ->
+          match i.op with
+          | Ir.RotateMany { src; offsets } when not drop.(idx) ->
+            try_fuse idx src offsets i.results
+          | _ -> ())
+        arr;
+      let out = ref [] in
+      Array.iteri (fun idx i -> if not drop.(idx) then out := i :: !out) arr;
+      { b with instrs = List.rev !out }
+    in
+    { p with body = fuse_block p.body }

@@ -43,6 +43,20 @@ let analyze ?(units = default_units) (p : Ir.program) =
               let ks = if offset = 0 then 0.0 else units.keyswitch in
               Hashtbl.replace noise r (n_of src +. ks))
             i.results offsets
+        | Ir.RotSum { src; terms } ->
+          (* One key switch per nonzero member (the mod-down is shared, not
+             the switch noise); weighted groups add one plaintext multiply's
+             key-switch term and the single absorbed rescale. *)
+          let base =
+            List.fold_left
+              (fun a (_, c) ->
+                match c with None -> a | Some v -> Float.max a (n_of v))
+              (n_of src) terms
+          in
+          let ks = if List.exists (fun (o, _) -> o <> 0) terms then units.keyswitch else 0.0 in
+          let weighted = List.exists (fun (_, c) -> c <> None) terms in
+          let extra = if weighted then units.keyswitch +. units.rescale else 0.0 in
+          Hashtbl.replace noise (Ir.result i) (base +. ks +. extra)
         | Ir.Rescale { src } ->
           Hashtbl.replace noise (Ir.result i) (n_of src +. units.rescale)
         | Ir.Modswitch { src; _ } -> Hashtbl.replace noise (Ir.result i) (n_of src)

@@ -91,6 +91,37 @@ let rec block ~fresh ~max_level ~slots ~env ~rename ~param_tys ~boundary (b : Ir
       let ty = ty_of src in
       out := { Ir.results = i.results; op = Ir.RotateMany { src; offsets } } :: !out;
       List.iter (fun r -> Hashtbl.replace env r ty) i.results
+    | Ir.RotSum { src; terms } ->
+      (* Already-fused rotate-and-sum (hand-written or pre-lowered): emitted
+         as-is.  A weighted group embeds its members' multiplies and one
+         final rescale, so it consumes one level and keeps canonical scale;
+         a pure group is level/scale-preserving like RotateMany. *)
+      let src = resolve src in
+      let terms = List.map (fun (o, c) -> (o, Option.map resolve c)) terms in
+      if terms = [] then terr "normalize: empty rot_sum";
+      let weighted = List.exists (fun (_, c) -> c <> None) terms in
+      if weighted && List.exists (fun (_, c) -> c = None) terms then
+        terr "normalize: rot_sum mixes weighted and pure terms";
+      List.iter
+        (fun (_, c) ->
+          match c with
+          | Some v when ty_of v <> Tplain ->
+            terr "normalize: rot_sum coefficient must be plain"
+          | _ -> ())
+        terms;
+      (match ty_of src with
+       | Tplain ->
+         ignore (emit ~result:(Ir.result i) (Ir.RotSum { src; terms }) Tplain)
+       | Tcipher { level; scale } ->
+         if scale <> 1 then terr "normalize: rot_sum of non-canonical scale";
+         let ty =
+           if weighted then begin
+             if level < 2 then underflow "rot_sum: operand at level %d" level;
+             Tcipher { level = level - 1; scale = 1 }
+           end
+           else Tcipher { level; scale = 1 }
+         in
+         ignore (emit ~result:(Ir.result i) (Ir.RotSum { src; terms }) ty))
     | Ir.Bootstrap { src; target } ->
       let src = resolve src in
       (match ty_of src with

@@ -157,6 +157,27 @@ let rec instr st results : Ir.instr =
         else List.rev (o :: acc)
       in
       Ir.RotateMany { src; offsets = offsets [] }
+    | "rot_sum" ->
+      let src = var st in
+      expect st Lexer.COMMA;
+      (* Terms are "offset" (pure) or "offset:%coeff" (weighted), running
+         to the end of the instruction like rotate_many's offsets. *)
+      let rec terms acc =
+        let o = signed_int st in
+        let c =
+          match peek st with
+          | Lexer.COLON ->
+            advance st;
+            Some (var st)
+          | _ -> None
+        in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          terms ((o, c) :: acc)
+        end
+        else List.rev ((o, c) :: acc)
+      in
+      Ir.RotSum { src; terms = terms [] }
     | "rescale" -> Ir.Rescale { src = var st }
     | "modswitch" ->
       let src = var st in

@@ -5,6 +5,7 @@ let op_name : Ir.op -> string = function
   | Ir.Binary { kind = Ir.Mul; _ } -> "mul"
   | Ir.Rotate _ -> "rotate"
   | Ir.RotateMany _ -> "rotate_many"
+  | Ir.RotSum _ -> "rot_sum"
   | Ir.Rescale _ -> "rescale"
   | Ir.Modswitch _ -> "modswitch"
   | Ir.Bootstrap _ -> "bootstrap"
@@ -77,6 +78,16 @@ let rec instr_to_buf buf ~indent (i : Ir.instr) =
       | Ir.RotateMany { src; offsets } ->
         Printf.sprintf "rotate_many %s, %s" (var src)
           (String.concat ", " (List.map string_of_int offsets))
+      | Ir.RotSum { src; terms } ->
+        (* Weighted terms print as "offset:%coeff", pure ones as the bare
+           offset — mirroring rotate_many's offset list. *)
+        Printf.sprintf "rot_sum %s, %s" (var src)
+          (String.concat ", "
+             (List.map
+                (function
+                  | o, None -> string_of_int o
+                  | o, Some c -> Printf.sprintf "%d:%s" o (var c))
+                terms))
       | Ir.Rescale { src } -> Printf.sprintf "rescale %s" (var src)
       | Ir.Modswitch { src; down } -> Printf.sprintf "modswitch %s, %d" (var src) down
       | Ir.Bootstrap { src; target } ->

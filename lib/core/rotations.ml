@@ -18,6 +18,12 @@ let required (p : Ir.program) =
                 let o = normalize offset in
                 if o <> 0 then acc := IntSet.add o !acc)
               offsets
+          | Ir.RotSum { terms; _ } ->
+            List.iter
+              (fun (offset, _) ->
+                let o = normalize offset in
+                if o <> 0 then acc := IntSet.add o !acc)
+              terms
           | Ir.Unpack { index; num_e; count; _ } ->
             (* A composite unpack lowers to a positioning rotation plus the
                replication doublings. *)

@@ -16,6 +16,12 @@ let infer (p : Ir.program) =
         | Ir.Rotate { src; _ } | Ir.Rescale { src } | Ir.Modswitch { src; _ }
         | Ir.Bootstrap { src; _ } ->
           Hashtbl.replace env (Ir.result i) (size_of src)
+        | Ir.RotSum { src; terms } ->
+          Hashtbl.replace env (Ir.result i)
+            (List.fold_left
+               (fun a (_, c) ->
+                 match c with None -> a | Some v -> max a (size_of v))
+               (size_of src) terms)
         | Ir.Pack { srcs; num_e } ->
           Hashtbl.replace env (Ir.result i)
             (max num_e (List.fold_left (fun a v -> max a (size_of v)) 1 srcs))

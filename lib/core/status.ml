@@ -20,6 +20,14 @@ let rec block_statuses env ~param_statuses (block : Ir.block) =
       | Ir.RotateMany { src; _ } ->
         let s = status_of env src in
         List.iter (fun r -> Hashtbl.replace env r s) i.results
+      | Ir.RotSum { src; terms } ->
+        let s =
+          List.fold_left
+            (fun a (_, c) ->
+              match c with None -> a | Some v -> join a (status_of env v))
+            (status_of env src) terms
+        in
+        Hashtbl.replace env (Ir.result i) s
       | Ir.Rescale { src } | Ir.Modswitch { src; _ } | Ir.Bootstrap { src; _ }
       | Ir.Unpack { src; _ } ->
         (* Level-management and unpack operate on ciphertexts only. *)

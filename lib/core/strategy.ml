@@ -28,7 +28,7 @@ type pass = {
 }
 
 let passes ?(bindings = []) ?dacapo_config ?(lower = true) ?(rotate_fuse = true)
-    ~strategy () =
+    ?(lazy_switch = true) ~strategy () =
   let pass ?milestone pass_name run = { pass_name; milestone; run } in
   let prologue =
     [
@@ -90,11 +90,15 @@ let passes ?(bindings = []) ?dacapo_config ?(lower = true) ?(rotate_fuse = true)
     (* After normalize the rotation set is final (no pass below introduces
        or moves rotations), so same-source groups are maximal here. *)
     @ (if rotate_fuse then [ pass "rotate-fuse" Rotate_fuse.program ] else [])
+    (* Rotate-and-sum reductions are only complete once the rotation groups
+       are (rotate-fuse above); fusing them into RotSum lets the lattice
+       backend share one digit decomposition and pay one mod-down. *)
+    @ (if lazy_switch then [ pass "lazy-switch" Lazy_switch.program ] else [])
   in
   prologue @ placement @ epilogue
 
 let compile ?(bindings = []) ?dacapo_config ?(lower = true) ?rotate_fuse
-    ?observer ~strategy p =
+    ?lazy_switch ?observer ~strategy p =
   let step p ps =
     let after = ps.run p in
     (match observer with
@@ -104,7 +108,8 @@ let compile ?(bindings = []) ?dacapo_config ?(lower = true) ?rotate_fuse
   in
   let p =
     List.fold_left step p
-      (passes ~bindings ?dacapo_config ~lower ?rotate_fuse ~strategy ())
+      (passes ~bindings ?dacapo_config ~lower ?rotate_fuse ?lazy_switch
+         ~strategy ())
   in
   match Typecheck.verify p with
   | Ok () -> p

@@ -49,6 +49,7 @@ val passes :
   ?dacapo_config:Dacapo.config ->
   ?lower:bool ->
   ?rotate_fuse:bool ->
+  ?lazy_switch:bool ->
   strategy:t ->
   unit ->
   pass list
@@ -59,6 +60,7 @@ val compile :
   ?dacapo_config:Dacapo.config ->
   ?lower:bool ->
   ?rotate_fuse:bool ->
+  ?lazy_switch:bool ->
   ?observer:(pass:pass -> before:Ir.program -> after:Ir.program -> unit) ->
   strategy:t ->
   Ir.program ->
@@ -67,7 +69,10 @@ val compile :
     needs them (raises [Not_found] when missing).  [lower] (default [true])
     expands pack/unpack into primitive operations.  [rotate_fuse] (default
     [true]) appends the {!Rotate_fuse} pass, grouping same-source rotations
-    into hoisted {!Ir.op.RotateMany} groups.  [observer] is invoked
+    into hoisted {!Ir.op.RotateMany} groups.  [lazy_switch] (default [true])
+    appends the {!Lazy_switch} pass, fusing rotate-and-sum reductions into
+    single {!Ir.op.RotSum} operations executed with one shared digit
+    decomposition and one mod-down.  [observer] is invoked
     after every pass with the program before and after it — the hook the
     checked pipeline ([Halo_verify.Pipeline.compile ~verify:true]) uses to
     validate between passes.  The result verifies under {!Typecheck.verify};

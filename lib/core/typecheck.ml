@@ -37,6 +37,25 @@ let op_result_ty ~max_level ~slots op ~operand_tys =
        if c1.level < 1 then err "multcc: level below 1";
        Tcipher { level = c1.level; scale = c1.scale + c2.scale })
   | Ir.Rotate _, [ t ] -> t
+  | Ir.RotSum { terms; _ }, src_ty :: coeff_tys ->
+    if terms = [] then err "rot_sum: no terms";
+    let weighted = List.exists (fun (_, c) -> c <> None) terms in
+    if weighted && List.exists (fun (_, c) -> c = None) terms then
+      err "rot_sum: mixed weighted and pure terms";
+    List.iter
+      (fun t -> if t <> Tplain then err "rot_sum: coefficient must be plain")
+      coeff_tys;
+    (match src_ty with
+     | Tplain -> Tplain
+     | Tcipher { level; scale } ->
+       if weighted then begin
+         if scale <> 1 then err "rot_sum: operand scale %d <> 1" scale;
+         if level < 2 then err "rot_sum: level %d below 2" level;
+         (* Each member's multiply and the single final rescale are
+            absorbed: one level down, canonical scale out. *)
+         Tcipher { level = level - 1; scale = 1 }
+       end
+       else Tcipher { level; scale })
   | Ir.Rescale _, [ Tcipher { level; scale } ] ->
     if level < 2 then err "rescale: level %d below 2" level;
     if scale < 2 then err "rescale: scale %d below 2" scale;

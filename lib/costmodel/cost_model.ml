@@ -68,6 +68,59 @@ let bootstrap_latency_us ~target =
   let target = max 1 target in
   positive (interpolate bootstrap_anchors target)
 
+(* ------------------------------------------------------------------ *)
+(* Key-switching decomposition and the rotation-key cache              *)
+(* ------------------------------------------------------------------ *)
+
+(* A key switch splits into three sub-steps whose costs sum to the 0.9 x
+   multcc rotate estimate above: the mod-up digit decomposition of the
+   input (the part a digit cache skips), the per-digit MAC against the
+   switch key, and the extended-basis mod-down (the part lazy switching
+   amortizes over a whole rotate-and-sum group). *)
+let decompose_fraction = 0.50
+let mac_fraction = 0.25
+let moddown_fraction = 0.15
+
+let multcc_us ~level = positive (interpolate multcc_anchors (max 1 level))
+let decompose_us ~level = decompose_fraction *. multcc_us ~level
+let keyswitch_mac_us ~level = mac_fraction *. multcc_us ~level
+let moddown_us ~level = moddown_fraction *. multcc_us ~level
+
+(* Generating a rotation key samples and NTT-transforms one gadget row per
+   digit — about two multcc sweeps.  This is the price of a cache miss; a
+   hit costs nothing, which is why a warm LRU key cache beats eager
+   generation of the full rotation-key set in both time and bytes. *)
+let keygen_us ~level = 2.0 *. multcc_us ~level
+
+let key_switch_us ~digits_cached ~level =
+  (if digits_cached then 0.0 else decompose_us ~level)
+  +. keyswitch_mac_us ~level +. moddown_us ~level
+
+let rot_sum_us ~lazy_switch ~weighted ~members ~level =
+  let m = float_of_int (max 1 members) in
+  let adds = Float.max 0.0 (m -. 1.0) *. latency_us Addcc ~level in
+  let weights =
+    if not weighted then 0.0
+    else
+      (m *. latency_us Multcp ~level)
+      +. (if lazy_switch then 1.0 else m) *. latency_us Rescale ~level
+  in
+  let switches =
+    if lazy_switch then
+      (* One shared digit decomposition, per-member MACs, one mod-down. *)
+      decompose_us ~level +. (m *. keyswitch_mac_us ~level) +. moddown_us ~level
+    else m *. (decompose_us ~level +. keyswitch_mac_us ~level +. moddown_us ~level)
+  in
+  switches +. weights +. adds
+
+let switch_key_bytes ~n ~level =
+  (* A gadget-decomposed switch key holds [level] digit rows of two
+     polynomials over the [level + 1]-residue extended basis, [n]
+     coefficients of 8 bytes each — quadratic in level, which is what makes
+     a byte-bounded cache meaningful at deep levels. *)
+  let level = max 1 level in
+  4 * level * (level + 1) * n * 8
+
 let table2_anchor op ~level =
   let find anchors = List.assoc_opt level anchors in
   match op with

@@ -45,6 +45,47 @@ val latency_us : op -> level:int -> float
     tuning (Solution B-3). *)
 val bootstrap_latency_us : target:int -> float
 
+(** {1 Key-switching decomposition and the rotation-key cache}
+
+    A key switch is modeled as three sub-steps whose costs sum to the 0.9x
+    [multcc] estimate of [Rotate]: mod-up digit decomposition (50%), the
+    per-digit MAC against the switch key (25%) and the extended-basis
+    mod-down (15%).  Splitting them out lets the compiler and benchmarks
+    price the two reuse optimizations: a digit cache skips the decomposition
+    when the same ciphertext is switched again, and lazy switching pays the
+    decomposition and mod-down once per rotate-and-sum group instead of once
+    per member. *)
+
+val decompose_us : level:int -> float
+(** Mod-up digit decomposition of one ciphertext at [level]. *)
+
+val keyswitch_mac_us : level:int -> float
+(** One per-digit MAC accumulation against a switch key at [level]. *)
+
+val moddown_us : level:int -> float
+(** One extended-basis mod-down at [level]. *)
+
+val keygen_us : level:int -> float
+(** Generating (or deterministically regenerating) one rotation key — the
+    price of a key-cache miss; a hit costs nothing. *)
+
+val key_switch_us : digits_cached:bool -> level:int -> float
+(** A full key switch; with [digits_cached] the decomposition is skipped
+    (cross-op digit reuse). *)
+
+val rot_sum_us :
+  lazy_switch:bool -> weighted:bool -> members:int -> level:int -> float
+(** A [members]-way rotate-and-sum reduction at [level].  [lazy_switch]
+    prices the fused form (one shared decomposition, per-member MACs, one
+    mod-down, and — when [weighted] — one deferred rescale); otherwise the
+    eager per-member form.  The lazy/eager ratio approaches
+    [mac_fraction /. 0.9] as [members] grows. *)
+
+val switch_key_bytes : n:int -> level:int -> int
+(** Modeled byte size of one gadget-decomposed rotation key over [n]
+    coefficients at [level]: [4 * level * (level+1) * n * 8].  Used to pick
+    sensible [--key-budget] values. *)
+
 (** Anchor points straight from the paper, exposed so that the benchmark
     harness can print Table 2 / Table 3 verbatim and tests can pin the model
     to the published numbers. *)

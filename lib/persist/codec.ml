@@ -21,7 +21,12 @@ type kind =
   | Serve_drain_frame
   | Serve_chaos_frame
 
-let format_version = 3
+let format_version = 4
+
+(* Version 3 frames (pre key-cache statistics) remain decodable: the only
+   payload difference is the stats record's trailing cache counters, which
+   [decode_stats] skips for older frames. *)
+let min_format_version = 3
 let magic = "HALO"
 let header_len = 4 + 1 + 1 + 8 + 8
 
@@ -87,9 +92,11 @@ let unframe ?path ~kind ~fingerprint s =
       ~got:(Printf.sprintf "%S" got_magic) "bad magic";
   r.Wire.pos <- 4;
   let version = Wire.ru8 r in
-  if version <> format_version then
+  if version < min_format_version || version > format_version then
     Wire.fail r
-      ~expected:(Printf.sprintf "format version %d" format_version)
+      ~expected:
+        (Printf.sprintf "format version in [%d, %d]" min_format_version
+           format_version)
       ~got:(string_of_int version) "unsupported format version";
   let tag = Wire.ru8 r in
   if tag <> kind_tag kind then
@@ -120,7 +127,7 @@ let unframe ?path ~kind ~fingerprint s =
        ~got:(Printf.sprintf "0x%016Lx" stamp)
        "artifact was written under different parameters"
    | _ -> ());
-  Wire.reader ?path ~base:header_len (String.sub s header_len len)
+  Wire.reader ?path ~base:header_len ~version (String.sub s header_len len)
 
 let fingerprint_of ?path s =
   let r = Wire.reader ?path s in
@@ -335,7 +342,13 @@ let encode_stats b (s : Stats.t) =
   Wire.i64 b s.key_switches;
   Wire.i64 b s.hoisted_groups;
   Wire.i64 b s.decompositions_saved;
-  Wire.i64 b s.deadline_aborts
+  Wire.i64 b s.deadline_aborts;
+  Wire.i64 b s.key_cache_hits;
+  Wire.i64 b s.key_cache_misses;
+  Wire.i64 b s.key_cache_evictions;
+  Wire.i64 b s.key_cache_regens;
+  Wire.i64 b s.digit_reuses;
+  Wire.i64 b s.lazy_rotsums
 
 let decode_stats r =
   let s = Stats.create () in
@@ -361,6 +374,16 @@ let decode_stats r =
   s.Stats.hoisted_groups <- Wire.ri64 r;
   s.Stats.decompositions_saved <- Wire.ri64 r;
   s.Stats.deadline_aborts <- Wire.ri64 r;
+  (* Cache counters arrived with format version 4; version-3 frames end the
+     stats record here and decode with the counters at zero. *)
+  if r.Wire.version > 3 then begin
+    s.Stats.key_cache_hits <- Wire.ri64 r;
+    s.Stats.key_cache_misses <- Wire.ri64 r;
+    s.Stats.key_cache_evictions <- Wire.ri64 r;
+    s.Stats.key_cache_regens <- Wire.ri64 r;
+    s.Stats.digit_reuses <- Wire.ri64 r;
+    s.Stats.lazy_rotsums <- Wire.ri64 r
+  end;
   s
 
 (* --- run manifest ------------------------------------------------------- *)

@@ -22,10 +22,12 @@ type reader = {
   src : string;
   path : string option;
   base : int;
+  version : int;
   mutable pos : int;
 }
 
-let reader ?path ?(base = 0) src = { src; path; base; pos = 0 }
+let reader ?path ?(base = 0) ?(version = max_int) src =
+  { src; path; base; version; pos = 0 }
 
 let fail r ?expected ?got fmt =
   Halo_error.persist_error ?path:r.path ~offset:(r.base + r.pos) ?expected ?got fmt

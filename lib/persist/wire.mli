@@ -26,10 +26,14 @@ type reader = {
   src : string;
   path : string option;  (** carried into every error *)
   base : int;  (** offset of [src]'s first byte within the file *)
+  version : int;
+      (** container format version the payload was written under; codecs
+          consult it to skip fields absent from older formats.  Readers
+          built without an explicit version default to newest. *)
   mutable pos : int;
 }
 
-val reader : ?path:string -> ?base:int -> string -> reader
+val reader : ?path:string -> ?base:int -> ?version:int -> string -> reader
 
 val fail :
   reader -> ?expected:string -> ?got:string -> ('a, unit, string, 'b) format4 -> 'a

@@ -39,6 +39,17 @@ module type S = sig
       others may simply iterate [rotate].  Results must be bit-identical
       to the sequential rotates. *)
 
+  val rot_sum : state -> ct -> terms:(int * float array option) list -> ct
+  (** Fused rotate-and-sum of one ciphertext.  Each term is an offset plus
+      an optional plaintext coefficient; a weighted group (all [Some])
+      computes Σ rescale(coeff ⊙ rot(src)) — each member's multiply and
+      rescale are absorbed, so the result sits one level below the source
+      at canonical scale — while a pure group (all [None]) computes
+      Σ rot(src) level/scale-preserving.  Backends with lazy key switching
+      (the lattice backend) share the digit decomposition across members
+      and pay a single mod-down; others evaluate the exact per-term
+      unfused sequence, keeping fused and unfused runs bit-identical. *)
+
   val rescale : state -> ct -> ct
   val modswitch : state -> ct -> down:int -> ct
   val bootstrap : state -> ct -> target:int -> ct

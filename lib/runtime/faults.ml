@@ -185,6 +185,30 @@ module Make (B : Backend.S) = struct
   let rescale st a =
     guard st ~op:"rescale" ~level:(level st a) (fun () -> B.rescale st.base a)
 
+  (* De-sugar the fused rotate-and-sum into its members' own guarded ops in
+     the exact unfused emission order — rotations first (zero offsets pass
+     through unguarded, as the interpreter short-circuits them), then each
+     member's multcp + rescale, then the add chain — so occurrence indices
+     and fault/spike draws line up with the unfused program. *)
+  let rot_sum st ct ~terms =
+    if terms = [] then B.rot_sum st.base ct ~terms
+    else begin
+      let rotated =
+        List.map
+          (fun (o, c) -> ((if o = 0 then ct else rotate st ct ~offset:o), c))
+          terms
+      in
+      let members =
+        List.map
+          (fun (r, c) ->
+            match c with None -> r | Some m -> rescale st (multcp st r m))
+          rotated
+      in
+      match members with
+      | [] -> assert false
+      | m :: ms -> List.fold_left (addcc st) m ms
+    end
+
   let modswitch st ct ~down =
     guard st ~op:"modswitch" ~level:(level st ct) (fun () ->
         B.modswitch st.base ct ~down)

@@ -8,6 +8,7 @@ let op_name : Ir.op -> string = function
   | Ir.Binary { kind = Ir.Mul; _ } -> "mul"
   | Ir.Rotate _ -> "rotate"
   | Ir.RotateMany _ -> "rotate_many"
+  | Ir.RotSum _ -> "rot_sum"
   | Ir.Rescale _ -> "rescale"
   | Ir.Modswitch _ -> "modswitch"
   | Ir.Bootstrap _ -> "bootstrap"
@@ -227,6 +228,68 @@ module Make (B : Backend.S) = struct
                    | _ -> ierr "rotate_many result/offset arity mismatch"
                  in
                  bind i.results offsets rotated)
+            | Ir.RotSum { src; terms } ->
+              (match value_of src with
+               | Plain a ->
+                 (* Cleartext semantics: rescale is value-preserving, so a
+                    weighted group is just Σ coeff ⊙ rot(src). *)
+                 let term_value (o, c) =
+                   let r = rotate_plain a o in
+                   match c with
+                   | None -> r
+                   | Some v ->
+                     (match value_of v with
+                      | Plain m -> Array.map2 ( *. ) r m
+                      | Cipher _ -> ierr "rot_sum: cipher coefficient")
+                 in
+                 let sum =
+                   match terms with
+                   | [] -> ierr "rot_sum: empty term list"
+                   | t :: ts ->
+                     List.fold_left
+                       (fun acc t -> Array.map2 ( +. ) acc (term_value t))
+                       (term_value t) ts
+                 in
+                 Hashtbl.replace env (Ir.result i) (Plain sum)
+               | Cipher c ->
+                 let resolved =
+                   List.map
+                     (fun (o, cv) ->
+                       match cv with
+                       | None -> (o, None)
+                       | Some v ->
+                         (match value_of v with
+                          | Plain m -> (o, Some m)
+                          | Cipher _ -> ierr "rot_sum: cipher coefficient"))
+                     terms
+                 in
+                 (* Accounting mirrors the unfused sequence so fused and
+                    unfused runs report the same op counts: a rotate and key
+                    switch per nonzero offset, a multcp+rescale per weighted
+                    member, an add per extra member, and one hoisted group
+                    when the decomposition is shared. *)
+                 let nonzero = List.filter (fun (o, _) -> o <> 0) resolved in
+                 List.iter
+                   (fun _ ->
+                     record Cost.Rotate c;
+                     Stats.record_key_switch stats)
+                   nonzero;
+                 List.iter
+                   (fun (_, cv) ->
+                     match cv with
+                     | None -> ()
+                     | Some _ ->
+                       record Cost.Multcp c;
+                       record Cost.Rescale c)
+                   resolved;
+                 let m = List.length nonzero in
+                 if m >= 2 then Stats.record_hoisted_group stats ~size:m;
+                 Stats.record_lazy_rotsum stats;
+                 let out = B.rot_sum st c ~terms:resolved in
+                 List.iteri
+                   (fun idx _ -> if idx > 0 then record Cost.Addcc out)
+                   resolved;
+                 Hashtbl.replace env (Ir.result i) (Cipher out))
             | Ir.Rescale { src } ->
               (match value_of src with
                | Plain _ -> ierr "rescale of plaintext"

@@ -59,6 +59,9 @@ let rotate_many keys ct ~offsets =
   typed "rotate_many" ~level:(Eval.level ct) (fun () ->
       Eval.rotate_many keys ct ~offsets)
 
+let rot_sum keys ct ~terms =
+  typed "rot_sum" ~level:(Eval.level ct) (fun () -> Eval.rot_sum keys ct ~terms)
+
 let rescale st a =
   typed "rescale" ~level:(Eval.level a) (fun () -> Eval.rescale st a)
 
@@ -72,3 +75,9 @@ let bootstrap keys ct ~target =
 
 let negate st a =
   typed "negate" ~level:(Eval.level a) (fun () -> Eval.negate st a)
+
+let fold_cache_stats keys stats =
+  let s = Keys.cache_stats keys in
+  Stats.record_key_cache stats ~hits:s.Keys.snap_hits ~misses:s.Keys.snap_misses
+    ~evictions:s.Keys.snap_evictions ~regens:s.Keys.snap_regenerations
+    ~digit_hits:s.Keys.snap_digit_hits

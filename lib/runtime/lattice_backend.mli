@@ -3,3 +3,10 @@
     substitution table; {!Halo_ckks.Bootstrap_real} is the full pipeline). *)
 
 include Backend.S with type state = Halo_ckks.Keys.t and type ct = Halo_ckks.Eval.ct
+
+val fold_cache_stats : state -> Stats.t -> unit
+(** Folds the key set's cache counters ({!Halo_ckks.Keys.cache_stats}) into
+    a run's statistics via {!Stats.record_key_cache}.  Call once at final
+    reporting: the counters live in the key material, not the interpreter,
+    so mid-run stats (checkpoint frames, kill/resume comparisons) stay
+    independent of cache state. *)

@@ -21,6 +21,12 @@ type t = {
   mutable hoisted_groups : int;
   mutable decompositions_saved : int;
   mutable deadline_aborts : int;
+  mutable key_cache_hits : int;
+  mutable key_cache_misses : int;
+  mutable key_cache_evictions : int;
+  mutable key_cache_regens : int;
+  mutable digit_reuses : int;
+  mutable lazy_rotsums : int;
 }
 
 let create () =
@@ -47,6 +53,12 @@ let create () =
     hoisted_groups = 0;
     decompositions_saved = 0;
     deadline_aborts = 0;
+    key_cache_hits = 0;
+    key_cache_misses = 0;
+    key_cache_evictions = 0;
+    key_cache_regens = 0;
+    digit_reuses = 0;
+    lazy_rotsums = 0;
   }
 
 let record t (op : Halo_cost.Cost_model.op) ~level =
@@ -94,6 +106,22 @@ let record_hoisted_group t ~size =
 
 let record_deadline_abort t = t.deadline_aborts <- t.deadline_aborts + 1
 
+(* Key-cache and digit-reuse accounting, folded in from the key set's own
+   counters at reporting time (never mid-run: kill/resume stats comparisons
+   must not depend on how warm a cache happened to be at the kill point).
+   Each digit reuse skips one whole decomposition, so it also counts toward
+   [decompositions_saved]. *)
+let record_key_cache t ~hits ~misses ~evictions ~regens ~digit_hits =
+  t.key_cache_hits <- t.key_cache_hits + hits;
+  t.key_cache_misses <- t.key_cache_misses + misses;
+  t.key_cache_evictions <- t.key_cache_evictions + evictions;
+  t.key_cache_regens <- t.key_cache_regens + regens;
+  t.digit_reuses <- t.digit_reuses + digit_hits;
+  t.decompositions_saved <- t.decompositions_saved + digit_hits
+
+(* One fused rotate-and-sum executed: the group paid a single mod-down. *)
+let record_lazy_rotsum t = t.lazy_rotsums <- t.lazy_rotsums + 1
+
 let assign ~into src =
   into.addcc <- src.addcc;
   into.addcp <- src.addcp;
@@ -116,7 +144,13 @@ let assign ~into src =
   into.key_switches <- src.key_switches;
   into.hoisted_groups <- src.hoisted_groups;
   into.decompositions_saved <- src.decompositions_saved;
-  into.deadline_aborts <- src.deadline_aborts
+  into.deadline_aborts <- src.deadline_aborts;
+  into.key_cache_hits <- src.key_cache_hits;
+  into.key_cache_misses <- src.key_cache_misses;
+  into.key_cache_evictions <- src.key_cache_evictions;
+  into.key_cache_regens <- src.key_cache_regens;
+  into.digit_reuses <- src.digit_reuses;
+  into.lazy_rotsums <- src.lazy_rotsums
 
 let merge ~into src =
   into.addcc <- into.addcc + src.addcc;
@@ -143,7 +177,13 @@ let merge ~into src =
   into.hoisted_groups <- into.hoisted_groups + src.hoisted_groups;
   into.decompositions_saved <-
     into.decompositions_saved + src.decompositions_saved;
-  into.deadline_aborts <- into.deadline_aborts + src.deadline_aborts
+  into.deadline_aborts <- into.deadline_aborts + src.deadline_aborts;
+  into.key_cache_hits <- into.key_cache_hits + src.key_cache_hits;
+  into.key_cache_misses <- into.key_cache_misses + src.key_cache_misses;
+  into.key_cache_evictions <- into.key_cache_evictions + src.key_cache_evictions;
+  into.key_cache_regens <- into.key_cache_regens + src.key_cache_regens;
+  into.digit_reuses <- into.digit_reuses + src.digit_reuses;
+  into.lazy_rotsums <- into.lazy_rotsums + src.lazy_rotsums
 
 let total_ops t =
   t.addcc + t.addcp + t.subcc + t.multcc + t.multcp + t.rotate + t.rescale
@@ -175,6 +215,19 @@ let to_string t =
        Printf.sprintf
          " key_switches=%d hoisted_groups=%d decompositions_saved=%d"
          t.key_switches t.hoisted_groups t.decompositions_saved)
+  ^ (if t.lazy_rotsums = 0 then ""
+     else Printf.sprintf " lazy_rotsums=%d" t.lazy_rotsums)
+  ^ (if
+       t.key_cache_hits = 0 && t.key_cache_misses = 0
+       && t.key_cache_evictions = 0 && t.key_cache_regens = 0
+       && t.digit_reuses = 0
+     then ""
+     else
+       Printf.sprintf
+         " key_cache_hits=%d key_cache_misses=%d key_cache_evictions=%d \
+          key_cache_regens=%d digit_reuses=%d"
+         t.key_cache_hits t.key_cache_misses t.key_cache_evictions
+         t.key_cache_regens t.digit_reuses)
   ^
   if t.deadline_aborts = 0 then ""
   else Printf.sprintf " deadline_aborts=%d" t.deadline_aborts

@@ -41,6 +41,19 @@ type t = {
       (** digit decompositions avoided by hoisting (group size - 1 each) *)
   mutable deadline_aborts : int;
       (** executions aborted by a blown virtual-clock deadline *)
+  mutable key_cache_hits : int;
+      (** rotation-key lookups served from the resident key cache *)
+  mutable key_cache_misses : int;
+      (** rotation keys generated on first use *)
+  mutable key_cache_evictions : int;
+      (** rotation keys evicted cold under the byte budget *)
+  mutable key_cache_regens : int;
+      (** evicted rotation keys regenerated deterministically on re-use *)
+  mutable digit_reuses : int;
+      (** digit decompositions reused across consecutive ops on the same
+          ciphertext (each also counts toward [decompositions_saved]) *)
+  mutable lazy_rotsums : int;
+      (** fused rotate-and-sum groups executed with a single mod-down *)
 }
 
 val create : unit -> t
@@ -66,6 +79,23 @@ val record_hoisted_group : t -> size:int -> unit
 
 val record_deadline_abort : t -> unit
 (** Count one execution aborted by a blown {!Clock} deadline. *)
+
+val record_key_cache :
+  t ->
+  hits:int ->
+  misses:int ->
+  evictions:int ->
+  regens:int ->
+  digit_hits:int ->
+  unit
+(** Fold key-cache and digit-reuse counters (read from the key set with
+    [Halo_ckks.Keys.cache_stats]) into the record.  Call once at final
+    reporting, never mid-run: kill/resume stats comparisons must not
+    depend on cache warmth at the kill point.  [digit_hits] also counts
+    toward [decompositions_saved] (each reuse skips one decomposition). *)
+
+val record_lazy_rotsum : t -> unit
+(** Count one fused rotate-and-sum group (single shared mod-down). *)
 
 val assign : into:t -> t -> unit
 (** Overwrite every counter of [into] with [src]'s values.  Crash recovery

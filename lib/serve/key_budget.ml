@@ -1,0 +1,74 @@
+open Halo
+
+type entry = { e_name : string; e_offsets : int; e_bytes : int }
+
+type report = {
+  r_budget : int;
+  r_n : int;
+  r_level : int;
+  r_entries : entry list;
+  r_union_offsets : int;
+  r_union_bytes : int;
+}
+
+module IntSet = Set.Make (Int)
+
+let assess ~n ~level ~budget programs =
+  let per_key = Halo_cost.Cost_model.switch_key_bytes ~n ~level in
+  let union = ref IntSet.empty in
+  let entries =
+    List.map
+      (fun (name, p) ->
+        let offsets = Rotations.required p in
+        List.iter (fun o -> union := IntSet.add o !union) offsets;
+        let k = List.length offsets in
+        { e_name = name; e_offsets = k; e_bytes = k * per_key })
+      programs
+  in
+  let u = IntSet.cardinal !union in
+  {
+    r_budget = budget;
+    r_n = n;
+    r_level = level;
+    r_entries = entries;
+    r_union_offsets = u;
+    r_union_bytes = u * per_key;
+  }
+
+let fits r = r.r_budget = 0 || r.r_union_bytes <= r.r_budget
+
+let resident_offsets r =
+  if r.r_budget = 0 then r.r_union_offsets
+  else
+    let per_key = Halo_cost.Cost_model.switch_key_bytes ~n:r.r_n ~level:r.r_level in
+    if per_key = 0 then r.r_union_offsets
+    else min r.r_union_offsets (r.r_budget / per_key)
+
+let bytes_to_string b =
+  if b = 0 then "unbounded"
+  else if b >= 1 lsl 30 then Printf.sprintf "%.1fG" (float_of_int b /. 1073741824.)
+  else if b >= 1 lsl 20 then Printf.sprintf "%.1fM" (float_of_int b /. 1048576.)
+  else if b >= 1 lsl 10 then Printf.sprintf "%.1fK" (float_of_int b /. 1024.)
+  else string_of_int b
+
+let to_string r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "rotation-key budget: %s (modeled key n=%d level=%d, %s/key)\n"
+       (bytes_to_string r.r_budget) r.r_n r.r_level
+       (bytes_to_string (Halo_cost.Cost_model.switch_key_bytes ~n:r.r_n ~level:r.r_level)));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  program %-12s %2d rotation keys  %8s resident\n"
+           e.e_name e.e_offsets (bytes_to_string e.e_bytes)))
+    r.r_entries;
+  Buffer.add_string buf
+    (Printf.sprintf "  working set        %2d distinct keys   %8s resident  %s\n"
+       r.r_union_offsets
+       (bytes_to_string r.r_union_bytes)
+       (if fits r then "fits"
+        else
+          Printf.sprintf "EVICTING (%d of %d keys stay warm)" (resident_offsets r)
+            r.r_union_offsets));
+  Buffer.contents buf

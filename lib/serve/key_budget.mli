@@ -1,0 +1,45 @@
+(** Per-tenant rotation-key budget accounting for the serving layer.
+
+    Serving executes on the calibrated reference backend, which holds no
+    lattice key material — so the budget here is {e planning} accounting: it
+    prices what a lattice deployment of the registered programs would keep
+    resident under {!Halo_ckks.Keys}'s LRU cache, using the cost model's
+    {!Halo_cost.Cost_model.switch_key_bytes} estimate.  A program's working
+    set is its {!Halo.Rotations.required} offset set; the server-wide
+    working set is the union across the registry (rotation keys depend only
+    on the Galois element, so tenants sharing a program share its keys).
+
+    When the union exceeds the budget the cache still serves every request
+    correctly — eviction is bit-invisible by deterministic regeneration —
+    but cold misses pay {!Halo_cost.Cost_model.keygen_us} each; the report
+    makes that pressure visible before deployment. *)
+
+type entry = {
+  e_name : string;  (** registered program name *)
+  e_offsets : int;  (** distinct nonzero rotation offsets it needs *)
+  e_bytes : int;  (** modeled resident switch-key bytes for this program *)
+}
+
+type report = {
+  r_budget : int;  (** configured budget in bytes; 0 = unbounded *)
+  r_n : int;  (** modeled ring degree *)
+  r_level : int;  (** modeled key level (deepest ciphertext level) *)
+  r_entries : entry list;
+  r_union_offsets : int;  (** distinct offsets across the whole registry *)
+  r_union_bytes : int;  (** bytes if the full working set stays resident *)
+}
+
+val assess :
+  n:int -> level:int -> budget:int -> (string * Halo.Ir.program) list -> report
+(** [assess ~n ~level ~budget programs] prices the named compiled programs'
+    rotation working sets against [budget]. *)
+
+val fits : report -> bool
+(** The whole working set stays resident (always true when unbounded). *)
+
+val resident_offsets : report -> int
+(** How many keys the budget keeps warm at once (all of them when it
+    {!fits}). *)
+
+val to_string : report -> string
+(** Multi-line human-readable accounting table. *)

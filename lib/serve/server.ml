@@ -1023,6 +1023,14 @@ let counters t =
     quarantined_tenants = List.length (Supervisor.quarantined t.sup);
   }
 
+let key_budget_report t ~budget =
+  let cfg = t.cfg.Codec.backend in
+  Key_budget.to_string
+    (Key_budget.assess
+       ~n:(2 * cfg.Halo_persist.Codec.slots)
+       ~level:cfg.Halo_persist.Codec.max_level ~budget
+       (List.map (fun (name, c) -> (name, c.solo)) t.progs))
+
 let report t =
   let c = counters t in
   let b = Buffer.create 256 in

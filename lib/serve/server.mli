@@ -226,3 +226,8 @@ val report : t -> string
     the serving soak compares baseline and resumed reports for equality.
     The supervision line appears only when supervision did something, so
     unsupervised reports are unchanged from the pre-supervision layer. *)
+
+val key_budget_report : t -> budget:int -> string
+(** {!Key_budget} accounting for the server's program registry against a
+    byte [budget] (0 = unbounded): what a lattice deployment of these
+    programs would keep resident under the LRU rotation-key cache. *)

@@ -45,7 +45,8 @@ let slotwise (p : Ir.program) =
       List.iter
         (fun (i : Ir.instr) ->
           match i.op with
-          | Ir.Rotate _ | Ir.RotateMany _ | Ir.Pack _ | Ir.Unpack _ ->
+          | Ir.Rotate _ | Ir.RotateMany _ | Ir.RotSum _ | Ir.Pack _
+          | Ir.Unpack _ ->
             ok := false
           | Ir.Const { value = Ir.Vector _; _ } ->
             (* A vector constant replicates with its own period, which would

@@ -84,6 +84,12 @@ let structural (p : Ir.program) =
            if List.length i.results <> List.length offsets then
              add ipath "rotate-arity" "%d offsets but %d results"
                (List.length offsets) (List.length i.results)
+         | Ir.RotSum { terms; _ } ->
+           if List.length terms < 1 then
+             add ipath "rotsum-shape" "rot_sum with no terms";
+           let weighted = List.exists (fun (_, c) -> c <> None) terms in
+           if weighted && List.exists (fun (_, c) -> c = None) terms then
+             add ipath "rotsum-shape" "rot_sum mixes weighted and pure terms"
          | Ir.Unpack { index; num_e; count; _ } ->
            if num_e < 1 then add ipath "pack-shape" "num_e %d below 1" num_e;
            if count < 2 then

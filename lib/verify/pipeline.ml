@@ -83,6 +83,24 @@ let eval ?(bindings = []) ~inputs (p : Ir.program) =
           List.iter2
             (fun r offset -> Hashtbl.replace env r (rotate a offset))
             i.results offsets
+        | Ir.RotSum { src; terms } ->
+          (* Rescale is identity here, so a weighted group is exactly
+             Σ coeff ⊙ rot(src), folded in term order (the same IEEE add
+             order as the unfused add chain). *)
+          let a = value_of src in
+          let term (o, c) =
+            let r = rotate a o in
+            match c with
+            | None -> r
+            | Some v -> Array.map2 ( *. ) r (value_of v)
+          in
+          (match terms with
+           | [] -> eval_err "empty rot_sum"
+           | t :: ts ->
+             result
+               (List.fold_left
+                  (fun acc t -> Array.map2 ( +. ) acc (term t))
+                  (term t) ts))
         | Ir.Rescale { src } | Ir.Modswitch { src; _ } | Ir.Bootstrap { src; _ }
           ->
           result (value_of src)
@@ -273,15 +291,18 @@ let check_passes ?bindings ?inputs ?tol ?(strategy = "custom")
   let q = run_passes st ~passes p in
   (q, List.rev st.reports)
 
-let compile ?(bindings = []) ?dacapo_config ?lower ?rotate_fuse
+let compile ?(bindings = []) ?dacapo_config ?lower ?rotate_fuse ?lazy_switch
     ?(verify = true) ?tol ~strategy p =
   if not verify then
-    (Strategy.compile ~bindings ?dacapo_config ?lower ?rotate_fuse ~strategy p, [])
+    ( Strategy.compile ~bindings ?dacapo_config ?lower ?rotate_fuse
+        ?lazy_switch ~strategy p,
+      [] )
   else begin
     let name = Strategy.to_string strategy in
     let st = init_state ~bindings ?tol ~strategy:name p in
     let passes =
-      Strategy.passes ~bindings ?dacapo_config ?lower ?rotate_fuse ~strategy ()
+      Strategy.passes ~bindings ?dacapo_config ?lower ?rotate_fuse ?lazy_switch
+        ~strategy ()
     in
     let q = run_passes st ~passes p in
     (* Mirror [Strategy.compile]'s final full verification. *)

@@ -57,6 +57,7 @@ val compile :
   ?dacapo_config:Dacapo.config ->
   ?lower:bool ->
   ?rotate_fuse:bool ->
+  ?lazy_switch:bool ->
   ?verify:bool ->
   ?tol:float ->
   strategy:Strategy.t ->

@@ -259,6 +259,12 @@ let count_ops pred (b : Ir.block) =
 let is_rotate = function Ir.Rotate _ -> true | _ -> false
 let is_rotate_many = function Ir.RotateMany _ -> true | _ -> false
 
+(* Lazy_switch may fuse a whole rotate-and-sum group further into one
+   RotSum; either form witnesses that the group was formed. *)
+let is_group = function
+  | Ir.RotateMany _ | Ir.RotSum _ -> true
+  | _ -> false
+
 let test_rotate_fuse_groups () =
   let p =
     manual_program
@@ -299,10 +305,10 @@ let test_rotate_fuse_in_loops () =
   in
   let compiled = Strategy.compile ~strategy:Strategy.Type_matched p in
   Alcotest.(check bool) "group formed inside loop" true
-    (count_ops is_rotate_many compiled.Ir.body >= 1);
+    (count_ops is_group compiled.Ir.body >= 1);
   let unfused = Strategy.compile ~rotate_fuse:false ~strategy:Strategy.Type_matched p in
   Alcotest.(check int) "no groups when disabled" 0
-    (count_ops is_rotate_many unfused.Ir.body)
+    (count_ops is_group unfused.Ir.body)
 
 (* ------------------------------------------------------------------ *)
 (* Interpreter: counters and fused/unfused bit identity                *)

@@ -607,6 +607,9 @@ let gen_stats =
     let* guard_trips = int_field and* key_switches = int_field in
     let* hoisted_groups = int_field and* decompositions_saved = int_field in
     let* deadline_aborts = int_field in
+    let* key_cache_hits = int_field and* key_cache_misses = int_field in
+    let* key_cache_evictions = int_field and* key_cache_regens = int_field in
+    let* digit_reuses = int_field and* lazy_rotsums = int_field in
     return
       {
         Stats.addcc;
@@ -631,6 +634,12 @@ let gen_stats =
         hoisted_groups;
         decompositions_saved;
         deadline_aborts;
+        key_cache_hits;
+        key_cache_misses;
+        key_cache_evictions;
+        key_cache_regens;
+        digit_reuses;
+        lazy_rotsums;
       })
 
 let roundtrip s =
