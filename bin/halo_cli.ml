@@ -98,6 +98,49 @@ let resolve_key_budget s =
   if String.trim s <> "" then parse s
   else match Sys.getenv_opt "HALO_KEY_BUDGET" with Some e -> parse e | None -> 0
 
+(* Noise-telemetry flags shared by run, soak, serve and chaos.  The guard
+   margin defaults through Guard.margin (), so HALO_GUARD_MARGIN reaches
+   every subcommand without further plumbing. *)
+let guard_margin_arg =
+  Arg.(
+    value
+    & opt float (Halo_runtime.Guard.margin ())
+    & info [ "guard-margin" ] ~docv:"M"
+        ~doc:
+          "Noise-guard calibration margin: observed error (and the runtime \
+           rescue threshold) is checked against M times the static bound.  \
+           Defaults to $(b,HALO_GUARD_MARGIN) when set, else 10.")
+
+let rescue_arg =
+  Arg.(
+    value & flag
+    & info [ "rescue" ]
+        ~doc:
+          "Enable the runtime noise monitor: the estimated noise of every \
+           loop-carried ciphertext is checked at iteration boundaries, an \
+           unplanned rescue bootstrap fires when headroom against the \
+           guard threshold drops below the rescue margin, and a run that \
+           still breaches the decrypt-time guard is re-executed once under \
+           a recompiled conservative strategy (a replan).")
+
+let rescue_margin_arg =
+  Arg.(
+    value
+    & opt float Halo_runtime.Noise_monitor.default_rescue_margin
+    & info [ "rescue-margin" ] ~docv:"M"
+        ~doc:
+          "Headroom ratio (threshold / estimate) below which the monitor \
+           fires a rescue bootstrap; must be at least 1.")
+
+let max_rescues_arg =
+  Arg.(
+    value
+    & opt int Halo_runtime.Noise_monitor.default_max_rescues
+    & info [ "max-rescues" ] ~docv:"N"
+        ~doc:
+          "Rescue-bootstrap budget per execution; opportunities past the \
+           budget are declined and counted as rescue aborts.")
+
 let load path = Parser.parse_program (read_file path)
 
 let handle_code f =
@@ -284,8 +327,9 @@ let report_checkpointed ?out (outcome, damaged) =
     1
 
 let run_cmd =
-  let run file strategy bindings no_fuse no_lazy seed guard checkpoint_dir
-      every retain guard_every kill_after out =
+  let run file strategy bindings no_fuse no_lazy seed guard guard_margin
+      rescue rescue_margin max_rescues checkpoint_dir every retain guard_every
+      kill_after out =
     handle_code (fun () ->
         let p = load file in
         let compiled =
@@ -317,6 +361,10 @@ let run_cmd =
               every_n = every;
               retain;
               guard_every;
+              guard_margin;
+              rescue;
+              rescue_margin;
+              max_rescues;
             }
           in
           Ref_run.start ~dir manifest;
@@ -329,14 +377,80 @@ let run_cmd =
              (* the exit status a SIGKILLed process would report *)
              exit 137)
         | None ->
+          let module Ref = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend) in
           let outs, stats, verdict =
-            if guard then
+            if rescue then begin
+              (* Monitored execution: the resilient runtime threads the
+                 noise monitor through every top-level iteration.  The
+                 monitor consumes no RNG and never fires while headroom
+                 stays above the rescue margin, so on a quiet program this
+                 is bit-identical to the unmonitored run. *)
+              let module Recover =
+                Halo_runtime.Resilient.Make (Halo_ckks.Ref_backend)
+              in
+              let stats = Halo_runtime.Stats.create () in
+              let exec prog =
+                let st =
+                  Halo_ckks.Ref_backend.create ~slots:p.slots
+                    ~max_level:prog.Ir.max_level ~scale_bits:51 ()
+                in
+                let threshold =
+                  Noise_budget.threshold ~margin:guard_margin
+                    (Halo_runtime.Guard.analyze prog)
+                in
+                let mcfg =
+                  Halo_runtime.Noise_monitor.config ~rescue_margin
+                    ~max_rescues ~threshold ()
+                in
+                let monitor = Recover.M.create ~cfg:mcfg ~stats () in
+                match Recover.run ~monitor ~stats st ~bindings ~inputs prog with
+                | Recover.Complete { outputs; _ } -> outputs
+                | Recover.Degraded d ->
+                  failwith ("degraded: " ^ Recover.degraded_to_string d)
+              in
+              let verdict prog outs =
+                let reference, _ =
+                  Ref.run
+                    (Halo_ckks.Ref_backend.create ~enc_noise:0.0
+                       ~mult_noise:0.0 ~boot_noise:0.0 ~rescale_noise:0.0
+                       ~slots:p.slots ~max_level:prog.Ir.max_level
+                       ~scale_bits:51 ())
+                    ~bindings ~inputs prog
+                in
+                Halo_runtime.Guard.check ~margin:guard_margin prog ~reference
+                  ~observed:outs
+              in
+              let outs = exec compiled in
+              if not guard then (outs, stats, None)
+              else
+                match verdict compiled outs with
+                | Halo_runtime.Guard.Breach _ as v -> (
+                  (* The triggering breach counts exactly once, even though
+                     the replanned run is guarded again below. *)
+                  Halo_runtime.Stats.record_guard_trip stats;
+                  match Strategy.safer strategy with
+                  | None -> (outs, stats, Some v)
+                  | Some s ->
+                    Printf.printf "  noise guard: %s\n"
+                      (Halo_runtime.Guard.verdict_to_string v);
+                    Printf.printf "  replanning under %s\n"
+                      (Strategy.to_string s);
+                    let replanned =
+                      Strategy.compile ~bindings ~rotate_fuse:(not no_fuse)
+                        ~lazy_switch:(not no_lazy) ~strategy:s p
+                    in
+                    Halo_runtime.Stats.record_replan stats;
+                    let outs = exec replanned in
+                    (outs, stats, Some (verdict replanned outs)))
+                | v -> (outs, stats, Some v)
+            end
+            else if guard then
               let o, s, v =
-                Halo_runtime.Guard.run_ref ~bindings ~inputs compiled
+                Halo_runtime.Guard.run_ref ~margin:guard_margin ~bindings
+                  ~inputs compiled
               in
               (o, s, Some v)
             else
-              let module Ref = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend) in
               let st =
                 Halo_ckks.Ref_backend.create ~slots:p.slots
                   ~max_level:p.max_level ~scale_bits:51 ()
@@ -414,7 +528,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute with random inputs on the reference backend.")
     Term.(
       const run $ file_arg $ strategy_arg $ bindings_arg $ no_rotate_fuse_arg
-      $ no_lazy_switch_arg $ seed_arg $ guard_arg $ checkpoint_dir_arg
+      $ no_lazy_switch_arg $ seed_arg $ guard_arg $ guard_margin_arg
+      $ rescue_arg $ rescue_margin_arg $ max_rescues_arg $ checkpoint_dir_arg
       $ every_arg $ retain_arg $ guard_every_arg $ kill_after_arg $ out_arg)
 
 let resume_cmd =
@@ -598,9 +713,9 @@ module Server = Halo_serve.Server
 module Tenant = Halo_serve.Tenant
 module Workload = Halo_serve.Workload
 
-let serve_config ?(sup = Halo_serve.Serve_codec.default_sup) ~slots ~max_level
-    ~queue_depth ~batch_window ~lane ~rotate_fuse ~backend_seed ~policy ~faults
-    () =
+let serve_config ?(sup = Halo_serve.Serve_codec.default_sup)
+    ?(margin = Halo_runtime.Guard.margin ()) ~slots ~max_level ~queue_depth
+    ~batch_window ~lane ~rotate_fuse ~backend_seed ~policy ~faults () =
   {
     Halo_serve.Serve_codec.backend =
       {
@@ -610,7 +725,7 @@ let serve_config ?(sup = Halo_serve.Serve_codec.default_sup) ~slots ~max_level
     queue_depth;
     batch_window;
     lane;
-    margin = 10.0;
+    margin;
     rotate_fuse;
     policy;
     faults;
@@ -691,7 +806,8 @@ let serve_cmd =
       dir resume kill_after solo no_fuse fault_rate spike_rate no_retry
       deadline_us ttl_us fallback tenant_threshold program_threshold
       breaker_window cooldown_us quarantine_after poison guard_batches
-      drain_flag key_budget out verbose =
+      guard_margin rescue rescue_margin max_rescues drain_flag key_budget out
+      verbose =
     handle_code (fun () ->
         if resume && dir = None then begin
           Printf.eprintf "serve: --resume requires --dir\n";
@@ -723,11 +839,17 @@ let serve_cmd =
               s_program_threshold = program_threshold;
               s_cooldown_us = cooldown_us;
               s_quarantine_after = quarantine_after;
-              s_guard = guard_batches;
+              (* --rescue implies the per-batch guard: the replan phase
+                 triggers on a Breach status, which only the guard emits. *)
+              s_guard = guard_batches || rescue;
+              s_rescue = rescue;
+              s_rescue_margin = rescue_margin;
+              s_max_rescues = max_rescues;
             }
           in
           let cfg =
-            serve_config ~sup ~slots ~max_level ~queue_depth
+            serve_config ~sup ~margin:guard_margin ~slots ~max_level
+              ~queue_depth
               ~batch_window:(if solo then 1 else batch_window)
               ~lane ~rotate_fuse:(not no_fuse) ~backend_seed:(0xB00 + seed)
               ~policy:
@@ -1040,8 +1162,9 @@ let serve_cmd =
       $ fault_rate_arg $ spike_rate_arg $ no_retry_arg $ deadline_us_arg
       $ ttl_us_arg $ fallback_arg $ tenant_threshold_arg
       $ program_threshold_arg $ breaker_window_arg $ cooldown_us_arg
-      $ quarantine_after_arg $ poison_arg $ guard_batches_arg $ drain_arg
-      $ key_budget_arg $ out_arg $ verbose_arg)
+      $ quarantine_after_arg $ poison_arg $ guard_batches_arg
+      $ guard_margin_arg $ rescue_arg $ rescue_margin_arg $ max_rescues_arg
+      $ drain_arg $ key_budget_arg $ out_arg $ verbose_arg)
 
 (* Serving crash soak: the PR 4 kill/resume discipline applied to the
    serving layer.  Each trial serves a seeded workload to completion (the
@@ -1146,6 +1269,10 @@ let crash_soak (b : Halo_ml.Bench_def.t) ~strategy ~iters ~size ~trials ~seed
         every_n = 1;
         retain = 4;
         guard_every = 0;
+        guard_margin = Halo_runtime.Guard.margin ();
+        rescue = false;
+        rescue_margin = Halo_runtime.Noise_monitor.default_rescue_margin;
+        max_rescues = Halo_runtime.Noise_monitor.default_max_rescues;
       }
     in
     let dir_a = Filename.concat dir (Printf.sprintf "trial%d-baseline" trial) in
@@ -1198,7 +1325,8 @@ let soak_cmd =
   let module Recover = Halo_runtime.Resilient.Make (Faulty) in
   let module Ref = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend) in
   let run serve name strategy iters size trials seed fault_rate boot_rate
-      spike_rate no_retry max_attempts kill_after checkpoint_dir verbose =
+      spike_rate spike_magnitude no_retry max_attempts kill_after
+      checkpoint_dir guard_margin rescue rescue_margin max_rescues verbose =
     if serve then begin
       let k = Option.value kill_after ~default:1 in
       let dir =
@@ -1249,11 +1377,12 @@ let soak_cmd =
       in
       Printf.printf
         "soak %s under %s: %d trials, %d iterations, %d samples, fault rate \
-         %g (bootstrap %g, spike %g)%s\n"
+         %g (bootstrap %g, spike %g)%s%s\n"
         b.name
         (Strategy.to_string strategy)
         trials iters size fault_rate boot_rate spike_rate
-        (if no_retry then " [retries disabled]" else "");
+        (if no_retry then " [retries disabled]" else "")
+        (if rescue then " [rescue enabled]" else "");
       let recovered = ref 0 in
       let total = Stats.create () in
       for trial = 0 to trials - 1 do
@@ -1273,7 +1402,7 @@ let soak_cmd =
           Faulty.wrap
             ~on_fault:(fun _ -> Stats.record_fault stats)
             (Faults.config ~transient_prob:fault_rate ~bootstrap_prob:boot_rate
-               ~spike_prob:spike_rate
+               ~spike_prob:spike_rate ~spike_magnitude
                ~seed:((seed * 7919) + trial)
                ())
             (Halo_ckks.Ref_backend.create ~seed:(1000 + trial) ~slots
@@ -1286,11 +1415,79 @@ let soak_cmd =
               trial outcome stats.Stats.injected_faults stats.Stats.retries
               stats.Stats.checkpoint_restores detail
         in
-        (match Recover.run ~policy ~stats st ~bindings ~inputs compiled with
+        (* Runtime noise monitor: same threshold the decrypt-time guard
+           below checks against, so a rescue fires exactly when an injected
+           spike (or genuine drift) eats into the guarded headroom. *)
+        let monitor =
+          if not rescue then None
+          else begin
+            let threshold =
+              Noise_budget.threshold ~margin:guard_margin
+                (Guard.analyze compiled)
+            in
+            let mcfg =
+              Halo_runtime.Noise_monitor.config ~rescue_margin ~max_rescues
+                ~threshold ()
+            in
+            Some (Recover.M.create ~cfg:mcfg ~stats ())
+          end
+        in
+        (* Conservative replan: a run that still breaches after rescue is
+           re-executed once under the next-safer strategy on a fresh,
+           fault-free backend (the injector models this trial's hostile
+           environment; the replan models handing the request to a healthy
+           executor), guarded against the replanned program's own
+           noiseless reference. *)
+        let replan v =
+          match Strategy.safer strategy with
+          | Some s when rescue ->
+            (* The triggering breach counts exactly once, even though the
+               replanned run is guarded again. *)
+            Stats.record_guard_trip stats;
+            let replanned =
+              Strategy.compile ~bindings ~strategy:s (b.build ~slots ~size)
+            in
+            let noiseless = Some 0.0 in
+            let clean2, _ =
+              Ref.run
+                (Halo_ckks.Ref_backend.create ?enc_noise:noiseless
+                   ?mult_noise:noiseless ?boot_noise:noiseless
+                   ?rescale_noise:noiseless ~slots
+                   ~max_level:replanned.Ir.max_level ~scale_bits:51 ())
+                ~bindings ~inputs replanned
+            in
+            Stats.record_replan stats;
+            let outs2, rstats =
+              Ref.run
+                (Halo_ckks.Ref_backend.create ~seed:(1000 + trial) ~slots
+                   ~max_level:replanned.Ir.max_level ~scale_bits:51 ())
+                ~bindings ~inputs replanned
+            in
+            Stats.merge ~into:stats rstats;
+            (match
+               Guard.check ~margin:guard_margin replanned ~reference:clean2
+                 ~observed:outs2
+             with
+             | Guard.Breach _ as v2 ->
+               report "guard breach"
+                 (" after replan " ^ Guard.verdict_to_string v2)
+             | v2 ->
+               incr recovered;
+               report "recovered"
+                 (Printf.sprintf " replanned under %s, guard: %s"
+                    (Strategy.to_string s)
+                    (Guard.verdict_to_string v2)))
+          | _ -> report "guard breach" (" " ^ Guard.verdict_to_string v)
+        in
+        (match Recover.run ~policy ?monitor ~stats st ~bindings ~inputs
+                 compiled
+         with
          | Recover.Complete { outputs; _ } -> (
-           match Guard.check compiled ~reference:clean ~observed:outputs with
-           | Guard.Breach _ as v ->
-             report "guard breach" (" " ^ Guard.verdict_to_string v)
+           match
+             Guard.check ~margin:guard_margin compiled ~reference:clean
+               ~observed:outputs
+           with
+           | Guard.Breach _ as v -> replan v
            | v ->
              incr recovered;
              report "recovered" (" guard: " ^ Guard.verdict_to_string v))
@@ -1301,7 +1498,13 @@ let soak_cmd =
         total.Stats.retries <- total.Stats.retries + stats.Stats.retries;
         total.Stats.checkpoint_restores <-
           total.Stats.checkpoint_restores + stats.Stats.checkpoint_restores;
-        total.Stats.backoff_us <- total.Stats.backoff_us +. stats.Stats.backoff_us
+        total.Stats.backoff_us <- total.Stats.backoff_us +. stats.Stats.backoff_us;
+        total.Stats.rescues <- total.Stats.rescues + stats.Stats.rescues;
+        total.Stats.rescue_aborts <-
+          total.Stats.rescue_aborts + stats.Stats.rescue_aborts;
+        total.Stats.replans <- total.Stats.replans + stats.Stats.replans;
+        total.Stats.guard_trips <-
+          total.Stats.guard_trips + stats.Stats.guard_trips
       done;
       Printf.printf
         "recovered %d/%d trials (%.1f%%); %d faults injected, %d retries, %d \
@@ -1311,6 +1514,12 @@ let soak_cmd =
         total.Stats.injected_faults total.Stats.retries
         total.Stats.checkpoint_restores
         (total.Stats.backoff_us /. 1000.0);
+      if rescue then
+        Printf.printf
+          "rescue telemetry: rescues=%d rescue_aborts=%d replans=%d \
+           guard_trips=%d\n"
+          total.Stats.rescues total.Stats.rescue_aborts total.Stats.replans
+          total.Stats.guard_trips;
       if !recovered = trials then 0 else 1
   in
   let serve_arg =
@@ -1354,6 +1563,14 @@ let soak_cmd =
       value & opt float 0.0
       & info [ "spike-rate" ] ~docv:"P"
           ~doc:"Silent noise-spike probability (caught by the guard only).")
+  in
+  let spike_magnitude_arg =
+    Arg.(
+      value & opt float 1e-4
+      & info [ "spike-magnitude" ] ~docv:"M"
+          ~doc:
+            "Noise-spike amplitude added to the payload (and to the \
+             telemetry bound the runtime monitor watches).")
   in
   let no_retry_arg =
     Arg.(
@@ -1400,8 +1617,9 @@ let soak_cmd =
     Term.(
       const run $ serve_arg $ name_arg $ strategy_arg $ iters_arg $ size_arg
       $ trials_arg $ seed_arg $ fault_rate_arg $ boot_rate_arg
-      $ spike_rate_arg $ no_retry_arg $ max_attempts_arg $ kill_after_arg
-      $ checkpoint_dir_arg $ verbose_arg)
+      $ spike_rate_arg $ spike_magnitude_arg $ no_retry_arg $ max_attempts_arg
+      $ kill_after_arg $ checkpoint_dir_arg $ guard_margin_arg $ rescue_arg
+      $ rescue_margin_arg $ max_rescues_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Chaos soak: supervised serving under poisoned tenants, seeded        *)
@@ -1415,8 +1633,9 @@ let soak_cmd =
    healthy tenant.  Everything is asserted in virtual time, so the whole
    soak is reproducible from the seed. *)
 let chaos_soak ~trials ~rounds ~clients ~per_client ~seed ~dir ~kill_after
-    ~fault_rate ~tenant_threshold ~program_threshold ~cooldown_us
-    ~quarantine_after ~max_latency_us ~verbose =
+    ~fault_rate ~spike_rate ~spike_magnitude ~rescue ~tenant_threshold
+    ~program_threshold ~cooldown_us ~quarantine_after ~max_latency_us ~verbose
+    =
   let module Serve_codec = Halo_serve.Serve_codec in
   let slots = 64 and max_level = 16 and lane = 8 in
   let sup =
@@ -1427,6 +1646,10 @@ let chaos_soak ~trials ~rounds ~clients ~per_client ~seed ~dir ~kill_after
       s_program_threshold = program_threshold;
       s_cooldown_us = cooldown_us;
       s_quarantine_after = quarantine_after;
+      (* --rescue implies the per-batch guard: the replan phase triggers on
+         a Breach status, which only the guard emits. *)
+      s_guard = rescue;
+      s_rescue = rescue;
     }
   in
   let programs = Workload.programs ~slots ~max_level ~iters:3 in
@@ -1441,8 +1664,8 @@ let chaos_soak ~trials ~rounds ~clients ~per_client ~seed ~dir ~kill_after
              Serve_codec.f_seed = (seed * 7919) + trial;
              f_transient = fault_rate;
              f_bootstrap = fault_rate;
-             f_spike = 0.0;
-             f_magnitude = 1e-4;
+             f_spike = spike_rate;
+             f_magnitude = spike_magnitude;
              f_poison = [ 0 ];
            })
       ()
@@ -1536,9 +1759,12 @@ let chaos_soak ~trials ~rounds ~clients ~per_client ~seed ~dir ~kill_after
       = Halo_runtime.Stats.to_string (Server.stats b)
     in
     let same_quarantine = Server.quarantine a = Server.quarantine b in
+    (* Under --rescue, injected noise spikes can push a healthy tenant's
+       solo replans over the breach threshold too — deterministically, so
+       both runs agree — hence only the poisoned tenant is required. *)
     let quarantine_converged =
       List.mem_assoc 0 (Server.quarantine a)
-      && List.length (Server.quarantine a) = 1
+      && (rescue || List.length (Server.quarantine a) = 1)
     in
     let same_supervision =
       ca.Server.expired = cb.Server.expired
@@ -1573,22 +1799,46 @@ let chaos_soak ~trials ~rounds ~clients ~per_client ~seed ~dir ~kill_after
           ca.Server.breaker_opens ca.Server.breaker_closes
           ca.Server.breaker_reopens (Server.max_latency_us a)
     end
-    else
+    else begin
       Printf.printf
         "  trial %2d: FAILED (lost: %b, outputs: %b, stats: %b, quarantine: \
          %b/%b, supervision: %b, transitions: %b, clock: %b, latency: %b, \
          tail: %b)\n"
         trial (not no_lost) same_opened same_stats same_quarantine
         quarantine_converged same_supervision transitions same_clock
-        same_latency tail_bounded
+        same_latency tail_bounded;
+      if verbose then begin
+        let pr name (s : Server.t) (c : Server.counters) =
+          Printf.printf
+            "    %s: accepted=%d served=%d failed=%d expired=%d fb=%d \
+             opens=%d closes=%d reopens=%d clock=%d quarantine=[%s]\n"
+            name c.Server.accepted c.Server.served c.Server.failed
+            c.Server.expired c.Server.fallback_requests c.Server.breaker_opens
+            c.Server.breaker_closes c.Server.breaker_reopens
+            (Server.clock_us s)
+            (String.concat ";"
+               (List.map
+                  (fun (t, r) -> Printf.sprintf "%d<-%d" t r)
+                  (Server.quarantine s)))
+        in
+        pr "baseline" a ca;
+        pr "chaos   " b cb;
+        List.iter2
+          (fun (ra, la) (rb, lb) ->
+            if ra <> rb || la <> lb then
+              Printf.printf "    latency req %d: %dus vs req %d: %dus\n" ra la
+                rb lb)
+          (Server.latencies a) (Server.latencies b)
+      end
+    end
   done;
   Printf.printf "survived %d/%d chaos trials bit-identically\n" !ok trials;
   if !ok = trials then 0 else 1
 
 let chaos_cmd =
   let run trials rounds clients per_client seed dir kill_after fault_rate
-      tenant_threshold program_threshold cooldown_us quarantine_after
-      max_latency_us verbose =
+      spike_rate spike_magnitude rescue tenant_threshold program_threshold
+      cooldown_us quarantine_after max_latency_us verbose =
     let dir =
       match dir with
       | Some d -> d
@@ -1599,8 +1849,9 @@ let chaos_cmd =
     in
     handle_code (fun () ->
         chaos_soak ~trials ~rounds ~clients ~per_client ~seed ~dir ~kill_after
-          ~fault_rate ~tenant_threshold ~program_threshold ~cooldown_us
-          ~quarantine_after ~max_latency_us ~verbose)
+          ~fault_rate ~spike_rate ~spike_magnitude ~rescue ~tenant_threshold
+          ~program_threshold ~cooldown_us ~quarantine_after ~max_latency_us
+          ~verbose)
   in
   let trials_arg =
     Arg.(
@@ -1649,6 +1900,32 @@ let chaos_cmd =
             "Per-op transient and bootstrap fault probability on top of \
              the poisoned tenant.")
   in
+  let spike_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "spike-rate" ] ~docv:"P"
+          ~doc:
+            "Silent noise-spike probability on the serving backend; pair \
+             with $(b,--rescue) so the runtime monitor can see the spikes.")
+  in
+  let spike_magnitude_arg =
+    Arg.(
+      value & opt float 1e-3
+      & info [ "spike-magnitude" ] ~docv:"M"
+          ~doc:
+            "Noise-spike amplitude; the default is far past the guard \
+             bound, so every spiked batch breaches and exercises the \
+             rescue/replan ladder.")
+  in
+  let chaos_rescue_arg =
+    Arg.(
+      value & flag
+      & info [ "rescue" ]
+          ~doc:
+            "Enable the per-batch guard, the runtime noise monitor and the \
+             replan phase; the kill/resume assertion then also covers the \
+             rescue and replan sequence.")
+  in
   let tenant_threshold_arg =
     Arg.(value & opt int 2 & info [ "tenant-threshold" ] ~docv:"N")
   in
@@ -1688,9 +1965,10 @@ let chaos_cmd =
           virtual time.  Exits non-zero unless every trial survives.")
     Term.(
       const run $ trials_arg $ rounds_arg $ clients_arg $ per_client_arg
-      $ seed_arg $ dir_arg $ kill_after_arg $ fault_rate_arg
-      $ tenant_threshold_arg $ program_threshold_arg $ cooldown_us_arg
-      $ quarantine_after_arg $ max_latency_us_arg $ verbose_arg)
+      $ seed_arg $ dir_arg $ kill_after_arg $ fault_rate_arg $ spike_rate_arg
+      $ spike_magnitude_arg $ chaos_rescue_arg $ tenant_threshold_arg
+      $ program_threshold_arg $ cooldown_us_arg $ quarantine_after_arg
+      $ max_latency_us_arg $ verbose_arg)
 
 let () =
   let info =

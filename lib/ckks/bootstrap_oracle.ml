@@ -14,4 +14,9 @@ let bootstrap ?(noise_sigma = 1e-5) (keys : Keys.t) ct ~target =
       Array.map (fun v -> v +. gauss ()) values
     end
   in
-  Eval.encrypt_sym keys ~level:target noisy
+  let r = Eval.encrypt_sym keys ~level:target noisy in
+  (* The oracle's output error is the bootstrap unit, not a fresh
+     encryption's — keep the runtime estimate aligned with the static
+     model's Bootstrap rule. *)
+  Eval.set_noise_est r Halo_cost.Noise_units.(default.bootstrap);
+  r

@@ -11,12 +11,30 @@ type ct = {
          [c0]) keep it live.  The single-word store is atomic in OCaml, so
          a concurrent race costs at worst one redundant (bit-identical)
          recompute, never a wrong result. *)
+  mutable noise_est : float;
+      (* interval-style upper bound on the relative error, mirroring the
+         static model's per-op rules over Halo_cost.Noise_units so runtime
+         and static views are directly comparable.  Pure bookkeeping: no
+         RNG, no effect on the polynomials. *)
 }
+
+let units = Halo_cost.Noise_units.default
 
 let level ct = Rns_poly.level ct.c0
 let scale ct = ct.scale
-let mk c0 c1 scale = { c0; c1; scale; digits = None }
+let mk c0 c1 scale = { c0; c1; scale; digits = None; noise_est = 0.0 }
 let of_parts ~c0 ~c1 ~scale = mk c0 c1 scale
+
+let noised n ct =
+  ct.noise_est <- n;
+  ct
+
+let noise_est ct = ct.noise_est
+let set_noise_est ct n = ct.noise_est <- n
+
+(* Functional copy keeps the same [c1] object, so a carried digit memo
+   stays valid across the inflation. *)
+let inflate_noise ct ~by = { ct with noise_est = ct.noise_est +. by }
 
 let digit_cache_enabled =
   ref
@@ -67,7 +85,7 @@ let encrypt_sym (keys : Keys.t) ~level values =
   let c0 =
     Rns_poly.add params (Rns_poly.add params (Rns_poly.neg params (Rns_poly.mul params a s)) m) e
   in
-  mk c0 a params.scale
+  noised units.enc (mk c0 a params.scale)
 
 let encrypt (keys : Keys.t) ~level values =
   let params = keys.params in
@@ -92,7 +110,7 @@ let encrypt (keys : Keys.t) ~level values =
     Rns_poly.add params (Rns_poly.add params (Rns_poly.mul params v pk0) m) e0
   in
   let c1 = Rns_poly.add params (Rns_poly.mul params v pk1) e1 in
-  mk c0 c1 params.scale
+  noised units.enc (mk c0 c1 params.scale)
 
 let decrypt_poly (keys : Keys.t) ct =
   let params = keys.params in
@@ -119,13 +137,17 @@ let addcc (keys : Keys.t) a b =
   check_levels "addcc" a b;
   check_scales "addcc" a b;
   let p = keys.params in
-  mk (Rns_poly.add p a.c0 b.c0) (Rns_poly.add p a.c1 b.c1) a.scale
+  noised
+    (Float.max a.noise_est b.noise_est)
+    (mk (Rns_poly.add p a.c0 b.c0) (Rns_poly.add p a.c1 b.c1) a.scale)
 
 let subcc (keys : Keys.t) a b =
   check_levels "subcc" a b;
   check_scales "subcc" a b;
   let p = keys.params in
-  mk (Rns_poly.sub p a.c0 b.c0) (Rns_poly.sub p a.c1 b.c1) a.scale
+  noised
+    (Float.max a.noise_est b.noise_est)
+    (mk (Rns_poly.sub p a.c0 b.c0) (Rns_poly.sub p a.c1 b.c1) a.scale)
 
 let addcp (keys : Keys.t) a values =
   let params = keys.params in
@@ -144,7 +166,9 @@ let multcc (keys : Keys.t) a b =
   let d1 = Rns_poly.add p (Rns_poly.mul p a0 b1) (Rns_poly.mul p a1 b0) in
   let d2 = Rns_poly.mul p a1 b1 in
   let u0, u1 = Keys.key_switch keys (Keys.relin_key keys) d2 in
-  mk (Rns_poly.add p d0 u0) (Rns_poly.add p d1 u1) (a.scale *. b.scale)
+  noised
+    (a.noise_est +. b.noise_est +. units.keyswitch)
+    (mk (Rns_poly.add p d0 u0) (Rns_poly.add p d1 u1) (a.scale *. b.scale))
 
 let multcp (keys : Keys.t) a values =
   let params = keys.params in
@@ -153,8 +177,10 @@ let multcp (keys : Keys.t) a values =
     Rns_poly.to_eval params
       (Encoding.encode_real params ~level:(level a) ~scale:params.scale values)
   in
-  mk (Rns_poly.mul params a.c0 m) (Rns_poly.mul params a.c1 m)
-    (a.scale *. params.scale)
+  noised
+    (a.noise_est +. units.keyswitch)
+    (mk (Rns_poly.mul params a.c0 m) (Rns_poly.mul params a.c1 m)
+       (a.scale *. params.scale))
 
 (* Every rotation key-switches against the digit decomposition of the
    unrotated [c1], with the Galois automorphism fused into the inner
@@ -172,7 +198,9 @@ let rotate (keys : Keys.t) a ~offset =
     let dec = decompose_cached keys a in
     let r0 = Rns_poly.automorphism params ~k a.c0 in
     let u0, u1 = Keys.apply_rotated keys sk ~k dec in
-    mk (Rns_poly.add params r0 u0) u1 a.scale
+    noised
+      (a.noise_est +. units.keyswitch)
+      (mk (Rns_poly.add params r0 u0) u1 a.scale)
   end
 
 (* Hoisted rotations: one decomposition of [c1] (possibly already memoized
@@ -198,7 +226,9 @@ let rotate_many (keys : Keys.t) a ~offsets =
           let k = Keys.galois_element params ~offset in
           let r0 = Rns_poly.automorphism params ~k a.c0 in
           let u0, u1 = Keys.apply_rotated keys sk ~k dec in
-          mk (Rns_poly.add params r0 u0) u1 a.scale)
+          noised
+            (a.noise_est +. units.keyswitch)
+            (mk (Rns_poly.add params r0 u0) u1 a.scale))
       offsets sks
   end
 
@@ -209,7 +239,9 @@ let conjugate (keys : Keys.t) a =
   let dec = decompose_cached keys a in
   let r0 = Rns_poly.automorphism params ~k a.c0 in
   let u0, u1 = Keys.apply_rotated keys sk ~k dec in
-  mk (Rns_poly.add params r0 u0) u1 a.scale
+  noised
+    (a.noise_est +. units.keyswitch)
+    (mk (Rns_poly.add params r0 u0) u1 a.scale)
 
 let multcp_complex (keys : Keys.t) a values =
   let params = keys.params in
@@ -217,16 +249,20 @@ let multcp_complex (keys : Keys.t) a values =
     Rns_poly.to_eval params
       (Encoding.encode params ~level:(level a) ~scale:params.scale values)
   in
-  mk (Rns_poly.mul params a.c0 m) (Rns_poly.mul params a.c1 m)
-    (a.scale *. params.scale)
+  noised
+    (a.noise_est +. units.keyswitch)
+    (mk (Rns_poly.mul params a.c0 m) (Rns_poly.mul params a.c1 m)
+       (a.scale *. params.scale))
 
 let rescale (keys : Keys.t) a =
   let params = keys.params in
   let dropped = Params.modulus_at params ~level:(level a) in
-  mk
-    (Rns_poly.rescale_last params a.c0)
-    (Rns_poly.rescale_last params a.c1)
-    (a.scale /. float_of_int dropped)
+  noised
+    (a.noise_est +. units.rescale)
+    (mk
+       (Rns_poly.rescale_last params a.c0)
+       (Rns_poly.rescale_last params a.c1)
+       (a.scale /. float_of_int dropped))
 
 let modswitch (keys : Keys.t) a ~down =
   if down < 0 then invalid_arg "Eval.modswitch: negative";
@@ -254,8 +290,10 @@ let multcp_exact (keys : Keys.t) a values ~target =
       (Encoding.encode_real params ~level:l ~scale:encode_scale values)
   in
   let product =
-    mk (Rns_poly.mul params a.c0 m) (Rns_poly.mul params a.c1 m)
-      (a.scale *. encode_scale)
+    noised
+      (a.noise_est +. units.keyswitch)
+      (mk (Rns_poly.mul params a.c0 m) (Rns_poly.mul params a.c1 m)
+         (a.scale *. encode_scale))
   in
   let r = rescale keys product in
   (* Floating bookkeeping can be off by one ulp; pin the target. *)
@@ -367,11 +405,20 @@ let rot_sum (keys : Keys.t) ?mode a ~terms =
       let c1 = match !q1 with None -> u1 | Some q -> Rns_poly.add params q u1 in
       (c0, c1)
   in
+  (* Same bound as the static RotSum rule: one key switch if any member
+     rotates, plus (for weighted groups) one plaintext multiply's
+     key-switch term and the single absorbed rescale. *)
+  let est =
+    a.noise_est
+    +. (if has_rotation then units.keyswitch else 0.0)
+    +. if with_coeffs then units.keyswitch +. units.rescale else 0.0
+  in
   if with_coeffs then begin
     let dropped = Params.modulus_at params ~level:l in
-    mk
-      (Rns_poly.rescale_last params c0)
-      (Rns_poly.rescale_last params c1)
-      (a.scale *. params.scale /. float_of_int dropped)
+    noised est
+      (mk
+         (Rns_poly.rescale_last params c0)
+         (Rns_poly.rescale_last params c1)
+         (a.scale *. params.scale /. float_of_int dropped))
   end
-  else mk c0 c1 a.scale
+  else noised est (mk c0 c1 a.scale)

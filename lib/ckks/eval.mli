@@ -15,10 +15,27 @@ type ct = private {
       (** cross-op digit memo: the mod-up decomposition of [c1] tagged with
           the [c1] object it was computed from; valid only while the tag is
           physically equal to the current [c1] (see {!set_digit_cache}) *)
+  mutable noise_est : float;
+      (** interval-style upper bound on the relative error, updated by
+          every op with {!Halo_cost.Noise_units.default}'s per-op rules so
+          it is directly comparable to the static {!Noise_budget} bound *)
 }
 
 val level : ct -> int
 val scale : ct -> float
+
+val noise_est : ct -> float
+(** The running noise upper bound (pure bookkeeping, never consumes RNG). *)
+
+val set_noise_est : ct -> float -> unit
+(** Overwrite the bound in place — used by the bootstrapping oracle (whose
+    result noise is the bootstrap unit, not a fresh encryption's) and by
+    the persistence codec when reassembling checkpointed ciphertexts. *)
+
+val inflate_noise : ct -> by:float -> ct
+(** Functional copy with [by] added to the bound; the payload (and any
+    carried digit memo) is untouched.  Fault injection uses this to make
+    silent noise spikes visible to the runtime monitor. *)
 
 val of_parts : c0:Rns_poly.t -> c1:Rns_poly.t -> scale:float -> ct
 (** Assemble a ciphertext from raw polynomials (used by the bootstrapping

@@ -1,4 +1,15 @@
-type ct = { data : float array; ct_level : int; scale_bits : float }
+type ct = {
+  data : float array;
+  ct_level : int;
+  scale_bits : float;
+  noise_est : float;
+      (* Interval-style upper bound on the relative error, updated by every
+         op with the same unit table as the static model
+         ({!Halo_cost.Noise_units}).  Never consumes RNG, so threading it
+         cannot perturb the noise stream. *)
+}
+
+let units = Halo_cost.Noise_units.default
 
 type state = {
   slots : int;
@@ -32,7 +43,11 @@ let max_level st = st.max_level
 let level _st ct = ct.ct_level
 let rng_state st = Random.State.copy st.rng
 let set_rng_state st rng = st.rng <- Random.State.copy rng
-let make_ct ~data ~level ~scale_bits = { data; ct_level = level; scale_bits }
+let make_ct ?(noise_est = 0.0) ~data ~level ~scale_bits () =
+  { data; ct_level = level; scale_bits; noise_est }
+
+let noise_estimate _st ct = ct.noise_est
+let inflate_noise _st ct ~by = { ct with noise_est = ct.noise_est +. by }
 
 let fail op ?level fmt =
   Printf.ksprintf
@@ -70,17 +85,30 @@ let encrypt st ~level values =
   if level < 1 || level > st.max_level then
     fail "encrypt" ~level "level out of range (max %d)" st.max_level;
   let data = Array.map (fun v -> v +. gaussian st st.enc_noise) (pad st values) in
-  { data; ct_level = level; scale_bits = st.default_scale_bits }
+  {
+    data;
+    ct_level = level;
+    scale_bits = st.default_scale_bits;
+    noise_est = units.enc;
+  }
 
 let decrypt _st ct = Array.copy ct.data
 
 let addcc _st a b =
   check_match "addcc" a b;
-  { a with data = Array.map2 ( +. ) a.data b.data }
+  {
+    a with
+    data = Array.map2 ( +. ) a.data b.data;
+    noise_est = Float.max a.noise_est b.noise_est;
+  }
 
 let subcc _st a b =
   check_match "subcc" a b;
-  { a with data = Array.map2 ( -. ) a.data b.data }
+  {
+    a with
+    data = Array.map2 ( -. ) a.data b.data;
+    noise_est = Float.max a.noise_est b.noise_est;
+  }
 
 let addcp st a values =
   check_level "addcp" a 1;
@@ -98,6 +126,7 @@ let multcc st a b =
     a with
     data = Array.map2 (fun x y -> noisy (x *. y)) a.data b.data;
     scale_bits = a.scale_bits +. b.scale_bits;
+    noise_est = a.noise_est +. b.noise_est +. units.keyswitch;
   }
 
 let multcp st a values =
@@ -107,13 +136,19 @@ let multcp st a values =
     a with
     data = Array.map2 (fun x y -> noisy (x *. y)) a.data (pad st values);
     scale_bits = a.scale_bits +. st.default_scale_bits;
+    noise_est = a.noise_est +. units.keyswitch;
   }
 
 let rotate st a ~offset =
   check_level "rotate" a 1;
   let n = st.slots in
   let shift = ((offset mod n) + n) mod n in
-  { a with data = Array.init n (fun i -> a.data.((i + shift) mod n)) }
+  let ks = if offset = 0 then 0.0 else units.keyswitch in
+  {
+    a with
+    data = Array.init n (fun i -> a.data.((i + shift) mod n));
+    noise_est = a.noise_est +. ks;
+  }
 
 (* Cleartext rotations have no shared key-switch work to hoist: the grouped
    form is exactly the sequence of single rotates (which consume no RNG, so
@@ -129,6 +164,7 @@ let rescale st a =
     data;
     ct_level = a.ct_level - 1;
     scale_bits = a.scale_bits -. st.default_scale_bits;
+    noise_est = a.noise_est +. units.rescale;
   }
 
 (* Fused rotate-and-sum evaluates the exact unfused sequence — rotations
@@ -161,6 +197,7 @@ let bootstrap st a ~target =
     data = Array.map (fun v -> v +. gaussian st st.boot_noise) a.data;
     ct_level = target;
     scale_bits = st.default_scale_bits;
+    noise_est = units.bootstrap;
   }
 
 let negate _st a = { a with data = Array.map Float.neg a.data }

@@ -16,6 +16,10 @@ type ct = private {
   data : float array;
   ct_level : int;
   scale_bits : float;  (** log2 of the ciphertext scale *)
+  noise_est : float;
+      (** interval-style upper bound on the relative error, updated by
+          every op with {!Halo_cost.Noise_units.default} so it is directly
+          comparable to the static {!Halo.Noise_budget} bound *)
 }
 
 type state
@@ -52,9 +56,20 @@ val rng_state : state -> Random.State.t
 val set_rng_state : state -> Random.State.t -> unit
 (** Reinstall a snapshot taken by {!rng_state} (the argument is copied). *)
 
-val make_ct : data:float array -> level:int -> scale_bits:float -> ct
+val make_ct :
+  ?noise_est:float -> data:float array -> level:int -> scale_bits:float ->
+  unit -> ct
 (** Reassemble a ciphertext from its serialized parts (codec hook for
-    [Halo_persist]; takes ownership of [data]). *)
+    [Halo_persist]; takes ownership of [data]).  [noise_est] defaults to
+    [0.0] for frames written before the estimator existed. *)
+
+val noise_estimate : state -> ct -> float
+(** The ciphertext's running noise upper bound (never consumes RNG). *)
+
+val inflate_noise : state -> ct -> by:float -> ct
+(** Add [by] to the ciphertext's noise bound without touching its payload —
+    the hook fault injection uses to make silent corruption visible to the
+    runtime monitor. *)
 
 val encrypt : state -> level:int -> float array -> ct
 val decrypt : state -> ct -> float array

@@ -5,10 +5,28 @@ type units = {
   bootstrap : float;
 }
 
-let default_units =
-  { enc = 1e-7; keyswitch = 1e-8; rescale = 1e-8; bootstrap = 1e-5 }
+(* Seeded from the shared unit table so the runtime estimators (which live
+   in [halo_ckks] and cannot see this module) agree with the static model
+   term for term. *)
+let of_shared (u : Halo_cost.Noise_units.t) =
+  {
+    enc = u.Halo_cost.Noise_units.enc;
+    keyswitch = u.keyswitch;
+    rescale = u.rescale;
+    bootstrap = u.bootstrap;
+  }
+
+let default_units = of_shared Halo_cost.Noise_units.default
 
 type report = { per_output : float list; worst : float; bounded : bool }
+
+let threshold ?(units = default_units) ~margin (r : report) =
+  if r.bounded && Float.is_finite r.worst then margin *. r.worst
+  else
+    (* Unbounded programs have no finite whole-run bound; fall back to the
+       steady state of a healthy bootstrapped loop, whose carried noise
+       sits at the bootstrap unit. *)
+    margin *. units.bootstrap
 
 let analyze ?(units = default_units) (p : Ir.program) =
   let bounded = ref true in

@@ -22,8 +22,12 @@ type units = {
 }
 
 val default_units : units
-(** Calibrated to the reference backend's defaults (1e-7 encryption, 1e-5
-    bootstrap, ...). *)
+(** Seeded from {!Halo_cost.Noise_units.default} (1e-7 encryption, 1e-5
+    bootstrap, ...) so the static model and the runtime per-ciphertext
+    estimators use the same unit table. *)
+
+val of_shared : Halo_cost.Noise_units.t -> units
+(** Lift the shared unit table into this module's [units]. *)
 
 type report = {
   per_output : float list;  (** worst-case relative error bound per output *)
@@ -32,3 +36,11 @@ type report = {
 }
 
 val analyze : ?units:units -> Ir.program -> report
+
+val threshold : ?units:units -> margin:float -> report -> float
+(** The largest runtime noise estimate tolerable at decrypt:
+    [margin *. worst] for bounded reports.  Unbounded programs have no
+    finite whole-run bound, so the threshold falls back to
+    [margin *. units.bootstrap] — the steady state of a healthy
+    bootstrapped loop.  The runtime {!Halo_runtime.Noise_monitor} divides
+    this by its rescue margin to decide when to fire. *)

@@ -17,6 +17,18 @@ let of_string = function
   | "halo" -> Some Halo
   | _ -> None
 
+(* Conservative replan ladder: each step disables one noise-amplifying
+   optimization — Halo's target-level tuning first, then unrolling, then
+   packing — and bottoms out at the fully unrolled DaCapo baseline, whose
+   straight-line placement bootstraps most eagerly.  [None] means there is
+   no safer strategy left and the caller must surface the failure. *)
+let safer = function
+  | Halo -> Some Packing_unrolling
+  | Packing_unrolling -> Some Packing
+  | Packing -> Some Type_matched
+  | Type_matched -> Some Dacapo
+  | Dacapo -> None
+
 type milestone = Structure | Leveled | Typed
 
 let milestone_rank = function Structure -> 0 | Leveled -> 1 | Typed -> 2

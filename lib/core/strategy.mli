@@ -19,6 +19,13 @@ val all : t list
 val to_string : t -> string
 val of_string : string -> t option
 
+val safer : t -> t option
+(** The conservative replan ladder: the next-safer strategy to recompile
+    under when a run keeps breaching its noise budget despite rescue
+    bootstraps.  Each step disables one noise-amplifying optimization
+    ([Halo] → [Packing_unrolling] → [Packing] → [Type_matched] →
+    [Dacapo]); [None] at the bottom means nothing safer remains. *)
+
 (** {1 Pass pipeline}
 
     Each strategy is an explicit list of named passes.  [Halo_verify.Pipeline]

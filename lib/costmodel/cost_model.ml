@@ -68,6 +68,17 @@ let bootstrap_latency_us ~target =
   let target = max 1 target in
   positive (interpolate bootstrap_anchors target)
 
+(* A rescue bootstrap is an unplanned bootstrap plus the monitor's
+   bookkeeping: snapshotting the estimate, journaling the rescue frame and
+   re-entering the interpreter.  The overhead is modeled as one modswitch
+   sweep at the rescue target — small against the bootstrap itself, but
+   nonzero so rescued runs are distinguishable in virtual time. *)
+let rescue_overhead_us ~target =
+  positive (interpolate modswitch_anchors (max 1 target))
+
+let rescue_latency_us ~target =
+  bootstrap_latency_us ~target +. rescue_overhead_us ~target
+
 (* ------------------------------------------------------------------ *)
 (* Key-switching decomposition and the rotation-key cache              *)
 (* ------------------------------------------------------------------ *)

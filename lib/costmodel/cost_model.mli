@@ -45,6 +45,15 @@ val latency_us : op -> level:int -> float
     tuning (Solution B-3). *)
 val bootstrap_latency_us : target:int -> float
 
+val rescue_overhead_us : target:int -> float
+(** Monitor bookkeeping charged on top of a rescue bootstrap: estimate
+    snapshot, rescue-frame journaling and interpreter re-entry, modeled as
+    one [modswitch] sweep at the rescue target. *)
+
+val rescue_latency_us : target:int -> float
+(** Total virtual-time cost of one rescue bootstrap at [target]:
+    [bootstrap_latency_us ~target +. rescue_overhead_us ~target]. *)
+
 (** {1 Key-switching decomposition and the rotation-key cache}
 
     A key switch is modeled as three sub-steps whose costs sum to the 0.9x

@@ -1,0 +1,9 @@
+type t = {
+  enc : float;
+  keyswitch : float;
+  rescale : float;
+  bootstrap : float;
+}
+
+let default =
+  { enc = 1e-7; keyswitch = 1e-8; rescale = 1e-8; bootstrap = 1e-5 }

@@ -1,0 +1,23 @@
+(** Per-operation noise contribution units shared between the static
+    analysis ({!Halo.Noise_budget}) and the runtime estimators threaded
+    through the backends ({!Halo_ckks.Ref_backend}, {!Halo_ckks.Eval}).
+
+    Both views use the same interval-style model over relative error:
+    encryption, key switching and rescale rounding each contribute a fixed
+    unit, multiplication adds the operands' bounds plus a key-switch unit,
+    addition takes the larger bound, and bootstrapping resets the bound to
+    its own unit.  Keeping the units in one place (visible from both
+    [halo] and [halo_ckks], which cannot see each other) is what makes the
+    static bound and the runtime estimate directly comparable: on a
+    fault-free run the runtime estimate never exceeds the static bound. *)
+
+type t = {
+  enc : float;  (** fresh encryption *)
+  keyswitch : float;  (** rotation / relinearization *)
+  rescale : float;  (** rounding of one rescale *)
+  bootstrap : float;  (** error of one bootstrap *)
+}
+
+val default : t
+(** Calibrated to the reference backend's defaults (1e-7 encryption, 1e-5
+    bootstrap, ...). *)

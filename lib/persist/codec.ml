@@ -20,8 +20,9 @@ type kind =
   | Serve_quarantine_frame
   | Serve_drain_frame
   | Serve_chaos_frame
+  | Rescue_frame
 
-let format_version = 4
+let format_version = 5
 
 (* Version 3 frames (pre key-cache statistics) remain decodable: the only
    payload difference is the stats record's trailing cache counters, which
@@ -45,6 +46,7 @@ let kind_tag = function
   | Serve_quarantine_frame -> 12
   | Serve_drain_frame -> 13
   | Serve_chaos_frame -> 14
+  | Rescue_frame -> 15
 
 let kind_name = function
   | Rns_poly_frame -> "rns_poly"
@@ -61,6 +63,7 @@ let kind_name = function
   | Serve_quarantine_frame -> "serve quarantine snapshot"
   | Serve_drain_frame -> "serve drain handoff"
   | Serve_chaos_frame -> "chaos soak state"
+  | Rescue_frame -> "rescue record"
 
 (* --- frames ------------------------------------------------------------ *)
 
@@ -193,7 +196,21 @@ let decode_rns (params : Params.t) r =
 let encode_ref_ct b (ct : Ref_backend.ct) =
   Wire.i64 b ct.ct_level;
   Wire.f64 b ct.scale_bits;
-  Wire.float_array b ct.data
+  Wire.float_array b ct.data;
+  Wire.f64 b ct.noise_est
+
+(* The noise estimate arrived with format version 5; version-3/4 frames end
+   the ciphertext here and decode with the estimate at zero (a resumed old
+   run never fires a rescue, exactly as it could not before). *)
+let decode_ct_noise r =
+  if r.Wire.version > 4 then begin
+    let est = Wire.rf64 r in
+    if not (Float.is_finite est) || est < 0.0 then
+      Wire.fail r ~expected:"finite non-negative noise estimate"
+        ~got:(Printf.sprintf "%h" est) "bad noise estimate";
+    est
+  end
+  else 0.0
 
 let decode_ref_ct ~slots ~max_level r =
   let level = Wire.ri64 r in
@@ -208,14 +225,16 @@ let decode_ref_ct ~slots ~max_level r =
       ~expected:(Printf.sprintf "%d slots" slots)
       ~got:(string_of_int (Array.length data))
       "slot count mismatch";
-  Ref_backend.make_ct ~data ~level ~scale_bits
+  let noise_est = decode_ct_noise r in
+  Ref_backend.make_ct ~noise_est ~data ~level ~scale_bits ()
 
 (* --- lattice ciphertexts ------------------------------------------------ *)
 
 let encode_lattice_ct b (ct : Eval.ct) =
   encode_rns b ct.c0;
   encode_rns b ct.c1;
-  Wire.f64 b (Eval.scale ct)
+  Wire.f64 b (Eval.scale ct);
+  Wire.f64 b (Eval.noise_est ct)
 
 let decode_lattice_ct params r =
   let c0 = decode_rns params r in
@@ -229,7 +248,10 @@ let decode_lattice_ct params r =
   if not (Float.is_finite scale) || scale <= 0.0 then
     Wire.fail r ~expected:"positive finite scale"
       ~got:(Printf.sprintf "%h" scale) "bad ciphertext scale";
-  Eval.of_parts ~c0 ~c1 ~scale
+  let noise_est = decode_ct_noise r in
+  let ct = Eval.of_parts ~c0 ~c1 ~scale in
+  Eval.set_noise_est ct noise_est;
+  ct
 
 (* --- RNG snapshots ------------------------------------------------------ *)
 
@@ -348,7 +370,10 @@ let encode_stats b (s : Stats.t) =
   Wire.i64 b s.key_cache_evictions;
   Wire.i64 b s.key_cache_regens;
   Wire.i64 b s.digit_reuses;
-  Wire.i64 b s.lazy_rotsums
+  Wire.i64 b s.lazy_rotsums;
+  Wire.i64 b s.rescues;
+  Wire.i64 b s.rescue_aborts;
+  Wire.i64 b s.replans
 
 let decode_stats r =
   let s = Stats.create () in
@@ -384,6 +409,12 @@ let decode_stats r =
     s.Stats.digit_reuses <- Wire.ri64 r;
     s.Stats.lazy_rotsums <- Wire.ri64 r
   end;
+  (* Rescue counters arrived with format version 5. *)
+  if r.Wire.version > 4 then begin
+    s.Stats.rescues <- Wire.ri64 r;
+    s.Stats.rescue_aborts <- Wire.ri64 r;
+    s.Stats.replans <- Wire.ri64 r
+  end;
   s
 
 (* --- run manifest ------------------------------------------------------- *)
@@ -408,6 +439,10 @@ type manifest = {
   every_n : int;
   retain : int;
   guard_every : int;
+  guard_margin : float;
+  rescue : bool;
+  rescue_margin : float;
+  max_rescues : int;
 }
 
 let encode_manifest b m =
@@ -433,7 +468,11 @@ let encode_manifest b m =
   Wire.f64 b m.backend.rescale_noise;
   Wire.i64 b m.every_n;
   Wire.i64 b m.retain;
-  Wire.i64 b m.guard_every
+  Wire.i64 b m.guard_every;
+  Wire.f64 b m.guard_margin;
+  Wire.u8 b (if m.rescue then 1 else 0);
+  Wire.f64 b m.rescue_margin;
+  Wire.i64 b m.max_rescues
 
 let decode_manifest r =
   let prog = decode_program r in
@@ -461,6 +500,35 @@ let decode_manifest r =
   let every_n = Wire.ri64 r in
   let retain = Wire.ri64 r in
   let guard_every = Wire.ri64 r in
+  (* Guard-margin and rescue knobs arrived with format version 5; older
+     manifests resume with the historical defaults (margin 10, no rescue). *)
+  let guard_margin, rescue, rescue_margin, max_rescues =
+    if r.Wire.version > 4 then begin
+      let gm = Wire.rf64 r in
+      let rescue =
+        match Wire.ru8 r with
+        | 0 -> false
+        | 1 -> true
+        | t -> Wire.fail r ~got:(string_of_int t) "bad rescue flag"
+      in
+      let rm = Wire.rf64 r in
+      let mr = Wire.ri64 r in
+      if not (Float.is_finite gm) || gm <= 0.0 then
+        Wire.fail r ~expected:"positive finite guard margin"
+          ~got:(Printf.sprintf "%h" gm) "bad guard margin";
+      if not (Float.is_finite rm) || rm < 1.0 then
+        Wire.fail r ~expected:"finite rescue margin >= 1"
+          ~got:(Printf.sprintf "%h" rm) "bad rescue margin";
+      if mr < 0 then
+        Wire.fail r ~got:(string_of_int mr) "negative rescue budget";
+      (gm, rescue, rm, mr)
+    end
+    else
+      ( Halo_runtime.Guard.default_margin,
+        false,
+        Halo_runtime.Noise_monitor.default_rescue_margin,
+        Halo_runtime.Noise_monitor.default_max_rescues )
+  in
   if every_n < 1 then
     Wire.fail r ~got:(string_of_int every_n) "cadence below 1";
   if retain < 1 then Wire.fail r ~got:(string_of_int retain) "retention below 1";
@@ -476,6 +544,10 @@ let decode_manifest r =
     every_n;
     retain;
     guard_every;
+    guard_margin;
+    rescue;
+    rescue_margin;
+    max_rescues;
   }
 
 let manifest_fingerprint m =
@@ -530,3 +602,28 @@ let decode_entry ~dec_ct r =
   let rng = decode_rng r in
   let stats = decode_stats r in
   { seq; loop_var; iter; carried; rng; stats }
+
+(* --- rescue records ------------------------------------------------------ *)
+
+let encode_rescue b (e : Halo_runtime.Noise_monitor.rescue_event) =
+  Wire.i64 b e.r_seq;
+  Wire.i64 b e.r_target;
+  Wire.f64 b e.r_before;
+  Wire.f64 b e.r_after
+
+let decode_rescue r : Halo_runtime.Noise_monitor.rescue_event =
+  let r_seq = Wire.ri64 r in
+  let r_target = Wire.ri64 r in
+  let r_before = Wire.rf64 r in
+  let r_after = Wire.rf64 r in
+  if r_seq < 0 then
+    Wire.fail r ~got:(string_of_int r_seq) "negative rescue sequence";
+  if r_target < 1 then
+    Wire.fail r ~got:(string_of_int r_target) "rescue target below 1";
+  if not (Float.is_finite r_before) || r_before < 0.0 then
+    Wire.fail r ~expected:"finite non-negative estimate"
+      ~got:(Printf.sprintf "%h" r_before) "bad pre-rescue estimate";
+  if not (Float.is_finite r_after) || r_after < 0.0 then
+    Wire.fail r ~expected:"finite non-negative estimate"
+      ~got:(Printf.sprintf "%h" r_after) "bad post-rescue estimate";
+  { r_seq; r_target; r_before; r_after }

@@ -59,6 +59,9 @@ type kind =
   | Serve_chaos_frame
       (** chaos-soak driver state: how many submission rounds a trial has
           durably injected ([halo_cli chaos]) *)
+  | Rescue_frame
+      (** one rescue-bootstrap decision journaled by the runtime noise
+          monitor ([rescue-<seq>.ckpt]) *)
 
 val format_version : int
 
@@ -82,7 +85,10 @@ val decode_rns : Params.t -> Wire.reader -> Rns_poly.t
     and residue ranges against the parameter set. *)
 
 val encode_ref_ct : Buffer.t -> Ref_backend.ct -> unit
+
 val decode_ref_ct : slots:int -> max_level:int -> Wire.reader -> Ref_backend.ct
+(** Ciphertext frames carry the runtime noise estimate since format
+    version 5; version-3/4 frames decode with the estimate at zero. *)
 
 val encode_lattice_ct : Buffer.t -> Eval.ct -> unit
 val decode_lattice_ct : Params.t -> Wire.reader -> Eval.ct
@@ -132,6 +138,12 @@ type manifest = {
       (** in-loop guard cadence; [0] disables the guard.  Stored so a
           resumed run applies the same cadence and reproduces the same
           [guard_trips] counter. *)
+  guard_margin : float;
+      (** decrypt-time guard margin the run was started with, so a resumed
+          run checks against the same calibration *)
+  rescue : bool;  (** runtime noise monitor enabled *)
+  rescue_margin : float;  (** headroom ratio below which a rescue fires *)
+  max_rescues : int;  (** rescue budget for the run *)
 }
 
 val encode_manifest : Buffer.t -> manifest -> unit
@@ -158,3 +170,14 @@ val encode_entry :
   enc_ct:(Buffer.t -> 'ct -> unit) -> Buffer.t -> 'ct entry -> unit
 
 val decode_entry : dec_ct:(Wire.reader -> 'ct) -> Wire.reader -> 'ct entry
+
+(** {2 Rescue records}
+
+    One frame per rescue bootstrap fired by the runtime noise monitor,
+    written as [rescue-<seq>.ckpt] next to the checkpoint journal (the
+    journal scanner ignores them: they are audit artifacts, keyed and
+    rewritten idempotently by sequence number, so an interrupted-and-resumed
+    run produces byte-identical rescue files to an uninterrupted one). *)
+
+val encode_rescue : Buffer.t -> Halo_runtime.Noise_monitor.rescue_event -> unit
+val decode_rescue : Wire.reader -> Halo_runtime.Noise_monitor.rescue_event

@@ -37,6 +37,9 @@ let guard_check ~index:_ values =
         ct.ct_level >= 1 && Array.for_all Float.is_finite ct.data)
     values
 
+let rescue_path dir seq =
+  Filename.concat (journal_dir dir) (Printf.sprintf "rescue-%d.ckpt" seq)
+
 let exec ?kill_after ~dir ~resume (m : Codec.manifest) =
   let fp = Codec.manifest_fingerprint m in
   let jdir = journal_dir dir in
@@ -81,8 +84,28 @@ let exec ?kill_after ~dir ~resume (m : Codec.manifest) =
       Some { R.guard_every = m.guard_every; guard_check }
     else None
   in
+  let monitor =
+    if not m.rescue then None
+    else begin
+      let report = Halo.Noise_budget.analyze m.prog in
+      let threshold =
+        Halo.Noise_budget.threshold ~margin:m.guard_margin report
+      in
+      let cfg =
+        Halo_runtime.Noise_monitor.config ~rescue_margin:m.rescue_margin
+          ~max_rescues:m.max_rescues ~threshold ()
+      in
+      (* Rescue files are keyed by sequence number: a resume that replays a
+         rescue rewrites the same bytes to the same name, so the audit trail
+         of an interrupted run converges to the uninterrupted one's. *)
+      let on_rescue (e : Halo_runtime.Noise_monitor.rescue_event) =
+        Store.save_rescue ~path:(rescue_path dir e.r_seq) ~fingerprint:fp e
+      in
+      Some (Rec.R.M.create ~on_rescue ~cfg ~stats ())
+    end
+  in
   let outcome =
-    R.run ~checkpoint:hooks ?guard ~stats st ~bindings:m.bindings
+    R.run ~checkpoint:hooks ?guard ?monitor ~stats st ~bindings:m.bindings
       ~inputs:m.inputs m.prog
   in
   (outcome, damaged)

@@ -22,6 +22,10 @@ val manifest_path : string -> string
 val journal_dir : string -> string
 (** [<dir>/journal] *)
 
+val rescue_path : string -> int -> string
+(** [<dir>/journal/rescue-<seq>.ckpt] — one audit record per fired rescue
+    bootstrap (the journal scanner ignores these names). *)
+
 val start : dir:string -> Codec.manifest -> unit
 (** Create the directory structure and durably write the manifest.  Must be
     called once before the first {!exec} on a fresh directory. *)
@@ -36,7 +40,10 @@ val exec :
   Codec.manifest ->
   Rec.R.outcome * (string * string) list
 (** Run the manifest's program under the resilient runtime with the journal
-    sink attached (and the in-loop guard, when [manifest.guard_every > 0]).
+    sink attached (and the in-loop guard, when [manifest.guard_every > 0];
+    and the runtime noise monitor, when [manifest.rescue] — each fired
+    rescue bootstrap is journaled to {!rescue_path} keyed by its sequence
+    number, so kill/resume leaves byte-identical rescue records).
 
     With [resume:true] the journal is scanned first: each top-level loop
     fast-forwards to its newest intact entry, and damaged entries are

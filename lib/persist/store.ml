@@ -112,3 +112,14 @@ let load_manifest ~path =
   let m = Codec.decode_manifest r in
   Wire.expect_end r ~what:"manifest";
   m
+
+let save_rescue ~path ~fingerprint e =
+  save path
+    (Codec.frame ~kind:Codec.Rescue_frame ~fingerprint (fun b ->
+         Codec.encode_rescue b e))
+
+let load_rescue ~path ~fingerprint =
+  let r = load ~fingerprint ~kind:Codec.Rescue_frame path in
+  let e = Codec.decode_rescue r in
+  Wire.expect_end r ~what:"rescue record";
+  e

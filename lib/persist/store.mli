@@ -52,3 +52,16 @@ val save_manifest : path:string -> Codec.manifest -> unit
     manifest that produced them can be cross-checked. *)
 
 val load_manifest : path:string -> Codec.manifest
+
+val save_rescue :
+  path:string ->
+  fingerprint:int64 ->
+  Halo_runtime.Noise_monitor.rescue_event ->
+  unit
+(** One [rescue-<seq>.ckpt] audit record, stamped with the manifest
+    fingerprint of the run that fired it.  Rescue files are keyed by
+    sequence number and rewritten idempotently, so a resumed run replaying
+    the same rescue decisions leaves byte-identical files. *)
+
+val load_rescue :
+  path:string -> fingerprint:int64 -> Halo_runtime.Noise_monitor.rescue_event

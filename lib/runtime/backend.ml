@@ -54,4 +54,16 @@ module type S = sig
   val modswitch : state -> ct -> down:int -> ct
   val bootstrap : state -> ct -> target:int -> ct
   val negate : state -> ct -> ct
+
+  val noise_estimate : state -> ct -> float
+  (** The ciphertext's running noise upper bound: an interval-style
+      estimate updated by every op with the shared
+      {!Halo_cost.Noise_units} table, so it is directly comparable to the
+      static {!Halo.Noise_budget} bound.  Reading it must not consume RNG
+      or otherwise perturb execution. *)
+
+  val inflate_noise : state -> ct -> by:float -> ct
+  (** A copy of the ciphertext with [by] added to its noise bound and the
+      payload untouched.  Decorators use this to surface silently injected
+      corruption (noise spikes) to the runtime monitor. *)
 end

@@ -132,7 +132,10 @@ module Make (B : Backend.S) = struct
       let spike =
         Array.init n (fun _ -> (Random.State.float st.rng 2.0 -. 1.0) *. m)
       in
-      B.addcp st.base r spike
+      (* The spike is silent in the payload but not in the telemetry: the
+         estimator cannot see injected corruption, so surface it to the
+         runtime monitor through the noise bound. *)
+      B.inflate_noise st.base (B.addcp st.base r spike) ~by:m
     end
     else r
 
@@ -219,4 +222,9 @@ module Make (B : Backend.S) = struct
 
   let negate st a =
     guard st ~op:"negate" ~level:(level st a) (fun () -> B.negate st.base a)
+
+  (* Telemetry passes through unguarded: reading the estimate must never
+     fault or consume RNG, or the monitor would perturb the run. *)
+  let noise_estimate st ct = B.noise_estimate st.base ct
+  let inflate_noise st ct ~by = B.inflate_noise st.base ct ~by
 end

@@ -26,7 +26,20 @@ let analyze ?units p = Noise_budget.analyze ?units p
 
 let default_margin = 10.0
 
-let check ?units ?(margin = default_margin) p ~reference ~observed =
+(* The effective margin: [HALO_GUARD_MARGIN] overrides the default so every
+   caller (CLI, serving layer, soaks) is configurable end-to-end without
+   threading a flag through each of them.  Non-positive or unparsable
+   values fall back to the default. *)
+let margin () =
+  match Sys.getenv_opt "HALO_GUARD_MARGIN" with
+  | None -> default_margin
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some m when m > 0.0 && Float.is_finite m -> m
+    | _ -> default_margin)
+
+let check ?units ?margin:margin_opt p ~reference ~observed =
+  let margin = match margin_opt with Some m -> m | None -> margin () in
   let report = Noise_budget.analyze ?units p in
   (* Worst absolute deviation, tracked per output. *)
   let worst = ref 0.0 and worst_out = ref 0 and worst_slot = ref 0 in

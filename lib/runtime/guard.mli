@@ -33,6 +33,16 @@ val verdict_to_string : verdict -> string
 val analyze :
   ?units:Halo.Noise_budget.units -> Halo.Ir.program -> Halo.Noise_budget.report
 
+val default_margin : float
+(** [10.0]: the calibration asserted by the test suite (empirical error
+    within ~10x of the static bound on the paper's workloads). *)
+
+val margin : unit -> float
+(** The effective margin: [HALO_GUARD_MARGIN] when set to a positive
+    finite float, {!default_margin} otherwise.  [check] and every CLI
+    margin flag default through this, so the calibration is configurable
+    end-to-end from the environment. *)
+
 val check :
   ?units:Halo.Noise_budget.units ->
   ?margin:float ->

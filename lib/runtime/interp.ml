@@ -25,6 +25,7 @@ module Make (B : Backend.S) = struct
       loop:Halo_error.site -> index:int -> (unit -> value list) -> value list;
     loop_enter :
       loop:Halo_error.site -> count:int -> value list -> int * value list;
+    at_bootstrap : site:Halo_error.site -> target:int -> B.ct -> unit;
   }
 
   let unprotected =
@@ -32,6 +33,7 @@ module Make (B : Backend.S) = struct
       instr = (fun _ f -> f ());
       iteration = (fun ~loop:_ ~index:_ f -> f ());
       loop_enter = (fun ~loop:_ ~count:_ args -> (0, args));
+      at_bootstrap = (fun ~site:_ ~target:_ _ -> ());
     }
 
   let err ?site fmt =
@@ -307,6 +309,7 @@ module Make (B : Backend.S) = struct
               (match value_of src with
                | Plain _ -> ierr "bootstrap of plaintext"
                | Cipher c ->
+                 protect.at_bootstrap ~site ~target c;
                  Stats.record_bootstrap stats ~target;
                  Hashtbl.replace env (Ir.result i)
                    (Cipher (B.bootstrap st c ~target)))

@@ -34,13 +34,18 @@ module Make (B : Backend.S) : sig
       hook returns [(0, args)]; a crash-recovery driver returns the
       iteration index and carried values restored from a durable checkpoint,
       fast-forwarding the loop ([Halo_persist.Recovery]).  [start] outside
-      [0, count] is an {!Halo_error.Interp_error}. *)
+      [0, count] is an {!Halo_error.Interp_error}.
+
+      [at_bootstrap ~site ~target ct] fires immediately before each planned
+      bootstrap with the input ciphertext — the noise monitor's observation
+      point for pressure a planned bootstrap is about to relieve anyway. *)
   type protect = {
     instr : Halo_error.site -> (unit -> unit) -> unit;
     iteration :
       loop:Halo_error.site -> index:int -> (unit -> value list) -> value list;
     loop_enter :
       loop:Halo_error.site -> count:int -> value list -> int * value list;
+    at_bootstrap : site:Halo_error.site -> target:int -> B.ct -> unit;
   }
 
   val unprotected : protect

@@ -76,6 +76,9 @@ let bootstrap keys ct ~target =
 let negate st a =
   typed "negate" ~level:(Eval.level a) (fun () -> Eval.negate st a)
 
+let noise_estimate _keys ct = Eval.noise_est ct
+let inflate_noise _keys ct ~by = Eval.inflate_noise ct ~by
+
 let fold_cache_stats keys stats =
   let s = Keys.cache_stats keys in
   Stats.record_key_cache stats ~hits:s.Keys.snap_hits ~misses:s.Keys.snap_misses

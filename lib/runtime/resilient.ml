@@ -19,6 +19,7 @@ let no_retry = { default_policy with max_attempts = 1; max_restores = 0 }
 
 module Make (B : Backend.S) = struct
   module I = Interp.Make (B)
+  module M = Noise_monitor.Make (B)
 
   type degraded = {
     failed : Halo_error.site;
@@ -60,8 +61,8 @@ module Make (B : Backend.S) = struct
       (policy.base_backoff_us
       *. (policy.backoff_factor ** float_of_int (attempt - 1)))
 
-  let run ?(policy = default_policy) ?checkpoint ?guard ?clock ?stats st
-      ?(bindings = []) ~inputs p =
+  let run ?(policy = default_policy) ?checkpoint ?guard ?clock ?monitor ?stats
+      st ?(bindings = []) ~inputs p =
     let stats = match stats with Some s -> s | None -> Stats.create () in
     let current_iteration = ref None in
     (* Virtual-clock maintenance at the instruction boundary.  The clock is
@@ -120,22 +121,43 @@ module Make (B : Backend.S) = struct
       current_iteration := Some index;
       let finish v =
         current_iteration := enclosing;
-        (* Durable checkpointing and the periodic guard apply to top-level
-           loops only: nested iterations are re-executed wholesale when
-           their enclosing top-level iteration is restored, so journaling
-           them would be redundant (and would break the monotone
-           per-loop-var iteration order the journal relies on). *)
+        (* Durable checkpointing, the periodic guard and the noise monitor
+           apply to top-level loops only: nested iterations are re-executed
+           wholesale when their enclosing top-level iteration is restored,
+           so journaling them would be redundant (and would break the
+           monotone per-loop-var iteration order the journal relies on). *)
         if enclosing = None then begin
+          (* Rescue check runs BEFORE the guard and the checkpoint sink, so
+             a checkpoint written at this iteration carries the rescued
+             values, RNG position and rescue counters — a resume from it
+             replays the remaining run (and any further rescue decisions)
+             bit for bit. *)
+          let v =
+            match monitor with
+            | None -> v
+            | Some m ->
+              let before = view () in
+              let v =
+                List.map
+                  (function
+                    | I.Cipher ct -> I.Cipher (M.check_ct m st ct)
+                    | plain -> plain)
+                  v
+              in
+              charge before;
+              v
+          in
           (match guard with
            | Some g when g.guard_every > 0 && (index + 1) mod g.guard_every = 0
              ->
              if not (g.guard_check ~index v) then Stats.record_guard_trip stats
            | _ -> ());
-          match checkpoint with
-          | Some c -> c.sink ~loop_var:loop.Halo_error.var ~index v
-          | None -> ()
-        end;
-        v
+          (match checkpoint with
+           | Some c -> c.sink ~loop_var:loop.Halo_error.var ~index v
+           | None -> ());
+          v
+        end
+        else v
       in
       (* [thunk] captures the loop-carried values at the iteration head (the
          checkpoint); re-invoking it re-executes the iteration from there. *)
@@ -167,9 +189,14 @@ module Make (B : Backend.S) = struct
           | None -> (0, args)
           | Some (start, vals) -> (start, vals))
     in
+    let at_bootstrap ~site:_ ~target ct =
+      match monitor with
+      | None -> ()
+      | Some m -> M.at_bootstrap m st ct ~target
+    in
     match
       I.run
-        ~protect:{ I.instr; iteration; loop_enter }
+        ~protect:{ I.instr; iteration; loop_enter; at_bootstrap }
         ~stats st ~bindings ~inputs p
     with
     | outputs, stats -> Complete { outputs; stats }

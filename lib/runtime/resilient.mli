@@ -36,6 +36,7 @@ val no_retry : policy
 
 module Make (B : Backend.S) : sig
   module I : module type of Interp.Make (B)
+  module M : module type of Noise_monitor.Make (B)
 
   type degraded = {
     failed : Halo_error.site;  (** the site that kept faulting *)
@@ -85,6 +86,7 @@ module Make (B : Backend.S) : sig
     ?checkpoint:checkpoint ->
     ?guard:guard ->
     ?clock:Clock.t ->
+    ?monitor:M.t ->
     ?stats:Stats.t ->
     B.state ->
     ?bindings:(string * int) list ->
@@ -97,5 +99,13 @@ module Make (B : Backend.S) : sig
       passes, the run aborts at the next instruction boundary with
       {!Halo_error.Deadline_exceeded} (after bumping
       [Stats.deadline_aborts]) — a {e permanent} abort, never retried,
-      reproducible from the seed because the clock is virtual. *)
+      reproducible from the seed because the clock is virtual.
+
+      [monitor], when given, checks every loop-carried ciphertext of every
+      completed top-level iteration ({!Noise_monitor.Make.check_ct}) and
+      observes planned bootstrap sites.  The rescue check runs {e before}
+      the periodic guard and the checkpoint sink, so a checkpoint written
+      at an iteration carries the rescued values, RNG position and rescue
+      counters — a kill/resume replays the identical rescue sequence.
+      Rescue latency is charged to [clock] like any other instruction. *)
 end

@@ -27,6 +27,9 @@ type t = {
   mutable key_cache_regens : int;
   mutable digit_reuses : int;
   mutable lazy_rotsums : int;
+  mutable rescues : int;
+  mutable rescue_aborts : int;
+  mutable replans : int;
 }
 
 let create () =
@@ -59,6 +62,9 @@ let create () =
     key_cache_regens = 0;
     digit_reuses = 0;
     lazy_rotsums = 0;
+    rescues = 0;
+    rescue_aborts = 0;
+    replans = 0;
   }
 
 let record t (op : Halo_cost.Cost_model.op) ~level =
@@ -122,6 +128,19 @@ let record_key_cache t ~hits ~misses ~evictions ~regens ~digit_hits =
 (* One fused rotate-and-sum executed: the group paid a single mod-down. *)
 let record_lazy_rotsum t = t.lazy_rotsums <- t.lazy_rotsums + 1
 
+(* A rescue is an unplanned bootstrap: it counts in the bootstrap totals
+   (it IS one) and is charged the rescue latency — bootstrap plus the
+   monitor's bookkeeping overhead — on the virtual clock. *)
+let record_rescue t ~target =
+  t.rescues <- t.rescues + 1;
+  t.bootstrap <- t.bootstrap + 1;
+  let l = Halo_cost.Cost_model.rescue_latency_us ~target in
+  t.total_latency_us <- t.total_latency_us +. l;
+  t.bootstrap_latency_us <- t.bootstrap_latency_us +. l
+
+let record_rescue_abort t = t.rescue_aborts <- t.rescue_aborts + 1
+let record_replan t = t.replans <- t.replans + 1
+
 let assign ~into src =
   into.addcc <- src.addcc;
   into.addcp <- src.addcp;
@@ -150,7 +169,10 @@ let assign ~into src =
   into.key_cache_evictions <- src.key_cache_evictions;
   into.key_cache_regens <- src.key_cache_regens;
   into.digit_reuses <- src.digit_reuses;
-  into.lazy_rotsums <- src.lazy_rotsums
+  into.lazy_rotsums <- src.lazy_rotsums;
+  into.rescues <- src.rescues;
+  into.rescue_aborts <- src.rescue_aborts;
+  into.replans <- src.replans
 
 let merge ~into src =
   into.addcc <- into.addcc + src.addcc;
@@ -183,7 +205,10 @@ let merge ~into src =
   into.key_cache_evictions <- into.key_cache_evictions + src.key_cache_evictions;
   into.key_cache_regens <- into.key_cache_regens + src.key_cache_regens;
   into.digit_reuses <- into.digit_reuses + src.digit_reuses;
-  into.lazy_rotsums <- into.lazy_rotsums + src.lazy_rotsums
+  into.lazy_rotsums <- into.lazy_rotsums + src.lazy_rotsums;
+  into.rescues <- into.rescues + src.rescues;
+  into.rescue_aborts <- into.rescue_aborts + src.rescue_aborts;
+  into.replans <- into.replans + src.replans
 
 let total_ops t =
   t.addcc + t.addcp + t.subcc + t.multcc + t.multcp + t.rotate + t.rescale
@@ -228,6 +253,10 @@ let to_string t =
           key_cache_regens=%d digit_reuses=%d"
          t.key_cache_hits t.key_cache_misses t.key_cache_evictions
          t.key_cache_regens t.digit_reuses)
+  ^ (if t.rescues = 0 && t.rescue_aborts = 0 && t.replans = 0 then ""
+     else
+       Printf.sprintf " rescues=%d rescue_aborts=%d replans=%d" t.rescues
+         t.rescue_aborts t.replans)
   ^
   if t.deadline_aborts = 0 then ""
   else Printf.sprintf " deadline_aborts=%d" t.deadline_aborts

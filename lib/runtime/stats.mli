@@ -54,6 +54,14 @@ type t = {
           ciphertext (each also counts toward [decompositions_saved]) *)
   mutable lazy_rotsums : int;
       (** fused rotate-and-sum groups executed with a single mod-down *)
+  mutable rescues : int;
+      (** unplanned rescue bootstraps fired by the runtime noise monitor *)
+  mutable rescue_aborts : int;
+      (** rescue opportunities declined (budget exhausted, estimate already
+          at the bootstrap floor, or a planned bootstrap superseded it) *)
+  mutable replans : int;
+      (** re-executions under a recompiled safer strategy after rescue
+          could not keep the run inside its noise budget *)
 }
 
 val create : unit -> t
@@ -96,6 +104,17 @@ val record_key_cache :
 
 val record_lazy_rotsum : t -> unit
 (** Count one fused rotate-and-sum group (single shared mod-down). *)
+
+val record_rescue : t -> target:int -> unit
+(** Count one rescue bootstrap at [target]: bumps [rescues] {e and}
+    [bootstrap] (a rescue is an unplanned bootstrap) and charges
+    {!Halo_cost.Cost_model.rescue_latency_us} to both latency totals. *)
+
+val record_rescue_abort : t -> unit
+(** Count one declined rescue opportunity. *)
+
+val record_replan : t -> unit
+(** Count one re-execution under a recompiled safer strategy. *)
 
 val assign : into:t -> t -> unit
 (** Overwrite every counter of [into] with [src]'s values.  Crash recovery

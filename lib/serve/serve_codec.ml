@@ -31,6 +31,9 @@ type sup_cfg = {
   s_cooldown_us : int;
   s_quarantine_after : int;
   s_guard : bool;
+  s_rescue : bool;
+  s_rescue_margin : float;
+  s_max_rescues : int;
 }
 
 let default_sup =
@@ -45,6 +48,9 @@ let default_sup =
     s_cooldown_us = 50_000;
     s_quarantine_after = 0;
     s_guard = false;
+    s_rescue = false;
+    s_rescue_margin = Halo_runtime.Noise_monitor.default_rescue_margin;
+    s_max_rescues = Halo_runtime.Noise_monitor.default_max_rescues;
   }
 
 type config = {
@@ -168,7 +174,10 @@ let encode_sup b (s : sup_cfg) =
   Wire.i64 b s.s_program_threshold;
   Wire.i64 b s.s_cooldown_us;
   Wire.i64 b s.s_quarantine_after;
-  Wire.u8 b (if s.s_guard then 1 else 0)
+  Wire.u8 b (if s.s_guard then 1 else 0);
+  Wire.u8 b (if s.s_rescue then 1 else 0);
+  Wire.f64 b s.s_rescue_margin;
+  Wire.i64 b s.s_max_rescues
 
 let decode_sup r : sup_cfg =
   let s_deadline_us = Wire.ri64 r in
@@ -190,6 +199,30 @@ let decode_sup r : sup_cfg =
     | 0 -> false
     | 1 -> true
     | n -> Wire.fail r ~got:(string_of_int n) "bad guard flag"
+  in
+  (* Rescue knobs arrived with format version 5; older serve manifests
+     decode with the monitor off. *)
+  let s_rescue, s_rescue_margin, s_max_rescues =
+    if r.Wire.version > 4 then begin
+      let s_rescue =
+        match Wire.ru8 r with
+        | 0 -> false
+        | 1 -> true
+        | n -> Wire.fail r ~got:(string_of_int n) "bad rescue flag"
+      in
+      let rm = Wire.rf64 r in
+      let mr = Wire.ri64 r in
+      if not (Float.is_finite rm) || rm < 1.0 then
+        Wire.fail r ~expected:"finite rescue margin >= 1"
+          ~got:(Printf.sprintf "%h" rm) "bad rescue margin";
+      if mr < 0 then
+        Wire.fail r ~got:(string_of_int mr) "negative rescue budget";
+      (s_rescue, rm, mr)
+    end
+    else
+      ( false,
+        Halo_runtime.Noise_monitor.default_rescue_margin,
+        Halo_runtime.Noise_monitor.default_max_rescues )
   in
   if s_deadline_us < 0 then
     Wire.fail r ~got:(string_of_int s_deadline_us) "negative batch deadline";
@@ -219,7 +252,7 @@ let decode_sup r : sup_cfg =
       "negative quarantine threshold";
   { s_deadline_us; s_ttl_us; s_fallback; s_tenant_window; s_tenant_threshold;
     s_program_window; s_program_threshold; s_cooldown_us; s_quarantine_after;
-    s_guard }
+    s_guard; s_rescue; s_rescue_margin; s_max_rescues }
 
 let encode_config b (c : config) =
   encode_backend_cfg b c.backend;

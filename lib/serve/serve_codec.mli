@@ -72,12 +72,20 @@ type sup_cfg = {
       (** solo failures that quarantine a tenant durably; [0] disables *)
   s_guard : bool;
       (** run a noiseless reference per batch and abort on a noise breach *)
+  s_rescue : bool;
+      (** run the {!Halo_runtime.Noise_monitor} inside every batch, and
+          re-execute solo batches that still breach under a recompiled
+          safer strategy (the replan phase) *)
+  s_rescue_margin : float;
+      (** headroom ratio below which the monitor fires a rescue *)
+  s_max_rescues : int;  (** rescue budget per batch execution *)
 }
 
 val default_sup : sup_cfg
 (** All supervision off: deadline 0, TTL 0, no fallback, breaker thresholds
     0 (windows 8, cooldown 50ms for when a threshold is raised), no
-    quarantine, no guard. *)
+    quarantine, no guard, no rescue (margin 2, budget 4 for when it is
+    enabled). *)
 
 type config = {
   backend : Codec.backend_cfg;  (** per-batch reference-backend knobs *)

@@ -95,11 +95,20 @@ type compiled = {
   can_batch : bool;  (* compiled form is slotwise *)
   bound : Noise_budget.report;  (* admission bound, on the solo form *)
   wrappers : (int, Ir.program) Hashtbl.t;  (* lanes -> compiled wrapper *)
+  safer : (Strategy.t * Ir.program) option;
+      (* the solo form recompiled one rung down the replan ladder
+         ([Strategy.safer]); [None] when already at the most conservative
+         strategy *)
 }
 
-(* Batch tables are keyed [(key, solo)]: a request id can key both a failed
-   primary batch and its own fallback re-execution, and the two entries
-   must not shadow each other. *)
+(* Execution phases.  A request id can key a failed primary batch, its solo
+   fallback re-execution and a conservative replan, and the three journal
+   entries must not shadow each other — batch tables are keyed
+   [(key, phase)] and each phase journals under its own file prefix. *)
+type phase = Primary | Fallback | Replan
+
+let phase_tag = function Primary -> 0 | Fallback -> 1 | Replan -> 2
+
 type t = {
   cfg : Codec.config;
   dir : string option;
@@ -109,13 +118,15 @@ type t = {
   lock : Mutex.t;  (* serializes admission; submit is domain-safe *)
   requests : (int, Codec.request) Hashtbl.t;  (* every accepted request *)
   results : (int, outcome) Hashtbl.t;
-  batch_stats : (int * bool, Stats.t) Hashtbl.t;
-  batch_members : (int * bool, int list) Hashtbl.t;
+  batch_stats : (int * int, Stats.t) Hashtbl.t;
+  batch_members : (int * int, int list) Hashtbl.t;
   expired : (int, unit) Hashtbl.t;  (* requests failed by admission TTL *)
   mutable next_id : int;
   mutable pending_rev : Codec.request list;
   mutable pending_n : int;
   mutable fallback_rev : Codec.request list;  (* awaiting solo re-execution *)
+  mutable replan_rev : Codec.request list;
+      (* solo breaches awaiting re-execution under the safer strategy *)
   mutable accepted : int;
   mutable rejected_queue : int;
   mutable rejected_admission : int;
@@ -150,6 +161,8 @@ let entry_path dir key =
   Filename.concat (journal_dir dir) (Printf.sprintf "batch-%010d.ckpt" key)
 let solo_path dir key =
   Filename.concat (journal_dir dir) (Printf.sprintf "solo-%010d.ckpt" key)
+let replan_path dir key =
+  Filename.concat (journal_dir dir) (Printf.sprintf "replan-%010d.ckpt" key)
 let plan_path dir seq =
   Filename.concat (journal_dir dir) (Printf.sprintf "plan-%010d.ckpt" seq)
 
@@ -187,6 +200,15 @@ let compile_def (cfg : Codec.config) (def : Codec.prog_def) =
     Strategy.compile ~rotate_fuse:cfg.rotate_fuse ~strategy:def.pd_strategy
       def.pd_traced
   in
+  let safer =
+    if not cfg.sup.s_rescue then None
+    else
+      Option.map
+        (fun s ->
+          (s, Strategy.compile ~rotate_fuse:cfg.rotate_fuse ~strategy:s
+                def.pd_traced))
+        (Strategy.safer def.pd_strategy)
+  in
   {
     def;
     solo;
@@ -194,6 +216,7 @@ let compile_def (cfg : Codec.config) (def : Codec.prog_def) =
     can_batch = Slot_batch.slotwise solo;
     bound = Guard.analyze solo;
     wrappers = Hashtbl.create 4;
+    safer;
   }
 
 let build ?dir (cfg : Codec.config) progs =
@@ -211,6 +234,12 @@ let build ?dir (cfg : Codec.config) progs =
     invalid_arg "Server.create: breaker window below 1";
   if cfg.sup.s_cooldown_us < 1 then
     invalid_arg "Server.create: breaker cooldown below 1us";
+  if
+    not (Float.is_finite cfg.sup.s_rescue_margin)
+    || cfg.sup.s_rescue_margin < 1.0
+  then invalid_arg "Server.create: rescue margin below 1";
+  if cfg.sup.s_max_rescues < 0 then
+    invalid_arg "Server.create: negative rescue budget";
   if progs = [] then invalid_arg "Server.create: empty program registry";
   let names = List.map (fun (d : Codec.prog_def) -> d.pd_name) progs in
   if List.length (List.sort_uniq compare names) <> List.length names then
@@ -232,6 +261,7 @@ let build ?dir (cfg : Codec.config) progs =
     pending_rev = [];
     pending_n = 0;
     fallback_rev = [];
+    replan_rev = [];
     accepted = 0;
     rejected_queue = 0;
     rejected_admission = 0;
@@ -616,8 +646,29 @@ let exec_batch (cfg : Codec.config) (b : batch) =
       Some (Clock.create ~deadline_us:cfg.sup.s_deadline_us ())
     else None
   in
+  (* The runtime noise monitor, against the same threshold the batch guard
+     checks at decrypt.  On a quiet batch the estimate never exceeds the
+     static bound, so headroom stays at or above the guard margin and the
+     monitor is byte-invisible — [s_rescue] with no spikes is identical to
+     the monitor-off server. *)
+  let monitor =
+    if not cfg.sup.s_rescue then None
+    else begin
+      let threshold =
+        Noise_budget.threshold ~margin:cfg.margin (Guard.analyze prog)
+      in
+      let mcfg =
+        Halo_runtime.Noise_monitor.config
+          ~rescue_margin:cfg.sup.s_rescue_margin
+          ~max_rescues:cfg.sup.s_max_rescues ~threshold ()
+      in
+      Some (Recover.M.create ~cfg:mcfg ~stats ())
+    end
+  in
   let status =
-    match Recover.run ~policy:cfg.policy ?clock ~stats st ~inputs prog with
+    match
+      Recover.run ~policy:cfg.policy ?clock ?monitor ~stats st ~inputs prog
+    with
     | Recover.Complete { outputs; stats = _ } -> (
       let breach =
         if not cfg.sup.s_guard then None
@@ -628,6 +679,12 @@ let exec_batch (cfg : Codec.config) (b : batch) =
               ~observed:outputs
           with
           | Guard.Breach { observed; bound; output; slot } ->
+            (* Under rescue the breach counts as one guard trip here, in
+               the breaching entry's own stats — the replan re-execution
+               is a fresh entry whose stats start at zero, so the trip is
+               never double-counted across the rescue/replan chain (and
+               the journaled bytes stay resume-identical). *)
+            if cfg.sup.s_rescue then Stats.record_guard_trip stats;
             Some
               (Codec.Breach
                  {
@@ -717,7 +774,7 @@ let failure_of_status rid = function
    supervisor is driven purely by the entry's stats and outcomes — so both
    delivery and supervision state after resume match the uninterrupted
    run exactly. *)
-let deliver t ~solo (e : Codec.entry) =
+let deliver t ~phase (e : Codec.entry) =
   Supervisor.charge t.sup e.Codec.e_stats;
   let lanes = List.length e.e_reqs in
   let success = match e.e_status with Codec.Ok _ -> true | _ -> false in
@@ -747,12 +804,28 @@ let deliver t ~solo (e : Codec.entry) =
          Supervisor.record_latency t.sup ~req:rid ~admit_us:q.Codec.admit_us)
        e.e_reqs groups
    | status ->
-     if (not solo) && lanes >= 2 && t.cfg.sup.s_fallback then begin
+     let replannable =
+       phase <> Replan && lanes = 1 && t.cfg.sup.s_rescue
+       && (match status with Codec.Breach _ -> true | _ -> false)
+       && (match e.e_reqs with
+           | [ rid ] ->
+             let q = Hashtbl.find t.requests rid in
+             (find_prog t q.Codec.pname).safer <> None
+           | _ -> false)
+     in
+     if phase = Primary && lanes >= 2 && t.cfg.sup.s_fallback then begin
        (* Degraded-mode fallback: don't fail the members — queue each for a
           solo re-execution, where the culprit fails alone. *)
        let members = List.map (Hashtbl.find t.requests) e.e_reqs in
        t.fallback_rev <- List.rev_append members t.fallback_rev;
        Supervisor.record_fallbacks t.sup ~count:lanes
+     end
+     else if replannable then begin
+       (* Conservative replan: the rescue machinery could not keep the solo
+          execution inside its noise budget, so re-execute one rung down
+          the strategy ladder instead of failing the request. *)
+       let members = List.map (Hashtbl.find t.requests) e.e_reqs in
+       t.replan_rev <- List.rev_append members t.replan_rev
      end
      else
        List.iter
@@ -767,16 +840,22 @@ let deliver t ~solo (e : Codec.entry) =
                  ~req:rid
              then persist_quarantine t)
          e.e_reqs);
-  Hashtbl.replace t.batch_stats (e.e_key, solo) e.e_stats;
-  Hashtbl.replace t.batch_members (e.e_key, solo) e.e_reqs
+  Hashtbl.replace t.batch_stats (e.e_key, phase_tag phase) e.e_stats;
+  Hashtbl.replace t.batch_members (e.e_key, phase_tag phase) e.e_reqs
 
-let journal_append t ?kill_after ~solo (e : Codec.entry) =
+let journal_append t ?kill_after ~phase (e : Codec.entry) =
   let e = { e with Codec.e_seq = t.seq } in
   t.seq <- t.seq + 1;
   (match t.dir with
    | None -> ()
    | Some d ->
-     let path = (if solo then solo_path else entry_path) d e.Codec.e_key in
+     let path =
+       (match phase with
+        | Primary -> entry_path
+        | Fallback -> solo_path
+        | Replan -> replan_path)
+         d e.Codec.e_key
+     in
      ignore (Codec.save_entry ~path ~fingerprint:t.fingerprint e);
      t.writes <- t.writes + 1;
      (match kill_after with
@@ -784,7 +863,7 @@ let journal_append t ?kill_after ~solo (e : Codec.entry) =
       | _ -> ()));
   e
 
-let exec_wave t ?kill_after ?on_batch ~solo batches =
+let exec_wave t ?kill_after ?on_batch ~phase batches =
   let batches = Array.of_list batches in
   let entries = Array.make (Array.length batches) None in
   let wave = max 1 (Domain_pool.size ()) in
@@ -796,10 +875,14 @@ let exec_wave t ?kill_after ?on_batch ~solo batches =
        state.  Journal appends and delivery stay sequential, in batch-key
        order, so the journal is always a key-ordered prefix of the plan. *)
     Domain_pool.parallel_for ~n:(hi - lo) (fun k ->
-        entries.(lo + k) <- Some (exec_batch t.cfg batches.(lo + k)));
+        let e = exec_batch t.cfg batches.(lo + k) in
+        (* Phase is deterministic, so stamping the replan counter here
+           keeps the journaled entry bytes reproducible. *)
+        if phase = Replan then Stats.record_replan e.Codec.e_stats;
+        entries.(lo + k) <- Some e);
     for j = lo to hi - 1 do
-      let e = journal_append t ?kill_after ~solo (Option.get entries.(j)) in
-      deliver t ~solo e;
+      let e = journal_append t ?kill_after ~phase (Option.get entries.(j)) in
+      deliver t ~phase e;
       match on_batch with
       | Some f -> f ~key:e.Codec.e_key ~reqs:e.Codec.e_reqs
       | None -> ()
@@ -807,11 +890,27 @@ let exec_wave t ?kill_after ?on_batch ~solo batches =
     i := hi
   done
 
+(* A replan batch runs the member's program recompiled one rung down the
+   strategy ladder ([compile_def] precomputed it).  Only reachable when
+   [deliver] found [safer <> None]. *)
+let replan_batch t (q : Codec.request) =
+  let cp = find_prog t q.Codec.pname in
+  match cp.safer with
+  | None -> assert false
+  | Some (_, prog) ->
+    {
+      b_key = q.Codec.req_id;
+      b_members = [ q ];
+      b_layout = None;
+      b_prog = prog;
+      b_outputs = cp.outputs;
+    }
+
 let run_until_drained ?kill_after ?on_batch t =
-  exec_wave t ?kill_after ?on_batch ~solo:false (plan_batches t);
+  exec_wave t ?kill_after ?on_batch ~phase:Primary (plan_batches t);
   (* Fallback phase: members of failed multi-member batches re-execute
-     solo, in request-id order.  Solo failures are terminal, so this
-     converges in one round per primary phase. *)
+     solo, in request-id order.  Solo failures are terminal (or divert to
+     the replan phase), so this converges in one round per primary phase. *)
   while t.fallback_rev <> [] do
     let members =
       List.sort
@@ -824,7 +923,20 @@ let run_until_drained ?kill_after ?on_batch t =
           close_batch t (find_prog t q.pname) [ q ])
         members
     in
-    exec_wave t ?kill_after ?on_batch ~solo:true batches
+    exec_wave t ?kill_after ?on_batch ~phase:Fallback batches
+  done;
+  (* Replan phase: solo breaches re-execute under the safer strategy, in
+     request-id order.  Replan outcomes are terminal, so one round
+     suffices. *)
+  while t.replan_rev <> [] do
+    let members =
+      List.sort
+        (fun (a : Codec.request) b -> compare a.req_id b.Codec.req_id)
+        t.replan_rev
+    in
+    t.replan_rev <- [];
+    exec_wave t ?kill_after ?on_batch ~phase:Replan
+      (List.map (replan_batch t) members)
   done
 
 let count_results t =
@@ -916,34 +1028,56 @@ let open_resume ~dir =
      advances and the breaker transitions replay exactly as they happened
      live. *)
   let loaded = ref [] in
-  let load ~solo key =
-    let path = (if solo then solo_path else entry_path) dir key in
+  let load ~phase key =
+    let path =
+      (match phase with
+       | Primary -> entry_path
+       | Fallback -> solo_path
+       | Replan -> replan_path)
+        dir key
+    in
     match Codec.load_entry ~path ~fingerprint:t.fingerprint with
-    | e -> loaded := (e, solo) :: !loaded
+    | e -> loaded := (e, phase) :: !loaded
     | exception Halo_error.Persist_error { reason; _ } ->
       t.damaged <- (path, reason) :: t.damaged
   in
-  List.iter (load ~solo:false)
+  List.iter (load ~phase:Primary)
     (scan_ids (journal_dir dir) ~prefix:"batch-" ~suffix:".ckpt");
-  List.iter (load ~solo:true)
+  List.iter (load ~phase:Fallback)
     (scan_ids (journal_dir dir) ~prefix:"solo-" ~suffix:".ckpt");
+  List.iter (load ~phase:Replan)
+    (scan_ids (journal_dir dir) ~prefix:"replan-" ~suffix:".ckpt");
   t.damaged <- List.rev t.damaged;
   let completed = Hashtbl.create 16 in
   List.iter
-    (fun ((e : Codec.entry), solo) ->
-      deliver t ~solo e;
+    (fun ((e : Codec.entry), phase) ->
+      deliver t ~phase e;
       t.seq <- max t.seq (e.e_seq + 1);
       List.iter (fun rid -> Hashtbl.replace completed rid ()) e.e_reqs)
     (List.sort
        (fun ((a : Codec.entry), _) ((b : Codec.entry), _) ->
          compare a.e_seq b.e_seq)
        !loaded);
-  (* Fallback members whose solo entry was already journaled have results;
-     the rest still owe a solo re-execution. *)
+  (* Fallback (and replan) members whose re-execution entry was already
+     journaled have results; the rest still owe their re-execution.  A
+     member the fold diverted to the replan queue has no result yet its
+     fallback execution DID happen (its solo entry is what diverted it), so
+     the fallback filter must also exclude it — otherwise the resumed
+     server re-runs the solo batch, re-diverts, and delivers the whole
+     chain twice. *)
+  let diverted = Hashtbl.create 8 in
+  List.iter
+    (fun (q : Codec.request) -> Hashtbl.replace diverted q.Codec.req_id ())
+    t.replan_rev;
+  let owes_rerun (q : Codec.request) =
+    not (Hashtbl.mem t.results q.Codec.req_id)
+  in
   t.fallback_rev <-
     List.filter
-      (fun (q : Codec.request) -> not (Hashtbl.mem t.results q.Codec.req_id))
+      (fun (q : Codec.request) ->
+        owes_rerun q && not (Hashtbl.mem diverted q.Codec.req_id))
       t.fallback_rev;
+  t.replan_rev <- List.filter owes_rerun t.replan_rev;
   (* Pending = accepted minus completed minus TTL-expired, in id order. *)
   let pending =
     List.rev t.pending_rev

@@ -200,6 +200,10 @@ let manifest ?(guard_every = 0) ?(every_n = 1) ?(retain = 4) ?(seed = 7)
     every_n;
     retain;
     guard_every;
+    guard_margin = Halo_runtime.Guard.default_margin;
+    rescue = false;
+    rescue_margin = Halo_runtime.Noise_monitor.default_rescue_margin;
+    max_rescues = Halo_runtime.Noise_monitor.default_max_rescues;
   }
 
 let x_input () = Array.init 8 (fun i -> 0.05 +. (float_of_int i /. 10.0))

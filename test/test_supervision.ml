@@ -610,6 +610,8 @@ let gen_stats =
     let* key_cache_hits = int_field and* key_cache_misses = int_field in
     let* key_cache_evictions = int_field and* key_cache_regens = int_field in
     let* digit_reuses = int_field and* lazy_rotsums = int_field in
+    let* rescues = int_field and* rescue_aborts = int_field in
+    let* replans = int_field in
     return
       {
         Stats.addcc;
@@ -640,6 +642,9 @@ let gen_stats =
         key_cache_regens;
         digit_reuses;
         lazy_rotsums;
+        rescues;
+        rescue_aborts;
+        replans;
       })
 
 let roundtrip s =
