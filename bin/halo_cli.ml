@@ -82,6 +82,39 @@ let no_lazy_switch_arg =
            per member instead of one per group.  Outputs are bit-identical \
            either way.")
 
+let unroll_factor_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "unroll-factor" ] ~docv:"F"
+        ~doc:
+          "Cap the packing+unrolling / halo unroll factor at F (0 = the \
+           level-budget-derived default, 1 = no unrolling).  The \
+           autotuner's B-2 axis, exposed so a tuned plan can be reproduced \
+           by hand.")
+
+let boot_slack_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "boot-slack" ] ~docv:"S"
+        ~doc:
+          "Raise every tuned bootstrap target S levels above its minimum \
+           feasible value (clamped to the original target).  The \
+           autotuner's B-3 axis, exposed so a tuned plan can be reproduced \
+           by hand.")
+
+let strategy_manifest_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "strategy-manifest" ] ~docv:"FILE"
+        ~doc:
+          "Compile under the configuration of a tuned strategy manifest \
+           written by $(b,halo_cli tune).  The manifest's fingerprint must \
+           match the program and bindings being compiled; a manifest tuned \
+           for anything else is rejected.  Overrides --strategy, \
+           --unroll-factor, --boot-slack, --no-rotate-fuse and \
+           --no-lazy-switch.")
+
 let key_budget_arg =
   Arg.(
     value & opt string ""
@@ -173,13 +206,32 @@ let handle f = handle_code (fun () -> f (); 0)
 
 (* ------------------------------------------------------------------ *)
 
+(* Compile a loaded program under either explicit knobs or a tuned plan
+   (which must be stamped for exactly this program + bindings). *)
+let compile_source ~bindings ~strategy ~no_fuse ~no_lazy ~unroll_factor
+    ~boot_slack ~manifest (p : Ir.program) =
+  match manifest with
+  | Some path ->
+    let expect = Halo_tune.Plan.fingerprint ~bindings p in
+    let plan = Halo_tune.Plan.load ~expect ~path () in
+    Printf.printf "applying tuned plan: %s\n" (Halo_tune.Plan.to_string plan);
+    Strategy.compile ~bindings ~rotate_fuse:plan.Halo_tune.Plan.p_rotate_fuse
+      ~lazy_switch:plan.Halo_tune.Plan.p_lazy_switch
+      ~unroll_factor:plan.Halo_tune.Plan.p_unroll
+      ~boot_slack:plan.Halo_tune.Plan.p_boot_slack
+      ~strategy:plan.Halo_tune.Plan.p_strategy p
+  | None ->
+    Strategy.compile ~bindings ~rotate_fuse:(not no_fuse)
+      ~lazy_switch:(not no_lazy) ~unroll_factor ~boot_slack ~strategy p
+
 let compile_cmd =
-  let run file strategy bindings no_fuse no_lazy output =
+  let run file strategy bindings no_fuse no_lazy unroll_factor boot_slack
+      manifest output =
     handle (fun () ->
         let p = load file in
         let compiled =
-          Strategy.compile ~bindings ~rotate_fuse:(not no_fuse)
-            ~lazy_switch:(not no_lazy) ~strategy p
+          compile_source ~bindings ~strategy ~no_fuse ~no_lazy ~unroll_factor
+            ~boot_slack ~manifest p
         in
         let text = Printer.program_to_string compiled in
         match output with
@@ -199,7 +251,8 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a textual IR program.")
     Term.(
       const run $ file_arg $ strategy_arg $ bindings_arg $ no_rotate_fuse_arg
-      $ no_lazy_switch_arg $ output_arg)
+      $ no_lazy_switch_arg $ unroll_factor_arg $ boot_slack_arg
+      $ strategy_manifest_arg $ output_arg)
 
 let inspect_cmd =
   let run file =
@@ -327,14 +380,14 @@ let report_checkpointed ?out (outcome, damaged) =
     1
 
 let run_cmd =
-  let run file strategy bindings no_fuse no_lazy seed guard guard_margin
-      rescue rescue_margin max_rescues checkpoint_dir every retain guard_every
-      kill_after out =
+  let run file strategy bindings no_fuse no_lazy unroll_factor boot_slack
+      manifest seed guard guard_margin rescue rescue_margin max_rescues
+      checkpoint_dir every retain guard_every kill_after out =
     handle_code (fun () ->
         let p = load file in
         let compiled =
-          Strategy.compile ~bindings ~rotate_fuse:(not no_fuse)
-            ~lazy_switch:(not no_lazy) ~strategy p
+          compile_source ~bindings ~strategy ~no_fuse ~no_lazy ~unroll_factor
+            ~boot_slack ~manifest p
         in
         let rng = Random.State.make [| seed |] in
         let inputs =
@@ -528,7 +581,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute with random inputs on the reference backend.")
     Term.(
       const run $ file_arg $ strategy_arg $ bindings_arg $ no_rotate_fuse_arg
-      $ no_lazy_switch_arg $ seed_arg $ guard_arg $ guard_margin_arg
+      $ no_lazy_switch_arg $ unroll_factor_arg $ boot_slack_arg
+      $ strategy_manifest_arg $ seed_arg $ guard_arg $ guard_margin_arg
       $ rescue_arg $ rescue_margin_arg $ max_rescues_arg $ checkpoint_dir_arg
       $ every_arg $ retain_arg $ guard_every_arg $ kill_after_arg $ out_arg)
 
@@ -575,6 +629,125 @@ let resume_cmd =
           checkpoint of every loop, and continue the run.  Outputs are \
           bit-identical to an uninterrupted run's.")
     Term.(const run $ dir_arg $ out_arg $ kill_after_arg)
+
+let tune_cmd =
+  let module Tuner = Halo_tune.Tuner in
+  let module Plan = Halo_tune.Plan in
+  let module Cost = Halo_cost.Cost_model in
+  let run file ml bindings iters size exhaustive profile output tol =
+    handle_code (fun () ->
+        (match profile with
+         | "" -> ()
+         | name -> (
+           match Cost.find_profile name with
+           | Some p -> Cost.set_profile p
+           | None ->
+             failwith
+               (Printf.sprintf "unknown cost profile %S (expected %s)" name
+                  (String.concat ", "
+                     (List.map
+                        (fun (p : Cost.profile) -> p.Cost.profile_name)
+                        Cost.profiles)))));
+        let name, prog, bindings, default_out =
+          match (file, ml) with
+          | Some f, "" ->
+            let p = load f in
+            (p.Ir.prog_name, p, bindings, f ^ ".tune.ckpt")
+          | None, "" | Some _, _ ->
+            failwith "tune: give exactly one of FILE or --ml BENCHMARK"
+          | None, name ->
+            let b =
+              try Halo_ml.Workloads.find name
+              with Not_found ->
+                failwith
+                  (Printf.sprintf "unknown benchmark %S (expected %s)" name
+                     (String.concat ", "
+                        (List.map
+                           (fun (b : Halo_ml.Bench_def.t) -> b.name)
+                           Halo_ml.Workloads.all)))
+            in
+            let slots = 16 * size in
+            ( b.name,
+              b.build ~slots ~size,
+              Halo_ml.Workloads.default_bindings b ~iters,
+              String.lowercase_ascii b.name ^ ".tune.ckpt" )
+        in
+        let result, _tuned = Tuner.tune ~exhaustive ~bindings ~name ?tol prog in
+        print_string (Tuner.report result);
+        let path = Option.value output ~default:default_out in
+        Plan.save ~path result.Tuner.r_plan;
+        Printf.printf "\nwrote tuned strategy manifest to %s\n" path;
+        Printf.printf
+          "verification: OK (checked pipeline passed, fingerprint drift \
+           %.1e vs untuned reference)\n"
+          result.Tuner.r_drift;
+        0)
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Textual IR file (or use $(b,--ml)).")
+  in
+  let ml_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "ml" ] ~docv:"BENCHMARK"
+          ~doc:"Tune one of the paper's seven ML benchmarks instead of a file.")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "iters" ] ~docv:"N" ~doc:"Training iterations (with --ml).")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "size" ] ~docv:"N" ~doc:"Samples (with --ml); slots = 16*N.")
+  in
+  let exhaustive_arg =
+    Arg.(
+      value & flag
+      & info [ "exhaustive" ]
+          ~doc:
+            "Compile and price every point of the configuration space \
+             instead of pruning dominated ones.  Same argmin by \
+             construction; useful for auditing the pruner.")
+  in
+  let profile_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "profile" ] ~docv:"NAME"
+          ~doc:
+            "Cost-model machine profile to price under (paper-gpu or host; \
+             overrides $(b,HALO_COST_PROFILE)).")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"OUT"
+          ~doc:
+            "Manifest path (default FILE.tune.ckpt or BENCHMARK.tune.ckpt).")
+  in
+  let tol_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "tol" ] ~docv:"TOL"
+          ~doc:"Fingerprint drift tolerance for plan verification.")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Search the full strategy configuration space (strategy, unroll \
+          factor, bootstrap-target slack, rotation fusion, lazy \
+          key-switching, key budget, domain pool) with the cost model, \
+          verify the argmin through the checked pipeline, and write it as \
+          a strategy manifest for $(b,run --strategy-manifest).")
+    Term.(
+      const run $ file_arg $ ml_arg $ bindings_arg $ iters_arg $ size_arg
+      $ exhaustive_arg $ profile_arg $ output_arg $ tol_arg)
 
 let bench_cmd =
   let run name strategy iters size =
@@ -803,8 +976,8 @@ let write_serve_outputs path opened =
 let serve_cmd =
   let module Resilient = Halo_runtime.Resilient in
   let run clients per_client queue_depth batch_window lane slots iters seed
-      dir resume kill_after solo no_fuse fault_rate spike_rate no_retry
-      deadline_us ttl_us fallback tenant_threshold program_threshold
+      dir resume kill_after solo no_fuse manifest fault_rate spike_rate
+      no_retry deadline_us ttl_us fallback tenant_threshold program_threshold
       breaker_window cooldown_us quarantine_after poison guard_batches
       guard_margin rescue rescue_margin max_rescues drain_flag key_budget out
       verbose =
@@ -869,9 +1042,49 @@ let serve_cmd =
                 (Server.damaged s);
               s
             end
-            else
-              Server.create ?dir cfg
-                ~programs:(Workload.programs ~slots ~max_level ~iters)
+            else begin
+              let programs = Workload.programs ~slots ~max_level ~iters in
+              let programs =
+                (* A tuned plan retargets the registry entry whose traced
+                   program carries the plan's fingerprint; the other
+                   entries keep their configured strategy. *)
+                match manifest with
+                | None -> programs
+                | Some path ->
+                  let plan = Halo_tune.Plan.load ~path () in
+                  let applied = ref 0 in
+                  let programs =
+                    List.map
+                      (fun (pd : Halo_serve.Serve_codec.prog_def) ->
+                        if
+                          Int64.equal
+                            (Halo_tune.Plan.fingerprint ~bindings:[]
+                               pd.pd_traced)
+                            plan.Halo_tune.Plan.p_fingerprint
+                        then begin
+                          incr applied;
+                          Printf.printf
+                            "applying tuned strategy %s to program %S\n"
+                            (Strategy.to_string
+                               plan.Halo_tune.Plan.p_strategy)
+                            pd.pd_name;
+                          {
+                            pd with
+                            pd_strategy = plan.Halo_tune.Plan.p_strategy;
+                          }
+                        end
+                        else pd)
+                      programs
+                  in
+                  if !applied = 0 then
+                    Printf.printf
+                      "warning: tuned plan %S matches no registered \
+                       program; strategies unchanged\n"
+                      plan.Halo_tune.Plan.p_prog;
+                  programs
+              in
+              Server.create ?dir cfg ~programs
+            end
           in
           let final_rejected = ref 0 in
           (try
@@ -1159,7 +1372,8 @@ let serve_cmd =
       const run $ clients_arg $ per_client_arg $ queue_depth_arg
       $ batch_window_arg $ lane_arg $ slots_arg $ iters_arg $ seed_arg
       $ dir_arg $ resume_arg $ kill_after_arg $ solo_arg $ no_rotate_fuse_arg
-      $ fault_rate_arg $ spike_rate_arg $ no_retry_arg $ deadline_us_arg
+      $ strategy_manifest_arg $ fault_rate_arg $ spike_rate_arg
+      $ no_retry_arg $ deadline_us_arg
       $ ttl_us_arg $ fallback_arg $ tenant_threshold_arg
       $ program_threshold_arg $ breaker_window_arg $ cooldown_us_arg
       $ quarantine_after_arg $ poison_arg $ guard_batches_arg
@@ -1983,6 +2197,7 @@ let () =
             inspect_cmd;
             run_cmd;
             resume_cmd;
+            tune_cmd;
             bench_cmd;
             verify_cmd;
             soak_cmd;

@@ -1,0 +1,39 @@
+(** Lazy key-switch fusion: collapse a post-normalize rotate-and-sum
+    reduction —
+
+    {v
+    %r1, ..., %rk = rotate_many %v, o1, ..., ok
+    %mj = mul %rj, %cj              (each %rj used once; %cj plain)
+    %wj = rescale %mj               (each %mj used once)
+    %a  = ((%w1 + %w2) + ...) + %wk (left-linear add chain)
+    v}
+
+    — into a single {!Ir.op.RotSum}, which the lattice backend executes
+    with one shared digit decomposition, extended-basis MAC accumulation
+    and a single mod-down + rescale instead of [k] of each (DESIGN.md
+    section 15).  The pure variant (rotation results summed directly, no
+    multiplies) fuses to a coefficient-free [RotSum] likewise.
+
+    {2 Bit-identity precondition}
+
+    Fusion must be {e bit-invisible} on the reference backend, whose
+    calibrated noise draws follow instruction order: the fused op replays
+    each member's multcp and rescale draws in term order at the final add's
+    position.  A cluster is therefore fused only when
+
+    - every fused-away intermediate (rotation result, product, rescaled
+      product, partial sum) has exactly one use in the whole program;
+    - the add chain is left-linear and consumes the leaves in {e exactly}
+      the order the multiplies were emitted, so replaying draws in term
+      order is the order the unfused code drew them in; and
+    - no foreign noise-drawing instruction (a multiply, rescale, bootstrap,
+      [RotSum], loop, pack or unpack) sits inside the cluster's span, which
+      would interleave its draws with the replayed ones.
+
+    Clusters violating any condition — interleaved reductions, reassociated
+    adds, shared intermediates — are left unfused: a performance
+    opportunity foregone, never a semantics change.  Weighted clusters
+    additionally require the source ciphertext at canonical scale, matching
+    what {!Normalize} guarantees for the matvec_diag shape. *)
+
+val program : Ir.program -> Ir.program

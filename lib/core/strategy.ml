@@ -40,7 +40,7 @@ type pass = {
 }
 
 let passes ?(bindings = []) ?dacapo_config ?(lower = true) ?(rotate_fuse = true)
-    ?(lazy_switch = true) ~strategy () =
+    ?(lazy_switch = true) ?(unroll_factor = 0) ?(boot_slack = 0) ~strategy () =
   let pass ?milestone pass_name run = { pass_name; milestone; run } in
   let prologue =
     [
@@ -79,15 +79,15 @@ let passes ?(bindings = []) ?dacapo_config ?(lower = true) ?(rotate_fuse = true)
         pass "peel" Peel.program;
         pass ~milestone:Leveled "loop-codegen" (Loop_codegen.program ?dacapo_config);
         pass "packing" (Packing.program ?dacapo_config);
-        pass "unroll" Unroll.program;
+        pass "unroll" (Unroll.program ~factor_cap:unroll_factor);
       ]
     | Halo ->
       [
         pass "peel" Peel.program;
         pass ~milestone:Leveled "loop-codegen" (Loop_codegen.program ?dacapo_config);
         pass "packing" (Packing.program ?dacapo_config);
-        pass "unroll" Unroll.program;
-        pass "tuning" Tuning.program;
+        pass "unroll" (Unroll.program ~factor_cap:unroll_factor);
+        pass "tuning" (Tuning.program ~slack:boot_slack);
       ]
   in
   let epilogue =
@@ -110,7 +110,7 @@ let passes ?(bindings = []) ?dacapo_config ?(lower = true) ?(rotate_fuse = true)
   prologue @ placement @ epilogue
 
 let compile ?(bindings = []) ?dacapo_config ?(lower = true) ?rotate_fuse
-    ?lazy_switch ?observer ~strategy p =
+    ?lazy_switch ?unroll_factor ?boot_slack ?observer ~strategy p =
   let step p ps =
     let after = ps.run p in
     (match observer with
@@ -121,7 +121,7 @@ let compile ?(bindings = []) ?dacapo_config ?(lower = true) ?rotate_fuse
   let p =
     List.fold_left step p
       (passes ~bindings ?dacapo_config ~lower ?rotate_fuse ?lazy_switch
-         ~strategy ())
+         ?unroll_factor ?boot_slack ~strategy ())
   in
   match Typecheck.verify p with
   | Ok () -> p

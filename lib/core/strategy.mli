@@ -57,6 +57,8 @@ val passes :
   ?lower:bool ->
   ?rotate_fuse:bool ->
   ?lazy_switch:bool ->
+  ?unroll_factor:int ->
+  ?boot_slack:int ->
   strategy:t ->
   unit ->
   pass list
@@ -68,6 +70,8 @@ val compile :
   ?lower:bool ->
   ?rotate_fuse:bool ->
   ?lazy_switch:bool ->
+  ?unroll_factor:int ->
+  ?boot_slack:int ->
   ?observer:(pass:pass -> before:Ir.program -> after:Ir.program -> unit) ->
   strategy:t ->
   Ir.program ->
@@ -79,7 +83,11 @@ val compile :
     into hoisted {!Ir.op.RotateMany} groups.  [lazy_switch] (default [true])
     appends the {!Lazy_switch} pass, fusing rotate-and-sum reductions into
     single {!Ir.op.RotSum} operations executed with one shared digit
-    decomposition and one mod-down.  [observer] is invoked
+    decomposition and one mod-down.  [unroll_factor] (default [0], no cap)
+    caps the B-2 unroll factor ({!Unroll.program}'s [factor_cap]; [1]
+    disables unrolling) and [boot_slack] (default [0]) raises tuned
+    bootstrap targets above their minimum ({!Tuning.program}'s [slack]) —
+    the two axes the autotuner sweeps.  [observer] is invoked
     after every pass with the program before and after it — the hook the
     checked pipeline ([Halo_verify.Pipeline.compile ~verify:true]) uses to
     validate between passes.  The result verifies under {!Typecheck.verify};

@@ -39,7 +39,7 @@ let feasible (p : Ir.program) overrides =
   | _ -> true
   | exception Levels.Underflow _ -> false
 
-let program (p : Ir.program) =
+let program ?(slack = 0) (p : Ir.program) =
   let bootstraps = collect_bootstraps p in
   let overrides : (Ir.var, int) Hashtbl.t = Hashtbl.create 16 in
   List.iter
@@ -55,6 +55,10 @@ let program (p : Ir.program) =
         end
       in
       let best = search 1 current in
+      (* [slack] extra levels above the minimum (clamped to the original
+         target, which is feasible by construction): a knob for trading
+         bootstrap latency against noise headroom that the autotuner sweeps. *)
+      let best = min current (best + max 0 slack) in
       Hashtbl.replace overrides v best;
       (* Keep the override only if it survives a final check (it should,
          by monotonicity). *)

@@ -6,6 +6,12 @@
     whole program still walks within its level budget (feasibility is
     monotone in the target, so a binary search suffices), processing
     bootstraps in program order.  {!Normalize} afterwards regenerates the
-    modswitches with correspondingly smaller down-factors. *)
+    modswitches with correspondingly smaller down-factors.
 
-val program : Ir.program -> Ir.program
+    [slack] (default [0]) raises every tuned target by that many levels
+    above its minimum, clamped to the original (pre-tuning) target — which
+    is feasible by construction, so any slack value yields a feasible
+    program.  Latency is monotone non-decreasing in [slack] (Table 3), but
+    slack buys noise headroom; the autotuner sweeps it as the B-3 axis. *)
+
+val program : ?slack:int -> Ir.program -> Ir.program

@@ -70,7 +70,7 @@ let contains_bootstrap_or_loop instrs =
       match i.op with Ir.Bootstrap _ | Ir.For _ -> true | _ -> false)
     instrs
 
-let program (p : Ir.program) =
+let program ?(factor_cap = 0) (p : Ir.program) =
   let fresh = Ir.fresh_of_program p in
   let env = Pass_util.type_env p in
   let is_plain v = Hashtbl.find_opt env v = Some Tplain in
@@ -128,6 +128,9 @@ let program (p : Ir.program) =
            if d_iter < 1 then keep
            else begin
              let f0 = (head.available - m) / d_iter in
+             (* The autotuner caps the level-derived factor to sweep the B-2
+                axis; a cap of 1 keeps the loop rolled (factor < 2 below). *)
+             let f0 = if factor_cap >= 1 then min f0 factor_cap else f0 in
              (* Per-iteration template: carried values in, carried values
                 out, head excluded. *)
              let template =

@@ -14,6 +14,12 @@
     Static iteration counts split into an unrolled loop of [n / f]
     iterations plus [n mod f] peeled remainder iterations; dynamic counts
     become an unrolled loop of [K / f] plus a remainder loop of [K mod f]
-    iterations sharing the original body. *)
+    iterations sharing the original body.
 
-val program : Ir.program -> Ir.program
+    [factor_cap] (default [0], meaning no cap) bounds the level-derived
+    factor from above; the feasibility re-walk still reduces it further if
+    needed.  A cap of [1] disables unrolling.  The autotuner sweeps the cap
+    as the B-2 axis: a smaller factor trades bootstrap amortization for a
+    smaller program and remainder loop. *)
+
+val program : ?factor_cap:int -> Ir.program -> Ir.program

@@ -31,10 +31,8 @@ let rmse ~expected ~actual ~len =
 
 module R = Halo_runtime.Interp.Make (Halo_ckks.Ref_backend)
 
-let run_rmse (b : Bench_def.t) ~slots ~size ~seed ~iters ~strategy =
-  let program = b.build ~slots ~size in
+let run_compiled (b : Bench_def.t) ~slots ~size ~seed ~iters compiled =
   let bindings = default_bindings b ~iters in
-  let compiled = Halo.Strategy.compile ~bindings ~strategy program in
   let inputs = b.gen_inputs ~seed ~size in
   let st =
     Halo_ckks.Ref_backend.create ~seed:(seed + 17) ~slots ~max_level:16
@@ -53,3 +51,9 @@ let run_rmse (b : Bench_def.t) ~slots ~size ~seed ~iters ~strategy =
     (List.combine expected outputs)
     lens;
   (!total /. float_of_int !count, stats)
+
+let run_rmse (b : Bench_def.t) ~slots ~size ~seed ~iters ~strategy =
+  let program = b.build ~slots ~size in
+  let bindings = default_bindings b ~iters in
+  let compiled = Halo.Strategy.compile ~bindings ~strategy program in
+  run_compiled b ~slots ~size ~seed ~iters compiled

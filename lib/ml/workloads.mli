@@ -17,6 +17,19 @@ val default_bindings : Bench_def.t -> iters:int -> (string * int) list
 
 val rmse : expected:float array -> actual:float array -> len:int -> float
 
+val run_compiled :
+  Bench_def.t ->
+  slots:int ->
+  size:int ->
+  seed:int ->
+  iters:int ->
+  Halo.Ir.program ->
+  float * Halo_runtime.Stats.t
+(** Execute an already compiled benchmark program (e.g. one produced by the
+    autotuner's plan) on the reference backend under the benchmark's
+    [default_bindings] and seeded inputs; returns the RMSE against the
+    cleartext reference and the execution statistics. *)
+
 val run_rmse :
   Bench_def.t ->
   slots:int ->
@@ -27,4 +40,4 @@ val run_rmse :
   float * Halo_runtime.Stats.t
 (** Compile with [strategy], execute on the reference backend, and return
     the RMSE against the cleartext reference together with execution
-    statistics. *)
+    statistics ({!run_compiled} of {!Halo.Strategy.compile}). *)

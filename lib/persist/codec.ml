@@ -21,6 +21,7 @@ type kind =
   | Serve_drain_frame
   | Serve_chaos_frame
   | Rescue_frame
+  | Tune_manifest_frame
 
 let format_version = 5
 
@@ -47,6 +48,7 @@ let kind_tag = function
   | Serve_drain_frame -> 13
   | Serve_chaos_frame -> 14
   | Rescue_frame -> 15
+  | Tune_manifest_frame -> 16
 
 let kind_name = function
   | Rns_poly_frame -> "rns_poly"
@@ -64,6 +66,7 @@ let kind_name = function
   | Serve_drain_frame -> "serve drain handoff"
   | Serve_chaos_frame -> "chaos soak state"
   | Rescue_frame -> "rescue record"
+  | Tune_manifest_frame -> "tuned strategy manifest"
 
 (* --- frames ------------------------------------------------------------ *)
 

@@ -62,6 +62,9 @@ type kind =
   | Rescue_frame
       (** one rescue-bootstrap decision journaled by the runtime noise
           monitor ([rescue-<seq>.ckpt]) *)
+  | Tune_manifest_frame
+      (** one autotuned strategy plan emitted by [halo_cli tune], stamped
+          with the source program + bindings fingerprint ([Halo_tune.Plan]) *)
 
 val format_version : int
 

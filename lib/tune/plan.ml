@@ -1,0 +1,117 @@
+open Halo
+module Codec = Halo_persist.Codec
+module Wire = Halo_persist.Wire
+module Store = Halo_persist.Store
+module Crc32 = Halo_persist.Crc32
+
+type t = {
+  p_prog : string;
+  p_fingerprint : int64;
+  p_strategy : Strategy.t;
+  p_unroll : int;
+  p_boot_slack : int;
+  p_rotate_fuse : bool;
+  p_lazy_switch : bool;
+  p_key_budget : int;
+  p_pool : int;
+  p_profile : string;
+  p_predicted_us : float;
+  p_breakdown : (string * float) list;
+}
+
+(* The stamp binds a manifest to one (source program, bindings) pair: the
+   canonical program encoding plus the sorted bindings, hashed twice with
+   domain separation so the two 32-bit halves are independent. *)
+let fingerprint ~bindings (p : Ir.program) =
+  let buf = Buffer.create 1024 in
+  Codec.encode_program buf p;
+  Wire.list buf
+    (fun b (k, v) ->
+      Wire.str b k;
+      Wire.i64 b v)
+    (List.sort compare bindings);
+  let s = Buffer.contents buf in
+  let lo = Crc32.string s in
+  let hi = Crc32.string (s ^ "\x00halo-tune") in
+  Int64.logor
+    (Int64.shift_left (Int64.of_int32 hi) 32)
+    (Int64.logand (Int64.of_int32 lo) 0xFFFFFFFFL)
+
+let encode buf t =
+  Wire.str buf t.p_prog;
+  Wire.str buf (Strategy.to_string t.p_strategy);
+  Wire.i64 buf t.p_unroll;
+  Wire.i64 buf t.p_boot_slack;
+  Wire.u8 buf (if t.p_rotate_fuse then 1 else 0);
+  Wire.u8 buf (if t.p_lazy_switch then 1 else 0);
+  Wire.i64 buf t.p_key_budget;
+  Wire.i64 buf t.p_pool;
+  Wire.str buf t.p_profile;
+  Wire.f64 buf t.p_predicted_us;
+  Wire.list buf
+    (fun b (k, v) ->
+      Wire.str b k;
+      Wire.f64 b v)
+    t.p_breakdown
+
+let decode ~fingerprint r =
+  let p_prog = Wire.rstr r in
+  let sname = Wire.rstr r in
+  let p_strategy =
+    match Strategy.of_string sname with
+    | Some s -> s
+    | None -> Wire.fail r ~expected:"strategy name" ~got:sname "tune manifest"
+  in
+  let p_unroll = Wire.ri64 r in
+  let p_boot_slack = Wire.ri64 r in
+  let p_rotate_fuse = Wire.ru8 r <> 0 in
+  let p_lazy_switch = Wire.ru8 r <> 0 in
+  let p_key_budget = Wire.ri64 r in
+  let p_pool = Wire.ri64 r in
+  let p_profile = Wire.rstr r in
+  let p_predicted_us = Wire.rf64 r in
+  let p_breakdown =
+    Wire.rlist r (fun r ->
+        let k = Wire.rstr r in
+        let v = Wire.rf64 r in
+        (k, v))
+  in
+  Wire.expect_end r ~what:"tune manifest";
+  {
+    p_prog;
+    p_fingerprint = fingerprint;
+    p_strategy;
+    p_unroll;
+    p_boot_slack;
+    p_rotate_fuse;
+    p_lazy_switch;
+    p_key_budget;
+    p_pool;
+    p_profile;
+    p_predicted_us;
+    p_breakdown;
+  }
+
+let save ~path t =
+  Store.write_file path
+    (Codec.frame ~kind:Codec.Tune_manifest_frame ~fingerprint:t.p_fingerprint
+       (fun buf -> encode buf t))
+
+let load ?expect ~path () =
+  let raw = Store.read_file path in
+  let fp =
+    match expect with Some fp -> fp | None -> Codec.fingerprint_of ~path raw
+  in
+  let r =
+    Codec.unframe ~path ~kind:Codec.Tune_manifest_frame ~fingerprint:expect raw
+  in
+  decode ~fingerprint:fp r
+
+let to_string t =
+  Printf.sprintf
+    "%s: strategy=%s unroll=%d slack=%d fuse=%b lazy=%b budget=%d pool=%d \
+     profile=%s predicted=%.0fus"
+    t.p_prog
+    (Strategy.to_string t.p_strategy)
+    t.p_unroll t.p_boot_slack t.p_rotate_fuse t.p_lazy_switch t.p_key_budget
+    t.p_pool t.p_profile t.p_predicted_us

@@ -1,0 +1,41 @@
+(** Persistable autotuned strategy manifests.
+
+    A plan records the argmin configuration {!Tuner} found for one source
+    program under one set of bindings, stamped with a {!fingerprint} over
+    the canonical program encoding plus the sorted bindings.  Loading with
+    [?expect] set refuses — via {!Halo_error.Persist_error}, like every
+    other frame-validation failure — a manifest tuned for a different
+    program or different bindings, so a stale plan can never silently steer
+    compilation of the wrong workload. *)
+
+open Halo
+
+type t = {
+  p_prog : string;  (** display name of the tuned program *)
+  p_fingerprint : int64;  (** stamp the frame was written under *)
+  p_strategy : Strategy.t;
+  p_unroll : int;  (** B-2 unroll-factor cap; 0 = strategy default *)
+  p_boot_slack : int;  (** B-3 bootstrap-target slack; 0 = tightest *)
+  p_rotate_fuse : bool;
+  p_lazy_switch : bool;
+  p_key_budget : int;  (** resident switching-key bytes; 0 = unbounded *)
+  p_pool : int;  (** domain pool size *)
+  p_profile : string;  (** cost-model machine profile the plan was priced under *)
+  p_predicted_us : float;
+  p_breakdown : (string * float) list;  (** labelled cost components, μs *)
+}
+
+val fingerprint : bindings:(string * int) list -> Ir.program -> int64
+(** Deterministic stamp over the canonical encoding of [p] and the sorted
+    [bindings]. *)
+
+val save : path:string -> t -> unit
+(** Atomic write of a {!Halo_persist.Codec.Tune_manifest_frame}. *)
+
+val load : ?expect:int64 -> path:string -> unit -> t
+(** [load ~expect:fp] validates the frame {e and} requires its stamp to
+    equal [fp] (the fingerprint of the program + bindings about to be
+    compiled); mismatch raises {!Halo_error.Persist_error} naming expected
+    vs got.  Without [expect] any valid manifest loads. *)
+
+val to_string : t -> string

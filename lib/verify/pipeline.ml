@@ -292,17 +292,17 @@ let check_passes ?bindings ?inputs ?tol ?(strategy = "custom")
   (q, List.rev st.reports)
 
 let compile ?(bindings = []) ?dacapo_config ?lower ?rotate_fuse ?lazy_switch
-    ?(verify = true) ?tol ~strategy p =
+    ?unroll_factor ?boot_slack ?(verify = true) ?tol ~strategy p =
   if not verify then
     ( Strategy.compile ~bindings ?dacapo_config ?lower ?rotate_fuse
-        ?lazy_switch ~strategy p,
+        ?lazy_switch ?unroll_factor ?boot_slack ~strategy p,
       [] )
   else begin
     let name = Strategy.to_string strategy in
     let st = init_state ~bindings ?tol ~strategy:name p in
     let passes =
       Strategy.passes ~bindings ?dacapo_config ?lower ?rotate_fuse ?lazy_switch
-        ~strategy ()
+        ?unroll_factor ?boot_slack ~strategy ()
     in
     let q = run_passes st ~passes p in
     (* Mirror [Strategy.compile]'s final full verification. *)

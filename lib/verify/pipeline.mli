@@ -58,6 +58,8 @@ val compile :
   ?lower:bool ->
   ?rotate_fuse:bool ->
   ?lazy_switch:bool ->
+  ?unroll_factor:int ->
+  ?boot_slack:int ->
   ?verify:bool ->
   ?tol:float ->
   strategy:Strategy.t ->
@@ -66,7 +68,9 @@ val compile :
 (** Like {!Halo.Strategy.compile}, returning the per-pass reports.  With
     [verify] (default [true]) every pass output is validated; [tol] (default
     [1e-6]) bounds acceptable fingerprint drift.  [rotate_fuse] (default
-    [true]) controls the final rotation-fusion pass.  Raises
+    [true]) controls the final rotation-fusion pass; [unroll_factor] and
+    [boot_slack] are the autotuner's B-2 / B-3 knobs, passed through to
+    {!Halo.Strategy.passes}.  Raises
     {!Verification_failure} attributing the first violation to a pass by
     name; [~verify:false] is exactly [Strategy.compile] (empty report). *)
 
